@@ -1,0 +1,38 @@
+// Command dcsim runs the datacenter-scale energy comparison of Figure 10:
+// Neat, Oasis and ZombieStack on Google-like traces (original and
+// memory-heavy variants) with the HP and Dell machine power profiles.
+//
+// Usage:
+//
+//	dcsim                         # default fleet (120 machines, 1500 tasks)
+//	dcsim -machines 500 -tasks 6000 -horizon 86400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	zombieland "repro"
+)
+
+func main() {
+	machines := flag.Int("machines", 120, "number of servers in the simulated fleet")
+	tasks := flag.Int("tasks", 1500, "number of tasks in the generated trace")
+	horizon := flag.Int64("horizon", 12*3600, "trace horizon in seconds")
+	seed := flag.Int64("seed", 42, "trace generation seed")
+	flag.Parse()
+
+	res, err := zombieland.Figure10(zombieland.Fig10Config{
+		Machines:   *machines,
+		Tasks:      *tasks,
+		HorizonSec: *horizon,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	fmt.Println("Energy saving is relative to a fleet that keeps every server in S0 (no consolidation).")
+}

@@ -1,0 +1,60 @@
+// Command energymodel prints the power- and energy-model results of the
+// paper: the motivation figures (1-4) and the per-state energy table
+// (Table 3) including the Sz estimate of Equation 1.
+//
+// Usage:
+//
+//	energymodel               # print everything
+//	energymodel -exp fig1     # one experiment: fig1, fig2, fig3, fig4, table3
+//	energymodel -machine Dell # machine profile for fig1 (HP or Dell)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	zombieland "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to print: fig1, fig2, fig3, fig4, table3, all")
+	machine := flag.String("machine", "HP", "machine profile for fig1 (HP or Dell)")
+	points := flag.Int("points", 11, "number of utilization samples for fig1")
+	flag.Parse()
+
+	if err := run(*exp, *machine, *points); err != nil {
+		fmt.Fprintln(os.Stderr, "energymodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, machine string, points int) error {
+	show := func(name string) bool { return exp == "all" || exp == name }
+
+	if show("fig1") {
+		res, err := zombieland.Figure1(machine, points)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if show("fig2") {
+		fmt.Println(zombieland.Figure2().Render())
+	}
+	if show("fig3") {
+		fmt.Println(zombieland.Figure3().Render())
+	}
+	if show("fig4") {
+		fmt.Println(zombieland.Figure4().Render())
+	}
+	if show("table3") {
+		fmt.Println(zombieland.Table3().Render())
+	}
+	switch exp {
+	case "all", "fig1", "fig2", "fig3", "fig4", "table3":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,70 @@
+// Command racksim runs the rack-level experiments of the paper's evaluation:
+// the replacement-policy comparison (Figure 8), the RAM Ext penalty study
+// (Table 1), the swap-technology comparison (Table 2) and the migration-time
+// comparison (Figure 9).
+//
+// Usage:
+//
+//	racksim                  # run everything
+//	racksim -exp table1      # one experiment: fig8, table1, table2, fig9
+//	racksim -seed 7          # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	zombieland "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig8, table1, table2, fig9, all")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*exp, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "racksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64) error {
+	show := func(name string) bool { return exp == "all" || exp == name }
+
+	if show("fig8") {
+		res, err := zombieland.Figure8(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("Best policy over the sweep: %s (the paper reports mixed)\n\n", res.BestPolicy())
+	}
+	if show("table1") {
+		res, err := zombieland.Table1(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if show("table2") {
+		res, err := zombieland.Table2(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if show("fig9") {
+		res, err := zombieland.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	switch exp {
+	case "all", "fig8", "table1", "table2", "fig9":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,126 @@
+// Command zombiectl brings up a simulated rack with the zombie technology and
+// runs a scripted scenario against it: push servers into the Sz state, place
+// a VM whose memory is partly remote, run a workload through the RDMA-backed
+// paging path, and print the rack state and energy report.
+//
+// Usage:
+//
+//	zombiectl                          # 4-server rack, default scenario
+//	zombiectl -servers 8 -zombies 3    # bigger rack, more zombie servers
+//	zombiectl -vm-gib 3 -workload spark-sql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	zombieland "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	servers := flag.Int("servers", 4, "number of servers in the rack")
+	zombies := flag.Int("zombies", 1, "servers to push into the Sz state")
+	memGiB := flag.Int("mem-gib", 16, "memory per server in GiB")
+	vmGiB := flag.Float64("vm-gib", 28, "VM reserved memory in GiB")
+	wl := flag.String("workload", "spark-sql", "workload to run: micro-benchmark, data-caching, elasticsearch, spark-sql")
+	hours := flag.Float64("hours", 1, "simulated hours to account energy over")
+	flag.Parse()
+
+	if err := run(*servers, *zombies, *memGiB, *vmGiB, *wl, *hours); err != nil {
+		fmt.Fprintln(os.Stderr, "zombiectl:", err)
+		os.Exit(1)
+	}
+}
+
+func parseWorkload(name string) (zombieland.Workload, error) {
+	for _, k := range zombieland.Workloads() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workload %q (valid: %s)", name, strings.Join(workloadNames(), ", "))
+}
+
+func workloadNames() []string {
+	var out []string
+	for _, k := range zombieland.Workloads() {
+		out = append(out, k.String())
+	}
+	return out
+}
+
+func run(servers, zombies, memGiB int, vmGiB float64, wlName string, hours float64) error {
+	if zombies >= servers {
+		return fmt.Errorf("need at least one active server (%d servers, %d zombies)", servers, zombies)
+	}
+	kind, err := parseWorkload(wlName)
+	if err != nil {
+		return err
+	}
+
+	board := zombieland.DefaultBoardSpec()
+	board.MemoryBytes = uint64(memGiB) << 30
+	rack, err := zombieland.NewRack(zombieland.RackConfig{Servers: servers, Board: board})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Rack up: %d servers (%d GiB each), Sz-capable boards.\n\n", servers, memGiB)
+
+	// Push the tail servers into the zombie state.
+	names := rack.Servers()
+	for i := 0; i < zombies; i++ {
+		name := names[len(names)-1-i]
+		if err := rack.PushToZombie(name); err != nil {
+			return err
+		}
+		fmt.Printf("%s -> Sz (zombie): memory delegated, %.1f GiB now available rack-wide.\n",
+			name, float64(rack.FreeRemoteMemory())/float64(1<<30))
+	}
+	fmt.Println()
+
+	// Place a VM that needs remote memory.
+	spec := zombieland.NewVM("demo-vm", int64(vmGiB*float64(1<<30)), int64(vmGiB*0.75*float64(1<<30)))
+	guest, err := rack.CreateVM(spec, zombieland.CreateVMOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("VM %s placed on %s: %.1f GiB local, %.1f GiB remote (RAM Ext).\n\n",
+		spec.ID, guest.Host, float64(guest.LocalBytes)/float64(1<<30), float64(guest.RemoteBytes)/float64(1<<30))
+
+	// Run the workload.
+	stats, err := rack.RunWorkload(spec.ID, kind, 2, 1)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("Workload: "+kind.String(), "metric", "value")
+	t.AddRowf("accesses", stats.Accesses)
+	t.AddRowf("major faults", stats.MajorFaults)
+	t.AddRowf("pages demoted to remote", stats.Demotions)
+	t.AddRowf("pages promoted back", stats.Promotions)
+	t.AddRowf("simulated exec time (ms)", stats.TotalNs()/1e6)
+	t.AddRowf("time in remote transfers (ms)", stats.RemoteNs/1e6)
+	fmt.Println(t.String())
+
+	// Fabric traffic.
+	fs := rack.Fabric().Stats()
+	ft := metrics.NewTable("RDMA fabric", "metric", "value")
+	ft.AddRowf("one-sided writes", fs.Writes)
+	ft.AddRowf("one-sided reads", fs.Reads)
+	ft.AddRowf("bytes written", fs.BytesWritten)
+	ft.AddRowf("bytes read", fs.BytesRead)
+	fmt.Println(ft.String())
+
+	// Energy over the requested horizon.
+	rack.AdvanceClock(int64(hours * 3600 * 1e9))
+	et := metrics.NewTable(fmt.Sprintf("Energy over %.1f simulated hour(s)", hours), "server", "state", "joules")
+	for _, rep := range rack.EnergyReportAll() {
+		et.AddRowf(rep.Server, rep.State.String(), rep.Joules)
+	}
+	fmt.Println(et.String())
+	fmt.Printf("Rack total: %.0f J. A zombie server consumes roughly the Sz fraction of Table 3 (%.1f%% of Emax).\n",
+		rack.TotalEnergyJoules(), zombieland.HPProfile().Table3Row()[7])
+	return nil
+}

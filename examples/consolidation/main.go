@@ -1,0 +1,43 @@
+// Consolidation replays a Google-like datacenter trace against the three
+// consolidation systems compared in the paper (Neat, Oasis, ZombieStack) and
+// prints the energy saving of each, for the original and the memory-heavy
+// trace variants — the Figure 10 experiment at example scale.
+//
+// Run with:
+//
+//	go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	zombieland "repro"
+)
+
+func main() {
+	cfg := zombieland.Fig10Config{Machines: 100, Tasks: 1200, HorizonSec: 8 * 3600, Seed: 7}
+	res, err := zombieland.Figure10(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	// Summarise the headline comparison the paper makes: how much better
+	// ZombieStack does than Neat and Oasis on the memory-heavy traces.
+	for _, machine := range []string{"HP", "Dell"} {
+		neat, _ := res.Saving("google-like-modified", machine, "neat")
+		oasis, _ := res.Saving("google-like-modified", machine, "oasis")
+		zombie, _ := res.Saving("google-like-modified", machine, "zombiestack")
+		fmt.Printf("%s servers, memory-heavy traces: ZombieStack saves %.1f%%, %.0f%% more than Neat (%.1f%%) and %.0f%% more than Oasis (%.1f%%)\n",
+			machine, zombie, relGain(zombie, neat), neat, relGain(zombie, oasis), oasis)
+	}
+	fmt.Println("\nSavings are relative to a fleet with no consolidation (every server stays in S0).")
+}
+
+func relGain(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b * 100
+}

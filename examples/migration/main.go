@@ -1,0 +1,34 @@
+// Migration compares vanilla pre-copy live migration with the ZombieStack
+// protocol, which copies only the hot pages held in the source host's local
+// memory and re-points the remote buffers instead of moving them — the
+// Figure 9 experiment.
+//
+// Run with:
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	zombieland "repro"
+)
+
+func main() {
+	res, err := zombieland.Figure9()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Render())
+
+	fmt.Println("Observations:")
+	first := res.Points[0]
+	last := res.Points[len(res.Points)-1]
+	fmt.Printf("  - vanilla migration is nearly flat in WSS (%.1fs at %.0f%% vs %.1fs at %.0f%%): the pre-copy\n",
+		first.VanillaSec, first.WSSRatio*100, last.VanillaSec, last.WSSRatio*100)
+	fmt.Println("    rounds always cover the VM's full reservation;")
+	fmt.Printf("  - ZombieStack grows with the WSS (%.1fs -> %.1fs) because only the hot local pages move,\n",
+		first.ZombieSec, last.ZombieSec)
+	fmt.Println("    and the VM's remote memory needs no migration at all (ownership pointers are updated).")
+}

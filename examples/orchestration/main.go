@@ -1,0 +1,76 @@
+// Orchestration demonstrates the ZombieStack cloud-management features on a
+// rack: the consolidation loop that parks idle servers in the Sz state, the
+// migration protocol that moves only a VM's hot pages and re-points its
+// remote buffers, and the transparent fail-over of the global memory
+// controller to its mirrored secondary.
+//
+// Run with:
+//
+//	go run ./examples/orchestration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	zombieland "repro"
+)
+
+func main() {
+	rack, err := zombieland.NewRack(zombieland.RackConfig{Servers: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two lightly loaded VMs spread across the rack.
+	if _, err := rack.CreateVM(zombieland.NewVM("api", 4<<30, 2<<30), zombieland.CreateVMOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rack.CreateVM(zombieland.NewVM("batch", 4<<30, 2<<30), zombieland.CreateVMOptions{Strategy: 1}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("VMs placed:", rack.VMs())
+
+	// 1. Consolidation: idle servers are pushed into the Sz zombie state so
+	//    their memory keeps serving the rack.
+	report, err := rack.ConsolidateOnce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consolidation pass: migrated=%v pushed-to-Sz=%v woken=%v\n",
+		report.Migrated, report.PushedToZombie, report.Woken)
+	fmt.Printf("remote memory now available: %.1f GiB\n\n", float64(rack.FreeRemoteMemory())/float64(1<<30))
+
+	// 2. Migration: move a VM with the ZombieStack protocol (hot pages only,
+	//    remote buffers re-pointed, not copied).
+	guest, err := rack.VM("api")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dest string
+	for _, name := range rack.Servers() {
+		s, _ := rack.Server(name)
+		if name != guest.Host && s.State() == zombieland.S0 {
+			dest = name
+			break
+		}
+	}
+	if dest != "" {
+		res, err := rack.MigrateVM("api", dest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migrated %q to %s in %.2fs: %d MiB copied, %d remote buffers re-pointed\n\n",
+			"api", dest, res.DurationSeconds(), res.BytesTransferred>>20, res.RemoteOwnershipUpdates)
+	}
+
+	// 3. Controller fail-over: silence the primary long enough for the
+	//    secondary to promote itself and rebuild the allocation state from
+	//    its mirrored operation log.
+	rebuilt, err := rack.FailoverController(rack.Now() + 10e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("controller fail-over complete: secondary promoted, %d servers and %.1f GiB of lent memory recovered\n",
+		len(rebuilt.Servers()), float64(rebuilt.FreeMemory())/float64(1<<30))
+}

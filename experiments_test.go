@@ -1,0 +1,230 @@
+package zombieland
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	res, err := Figure1("HP", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 11 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The actual curve has the high idle floor; the ideal curve starts at 0.
+	if res.Points[0].Actual < 0.4 || res.Points[0].Ideal != 0 {
+		t.Errorf("idle point = %+v", res.Points[0])
+	}
+	// The Sz floor sits between S3 and the idle machine.
+	if !(res.Ladder["S3"] < res.Ladder["Sz"] && res.Ladder["Sz"] < res.Ladder["S0idle"]) {
+		t.Errorf("ladder = %+v", res.Ladder)
+	}
+	if !strings.Contains(res.Render(), "Figure 1") {
+		t.Error("render should carry the figure title")
+	}
+	if _, err := Figure1("IBM", 5); err == nil {
+		t.Error("unknown machine should fail")
+	}
+}
+
+func TestFigures2And3(t *testing.T) {
+	f2 := Figure2()
+	f3 := Figure3()
+	if len(f2.Points) == 0 || len(f3.Points) == 0 {
+		t.Fatal("trends should have points")
+	}
+	// Demand grows, supply declines.
+	if f2.Points[len(f2.Points)-1].Ratio <= f2.Points[0].Ratio {
+		t.Error("Figure 2 demand ratio should grow")
+	}
+	if f3.Points[len(f3.Points)-1].Ratio >= f3.Points[0].Ratio {
+		t.Error("Figure 3 supply ratio should decline")
+	}
+	if !strings.Contains(f2.Render(), "Figure 2") || !strings.Contains(f3.Render(), "Figure 3") {
+		t.Error("renders should carry the titles")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	res := Figure4()
+	sc := res.Energies[0] // server-centric is the first architecture
+	if len(res.Energies) != 4 {
+		t.Fatalf("energies = %+v", res.Energies)
+	}
+	if sc < 1.6 {
+		t.Errorf("server-centric energy = %v, should be the most expensive (~2.1 Emax)", sc)
+	}
+	if !strings.Contains(res.Render(), "Figure 4") {
+		t.Error("render should carry the title")
+	}
+}
+
+func TestFigure8ShapesAndBestPolicy(t *testing.T) {
+	res, err := Figure8(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3*6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Mixed is the best policy overall, as the paper reports.
+	if best := res.BestPolicy(); best != "mixed" {
+		t.Errorf("best policy = %q, paper reports mixed", best)
+	}
+	// Execution time decreases as local memory grows, for every policy.
+	byPolicy := map[string][]Fig8Row{}
+	for _, row := range res.Rows {
+		byPolicy[row.Policy] = append(byPolicy[row.Policy], row)
+	}
+	for policy, rows := range byPolicy {
+		if rows[0].ExecTimeMs < rows[len(rows)-1].ExecTimeMs {
+			t.Errorf("%s: execution time should fall with more local memory", policy)
+		}
+		// At 100%% local there are no policy-induced faults.
+		last := rows[len(rows)-1]
+		if last.LocalPercent == 100 && last.MajorFaults != 0 {
+			t.Errorf("%s: faults at 100%% local = %d", policy, last.MajorFaults)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 8") {
+		t.Error("render should carry the title")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(Workloads())*len(LocalFractions()) {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, k := range Workloads() {
+		p20, ok1 := res.Penalty(k, 20)
+		p50, ok2 := res.Penalty(k, 50)
+		p80, ok3 := res.Penalty(k, 80)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("%s: missing cells", k)
+		}
+		if !(p20 >= p50 && p50 >= p80) {
+			t.Errorf("%s: penalty should fall with local memory (%.1f, %.1f, %.1f)", k, p20, p50, p80)
+		}
+	}
+	// The micro-benchmark is the worst case at low local memory.
+	micro20, _ := res.Penalty(MicroBench, 20)
+	for _, k := range []Workload{DataCaching, Elasticsearch, SparkSQL} {
+		other20, _ := res.Penalty(k, 20)
+		if micro20 < other20 {
+			t.Errorf("micro-benchmark at 20%% (%.1f%%) should be the worst case (vs %s %.1f%%)", micro20, k, other20)
+		}
+	}
+	if _, ok := res.Penalty(MicroBench, 33); ok {
+		t.Error("lookup of an unmeasured fraction should miss")
+	}
+	if !strings.Contains(res.Render(), "Table 1") {
+		t.Error("render should carry the title")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Workloads()) * len(LocalFractions()) * len(Table2Configurations())
+	if len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	// At 50% local: RAM Ext <= remote swap <= SSD swap <= HDD swap for the
+	// macro workloads (the paper's central comparison).
+	for _, k := range []Workload{Elasticsearch, DataCaching, SparkSQL} {
+		re, _ := res.Penalty(k, 50, "v1-RE")
+		esd, _ := res.Penalty(k, 50, "v2-ESD")
+		ssd, _ := res.Penalty(k, 50, "v2-LFSD")
+		hdd, _ := res.Penalty(k, 50, "v2-LSSD")
+		if !(re <= esd && esd <= ssd && ssd <= hdd) {
+			t.Errorf("%s at 50%%: ordering violated RE=%.1f ESD=%.1f SSD=%.1f HDD=%.1f", k, re, esd, ssd, hdd)
+		}
+	}
+	if !strings.Contains(res.Render(), "Table 2") {
+		t.Error("render should carry the title")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.ZombieSec >= p.VanillaSec {
+			t.Errorf("wss=%.0f%%: zombiestack should be faster", p.WSSRatio*100)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 9") {
+		t.Error("render should carry the title")
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	res := Table3()
+	if len(res.Machines) != 2 {
+		t.Fatalf("machines = %v", res.Machines)
+	}
+	hp := res.Rows["HP"]
+	if len(hp) != len(res.Configs) {
+		t.Fatalf("HP row = %v", hp)
+	}
+	// The Sz estimate is the last column; the paper reports 12.67 for HP and
+	// 11.15 for Dell.
+	if math.Abs(hp[len(hp)-1]-12.67) > 0.05 {
+		t.Errorf("HP Sz = %.2f, want 12.67", hp[len(hp)-1])
+	}
+	dell := res.Rows["Dell"]
+	if math.Abs(dell[len(dell)-1]-11.15) > 0.05 {
+		t.Errorf("Dell Sz = %.2f, want 11.15", dell[len(dell)-1])
+	}
+	if !strings.Contains(res.Render(), "Table 3") {
+		t.Error("render should carry the title")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	cfg := Fig10Config{Machines: 60, Tasks: 600, HorizonSec: 6 * 3600, Seed: 42}
+	res, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2*2*3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, traceName := range []string{"google-like", "google-like-modified"} {
+		for _, m := range []string{"HP", "Dell"} {
+			neat, ok1 := res.Saving(traceName, m, "neat")
+			oasis, ok2 := res.Saving(traceName, m, "oasis")
+			zombie, ok3 := res.Saving(traceName, m, "zombiestack")
+			if !ok1 || !ok2 || !ok3 {
+				t.Fatalf("missing cells for %s/%s", traceName, m)
+			}
+			if !(zombie > oasis && oasis > neat) {
+				t.Errorf("%s/%s: ordering violated neat=%.1f oasis=%.1f zombie=%.1f", traceName, m, neat, oasis, zombie)
+			}
+		}
+	}
+	if _, ok := res.Saving("nope", "HP", "neat"); ok {
+		t.Error("lookup of an unknown trace should miss")
+	}
+	if !strings.Contains(res.Render(), "Figure 10") {
+		t.Error("render should carry the title")
+	}
+	// A zero config falls back to the default.
+	if _, err := Figure10(Fig10Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

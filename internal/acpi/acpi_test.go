@@ -1,0 +1,481 @@
+package acpi
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepStateStrings(t *testing.T) {
+	cases := map[SleepState]string{
+		S0: "S0", S1: "S1", S2: "S2", S3: "S3", S4: "S4", S5: "S5", Sz: "Sz",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+	if got := SleepState(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown state String() = %q", got)
+	}
+}
+
+func TestSysfsKeywordRoundTrip(t *testing.T) {
+	for _, s := range []SleepState{S1, S3, S4, Sz} {
+		kw := s.SysfsKeyword()
+		if kw == "" {
+			t.Fatalf("state %s should have a sysfs keyword", s)
+		}
+		back, err := ParseSysfsKeyword(kw)
+		if err != nil {
+			t.Fatalf("ParseSysfsKeyword(%q): %v", kw, err)
+		}
+		if back != s {
+			t.Errorf("round trip %s -> %q -> %s", s, kw, back)
+		}
+	}
+	if _, err := ParseSysfsKeyword("bogus"); err == nil {
+		t.Error("expected error for unknown keyword")
+	}
+	if kw := S5.SysfsKeyword(); kw != "" {
+		t.Errorf("S5 keyword = %q, want empty", kw)
+	}
+	if kw := Sz.SysfsKeyword(); kw != "zom" {
+		t.Errorf("Sz keyword = %q, want zom (the paper's new keyword)", kw)
+	}
+}
+
+func TestStateSemantics(t *testing.T) {
+	if S0.IsSleeping() {
+		t.Error("S0 must not be sleeping")
+	}
+	for _, s := range []SleepState{S1, S2, S3, S4, S5, Sz} {
+		if !s.IsSleeping() {
+			t.Errorf("%s should be sleeping", s)
+		}
+		if s.CPUAvailable() {
+			t.Errorf("%s must not have CPU available", s)
+		}
+	}
+	// The defining property of Sz.
+	if !Sz.MemoryPowered() || !Sz.MemoryRemotelyAccessible() {
+		t.Error("Sz must keep memory powered and remotely accessible")
+	}
+	if !S3.MemoryPowered() {
+		t.Error("S3 keeps memory in self-refresh")
+	}
+	if S3.MemoryRemotelyAccessible() {
+		t.Error("S3 memory must NOT be remotely accessible")
+	}
+	if S4.MemoryPowered() || S5.MemoryPowered() {
+		t.Error("S4/S5 do not keep memory powered")
+	}
+	if !S4.ContextPreservedOnDisk() {
+		t.Error("S4 preserves context on disk")
+	}
+}
+
+func TestProfileConsistency(t *testing.T) {
+	for _, s := range AllStates() {
+		p := Profile(s)
+		if p.State != s {
+			t.Errorf("Profile(%s).State = %s", s, p.State)
+		}
+		if p.RemoteMemoryServing != s.MemoryRemotelyAccessible() {
+			t.Errorf("%s: RemoteMemoryServing=%v disagrees with MemoryRemotelyAccessible=%v",
+				s, p.RemoteMemoryServing, s.MemoryRemotelyAccessible())
+		}
+		if p.CPUOn != s.CPUAvailable() {
+			t.Errorf("%s: CPUOn=%v disagrees with CPUAvailable=%v", s, p.CPUOn, s.CPUAvailable())
+		}
+		if s.MemoryPowered() && !p.MemoryState.Powered() {
+			t.Errorf("%s: memory should be powered but D-state is %s", s, p.MemoryState)
+		}
+	}
+	// Sz-specific: memory and NIC in active idle.
+	pz := Profile(Sz)
+	if pz.MemoryState != D0i || pz.RemoteNICState != D0i {
+		t.Errorf("Sz profile should keep memory and NIC in D0i, got %s/%s", pz.MemoryState, pz.RemoteNICState)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// Deeper states take longer to exit; Sz resume should not exceed S3.
+	if Latency(Sz).Exit > Latency(S3).Exit {
+		t.Error("Sz exit should be no slower than S3 exit")
+	}
+	if Latency(S3).Exit >= Latency(S4).Exit {
+		t.Error("S3 exit must be faster than S4 exit")
+	}
+	if Latency(S4).Exit >= Latency(S5).Exit {
+		t.Error("S4 exit must be faster than S5 (full boot)")
+	}
+	if Latency(S0).Enter != 0 || Latency(S0).Exit != 0 {
+		t.Error("S0 has no transition latency")
+	}
+}
+
+func TestDeviceStateSemantics(t *testing.T) {
+	if !D0.Functional() || !D0i.Functional() {
+		t.Error("D0 and D0i are functional")
+	}
+	for _, d := range []DeviceState{D1, D2, D3Hot, D3Cold} {
+		if d.Functional() {
+			t.Errorf("%s should not be functional", d)
+		}
+	}
+	if D3Cold.Powered() {
+		t.Error("D3cold is unpowered")
+	}
+	if !D3Hot.Powered() {
+		t.Error("D3hot still receives power")
+	}
+}
+
+func TestSleepTypeValuesDistinct(t *testing.T) {
+	seen := map[uint16]SleepState{}
+	for _, s := range AllStates() {
+		v := s.SleepTypeValue()
+		if prev, dup := seen[v]; dup {
+			t.Errorf("SLP_TYP %#x reused by %s and %s", v, prev, s)
+		}
+		seen[v] = s
+	}
+}
+
+func TestSleepRegistersRoundTrip(t *testing.T) {
+	var r SleepRegisters
+	if _, ok := r.Pending(); ok {
+		t.Fatal("fresh registers must not report a pending transition")
+	}
+	for _, s := range []SleepState{S3, S4, S5, Sz} {
+		r.Write(s)
+		got, ok := r.Pending()
+		if !ok {
+			t.Fatalf("Pending after Write(%s) not set", s)
+		}
+		if got != s {
+			t.Errorf("Pending() = %s, want %s", got, s)
+		}
+		r.Clear()
+		if _, ok := r.Pending(); ok {
+			t.Error("Pending after Clear should be false")
+		}
+	}
+}
+
+func TestSleepRegistersMismatch(t *testing.T) {
+	var r SleepRegisters
+	r.Write(S3)
+	r.PM1BControl = (S4.SleepTypeValue() << slpTypeShift) | slpEnable
+	if _, ok := r.Pending(); ok {
+		t.Error("mismatched PM1A/PM1B must not decode as pending")
+	}
+}
+
+func TestBoardSpecValidate(t *testing.T) {
+	good := DefaultBoardSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if got := good.TotalCores(); got != 8 {
+		t.Errorf("TotalCores = %d, want 8", got)
+	}
+	bad := []BoardSpec{
+		{},
+		{Name: "x", Sockets: 0, CoresPerSocket: 4, MemoryBytes: 1, DIMMs: 1},
+		{Name: "x", Sockets: 1, CoresPerSocket: 4, MemoryBytes: 0, DIMMs: 1},
+		{Name: "x", Sockets: 1, CoresPerSocket: 4, MemoryBytes: 1, DIMMs: 0},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func newTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(DefaultBoardSpec())
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return p
+}
+
+func TestPlatformInitialState(t *testing.T) {
+	p := newTestPlatform(t)
+	if p.State() != S0 {
+		t.Fatalf("initial state %s, want S0", p.State())
+	}
+	if !p.MemoryRemotelyAccessible() {
+		t.Error("S0 memory should be remotely accessible")
+	}
+	if len(p.Devices()) == 0 || len(p.Rails()) == 0 {
+		t.Error("platform should expose devices and rails")
+	}
+	if p.Device("ib0") == nil {
+		t.Error("default board must have an Infiniband NIC")
+	}
+	if !p.Firmware.Initialized() {
+		t.Error("firmware should boot during NewPlatform")
+	}
+}
+
+func TestSuspendToSzKeepsMemoryAccessible(t *testing.T) {
+	p := newTestPlatform(t)
+	trace, err := p.Suspend(Sz)
+	if err != nil {
+		t.Fatalf("Suspend(Sz): %v", err)
+	}
+	if p.State() != Sz {
+		t.Fatalf("state = %s, want Sz", p.State())
+	}
+	if !p.MemoryRemotelyAccessible() {
+		t.Fatal("Sz platform must keep memory remotely accessible")
+	}
+	// CPU rail must be cut, memory rail must stay up.
+	if p.Rail("rail-cpu").Energised {
+		t.Error("CPU rail should be cut in Sz")
+	}
+	if !p.Rail("rail-mem").Energised || !p.Rail("rail-ibpath").Energised {
+		t.Error("memory and IB-path rails must stay energised in Sz")
+	}
+	// DIMMs and the NIC should be in active-idle.
+	if p.Device("dimm0").State != D0i {
+		t.Errorf("dimm0 state = %s, want D0i", p.Device("dimm0").State)
+	}
+	if p.Device("ib0").State != D0i {
+		t.Errorf("ib0 state = %s, want D0i", p.Device("ib0").State)
+	}
+	// Storage and chipset should be down.
+	if p.Device("sata0").State.Functional() {
+		t.Error("storage should be suspended in Sz")
+	}
+	// The trace must include the paper's modified functions.
+	var modified []string
+	for _, s := range trace {
+		if s.ModifiedForSz {
+			modified = append(modified, s.Func)
+		}
+	}
+	for _, want := range []string{"sysfs_write_power_state", "x86_acpi_enter_sleep_state", "acpi_os_prepare_sleep"} {
+		found := false
+		for _, m := range modified {
+			if m == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Sz trace should mark %s as modified (Figure 6), got %v", want, modified)
+		}
+	}
+	if p.Firmware.SzEnters != 1 {
+		t.Errorf("firmware SzEnters = %d, want 1", p.Firmware.SzEnters)
+	}
+}
+
+func TestSuspendToS3MemoryUnreachable(t *testing.T) {
+	p := newTestPlatform(t)
+	if _, err := p.Suspend(S3); err != nil {
+		t.Fatalf("Suspend(S3): %v", err)
+	}
+	if p.MemoryRemotelyAccessible() {
+		t.Fatal("S3 memory must not be remotely accessible")
+	}
+	// No step of the S3 trace should be marked as Sz-modified.
+	for _, s := range p.LastTrace() {
+		if s.ModifiedForSz {
+			t.Errorf("S3 trace step %s marked ModifiedForSz", s.Func)
+		}
+	}
+}
+
+func TestSzRequiresSplitPowerDomains(t *testing.T) {
+	spec := DefaultBoardSpec()
+	spec.SplitPowerDomains = false
+	p, err := NewPlatform(spec)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	if _, err := p.Suspend(Sz); err == nil {
+		t.Fatal("Sz must be rejected without split power domains")
+	}
+	// S3 still works on such a board.
+	if _, err := p.Suspend(S3); err != nil {
+		t.Fatalf("Suspend(S3) on legacy board: %v", err)
+	}
+}
+
+func TestSzRequiresRemoteNIC(t *testing.T) {
+	spec := DefaultBoardSpec()
+	spec.HasRemoteNIC = false
+	p, err := NewPlatform(spec)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	if _, err := p.Suspend(Sz); err == nil {
+		t.Fatal("Sz must be rejected without an RDMA NIC")
+	}
+}
+
+func TestWakeFromSz(t *testing.T) {
+	p := newTestPlatform(t)
+	if _, err := p.Suspend(Sz); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wake(WakeRTC); err == nil {
+		t.Fatal("RTC wake should fail: not armed by default")
+	}
+	trace, err := p.Wake(WakeLAN)
+	if err != nil {
+		t.Fatalf("Wake: %v", err)
+	}
+	if p.State() != S0 {
+		t.Fatalf("state after wake = %s, want S0", p.State())
+	}
+	if len(trace) == 0 {
+		t.Error("wake trace should not be empty")
+	}
+	if p.Device("cpu0").State != D0 {
+		t.Error("CPU should be restored to D0 after wake")
+	}
+	if p.Firmware.SzExits != 1 {
+		t.Errorf("firmware SzExits = %d, want 1", p.Firmware.SzExits)
+	}
+	recs := p.Transitions()
+	if len(recs) != 2 {
+		t.Fatalf("expected 2 transition records, got %d", len(recs))
+	}
+	if recs[0].From != S0 || recs[0].To != Sz || recs[1].From != Sz || recs[1].To != S0 {
+		t.Errorf("unexpected transition history: %+v", recs)
+	}
+}
+
+func TestCannotNestSleepStates(t *testing.T) {
+	p := newTestPlatform(t)
+	if _, err := p.Suspend(S3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Suspend(Sz); err == nil {
+		t.Fatal("suspending an already-suspended platform must fail")
+	}
+	if _, err := p.Suspend(S3); err == nil {
+		t.Fatal("re-suspending into the same state must fail")
+	}
+}
+
+func TestSuspendToS0Rejected(t *testing.T) {
+	p := newTestPlatform(t)
+	if _, err := p.Suspend(S0); err == nil {
+		t.Fatal("Suspend(S0) must be rejected")
+	}
+	if _, err := p.Wake(WakeLAN); err == nil {
+		t.Fatal("waking an awake platform must fail")
+	}
+}
+
+func TestTimeInStateAccounting(t *testing.T) {
+	p := newTestPlatform(t)
+	p.AdvanceClock(1_000_000_000) // 1s in S0
+	if _, err := p.Suspend(Sz); err != nil {
+		t.Fatal(err)
+	}
+	p.AdvanceClock(10_000_000_000) // 10s in Sz
+	if _, err := p.Wake(WakeLAN); err != nil {
+		t.Fatal(err)
+	}
+	p.AdvanceClock(2_000_000_000) // 2s back in S0
+
+	if got := p.TimeInState(Sz); got < 10_000_000_000 {
+		t.Errorf("time in Sz = %d, want >= 10s", got)
+	}
+	if got := p.TimeInState(S0); got < 3_000_000_000 {
+		t.Errorf("time in S0 = %d, want >= 3s", got)
+	}
+	if got := p.TimeInState(S4); got != 0 {
+		t.Errorf("time in S4 = %d, want 0", got)
+	}
+}
+
+func TestWakeSourceArming(t *testing.T) {
+	p := newTestPlatform(t)
+	p.ArmWake(WakeRTC)
+	if !p.WakeArmed(WakeRTC) {
+		t.Error("RTC should be armed")
+	}
+	p.DisarmWake(WakeRTC)
+	if p.WakeArmed(WakeRTC) {
+		t.Error("RTC should be disarmed")
+	}
+	if !p.WakeArmed(WakeLAN) {
+		t.Error("WoL is armed by default (rack manager needs it)")
+	}
+}
+
+func TestSuspendResumeCycleIdempotent(t *testing.T) {
+	p := newTestPlatform(t)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Suspend(Sz); err != nil {
+			t.Fatalf("cycle %d suspend: %v", i, err)
+		}
+		if !p.MemoryRemotelyAccessible() {
+			t.Fatalf("cycle %d: memory unreachable in Sz", i)
+		}
+		if _, err := p.Wake(WakeLAN); err != nil {
+			t.Fatalf("cycle %d wake: %v", i, err)
+		}
+		if p.State() != S0 {
+			t.Fatalf("cycle %d: not back in S0", i)
+		}
+	}
+	if p.Firmware.SzEnters != 5 || p.Firmware.SzExits != 5 {
+		t.Errorf("firmware counted %d/%d Sz enters/exits, want 5/5", p.Firmware.SzEnters, p.Firmware.SzExits)
+	}
+}
+
+// Property: for every sleep state, remote accessibility implies the memory is
+// powered (you cannot serve memory that lost its contents).
+func TestPropertyRemoteAccessImpliesPowered(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := SleepState(int(raw) % 7)
+		if s.MemoryRemotelyAccessible() && !s.MemoryPowered() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PM1 register round-trip is stable for every requestable state.
+func TestPropertyRegisterRoundTrip(t *testing.T) {
+	states := []SleepState{S1, S3, S4, S5, Sz}
+	f := func(idx uint8) bool {
+		s := states[int(idx)%len(states)]
+		var r SleepRegisters
+		r.Write(s)
+		got, ok := r.Pending()
+		return ok && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirmwareNotBooted(t *testing.T) {
+	spec := DefaultBoardSpec()
+	devices, rails := buildDevices(spec)
+	p := &Platform{
+		Spec:          spec,
+		Firmware:      NewFirmware("raw", true), // never booted
+		devices:       devices,
+		rails:         rails,
+		wakeArmed:     map[WakeSource]bool{WakeLAN: true},
+		timeInStateNs: make(map[SleepState]int64),
+	}
+	if _, err := p.Suspend(Sz); err == nil {
+		t.Fatal("Sz without firmware boot-time chipset init must fail")
+	}
+}

@@ -1,0 +1,196 @@
+package acpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceClass identifies the functional role of a platform device. The class
+// determines which power rail the device sits on and whether it must remain
+// functional in the Sz state.
+type DeviceClass int
+
+// Device classes present on a general-purpose server board.
+const (
+	ClassCPU DeviceClass = iota
+	ClassMemory
+	ClassMemoryController
+	ClassRemoteNIC // RDMA-capable NIC (Infiniband in the paper's prototype)
+	ClassWakeNIC   // management NIC kept alive for Wake-on-LAN
+	ClassPCIeRoot
+	ClassStorage
+	ClassChipset
+	ClassGPU
+	ClassFan
+	ClassBMC
+)
+
+// String names the device class.
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassCPU:
+		return "cpu"
+	case ClassMemory:
+		return "memory"
+	case ClassMemoryController:
+		return "memory-controller"
+	case ClassRemoteNIC:
+		return "remote-nic"
+	case ClassWakeNIC:
+		return "wake-nic"
+	case ClassPCIeRoot:
+		return "pcie-root"
+	case ClassStorage:
+		return "storage"
+	case ClassChipset:
+		return "chipset"
+	case ClassGPU:
+		return "gpu"
+	case ClassFan:
+		return "fan"
+	case ClassBMC:
+		return "bmc"
+	default:
+		return fmt.Sprintf("DeviceClass(%d)", int(c))
+	}
+}
+
+// PowerRail is an independent power supply domain on the board. The paper's
+// key hardware requirement is that the memory (and the NIC-to-memory path)
+// live on rails that can stay energised while the CPU rail is cut.
+type PowerRail struct {
+	Name string
+	// Energised reports whether the rail currently delivers power.
+	Energised bool
+}
+
+// Device is a power-manageable component of the platform.
+type Device struct {
+	Name  string
+	Class DeviceClass
+	// Rail is the name of the power rail feeding the device.
+	Rail string
+	// State is the current D-state of the device.
+	State DeviceState
+	// KeepAliveInSz marks devices that the Sz enter path must leave in
+	// active-idle rather than suspending (DRAM, memory controller, the
+	// Infiniband card and its PCIe root port in the paper's prototype).
+	KeepAliveInSz bool
+}
+
+// Functional reports whether the device can serve requests right now: its
+// rail must be energised and its D-state functional.
+func (d *Device) Functional(rails map[string]*PowerRail) bool {
+	r, ok := rails[d.Rail]
+	if !ok || !r.Energised {
+		return false
+	}
+	return d.State.Functional()
+}
+
+// BoardSpec describes the hardware configuration of a server board.
+type BoardSpec struct {
+	// Name identifies the board model (e.g. "hp-elite-8300").
+	Name string
+	// Sockets and CoresPerSocket describe the CPU complex.
+	Sockets        int
+	CoresPerSocket int
+	// MemoryBytes is the installed DRAM capacity.
+	MemoryBytes uint64
+	// DIMMs is the number of DIMM modules (each gets its own device entry).
+	DIMMs int
+	// HasRemoteNIC indicates an RDMA-capable NIC is installed.
+	HasRemoteNIC bool
+	// SplitPowerDomains indicates the board implements the paper's hardware
+	// change: CPU and memory on independent power supply domains. Without
+	// it the platform cannot enter Sz.
+	SplitPowerDomains bool
+}
+
+// DefaultBoardSpec returns a board comparable to the paper's testbed machines
+// (HP Compaq Elite 8300: 1 socket, 16 GiB RAM, ConnectX-3), with split power
+// domains enabled so Sz is available.
+func DefaultBoardSpec() BoardSpec {
+	return BoardSpec{
+		Name:              "hp-elite-8300",
+		Sockets:           1,
+		CoresPerSocket:    8,
+		MemoryBytes:       16 << 30,
+		DIMMs:             4,
+		HasRemoteNIC:      true,
+		SplitPowerDomains: true,
+	}
+}
+
+// Validate checks the board description for inconsistencies.
+func (b BoardSpec) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("acpi: board spec needs a name")
+	}
+	if b.Sockets <= 0 || b.CoresPerSocket <= 0 {
+		return fmt.Errorf("acpi: board %q needs at least one socket and one core", b.Name)
+	}
+	if b.MemoryBytes == 0 {
+		return fmt.Errorf("acpi: board %q has no memory", b.Name)
+	}
+	if b.DIMMs <= 0 {
+		return fmt.Errorf("acpi: board %q needs at least one DIMM", b.Name)
+	}
+	return nil
+}
+
+// TotalCores returns the number of CPU cores on the board.
+func (b BoardSpec) TotalCores() int { return b.Sockets * b.CoresPerSocket }
+
+// buildDevices constructs the device and rail inventory for a board. Rails
+// are laid out as the paper requires: when SplitPowerDomains is set, the
+// memory subsystem and the remote-NIC path get rails separate from the CPU
+// rail so they can remain energised during Sz.
+func buildDevices(spec BoardSpec) (map[string]*Device, map[string]*PowerRail) {
+	rails := map[string]*PowerRail{
+		"rail-cpu":     {Name: "rail-cpu", Energised: true},
+		"rail-main":    {Name: "rail-main", Energised: true},
+		"rail-standby": {Name: "rail-standby", Energised: true},
+	}
+	memRail := "rail-main"
+	nicRail := "rail-main"
+	if spec.SplitPowerDomains {
+		rails["rail-mem"] = &PowerRail{Name: "rail-mem", Energised: true}
+		rails["rail-ibpath"] = &PowerRail{Name: "rail-ibpath", Energised: true}
+		memRail = "rail-mem"
+		nicRail = "rail-ibpath"
+	}
+
+	devices := make(map[string]*Device)
+	add := func(d *Device) { devices[d.Name] = d }
+
+	for s := 0; s < spec.Sockets; s++ {
+		add(&Device{Name: fmt.Sprintf("cpu%d", s), Class: ClassCPU, Rail: "rail-cpu", State: D0})
+	}
+	for i := 0; i < spec.DIMMs; i++ {
+		add(&Device{Name: fmt.Sprintf("dimm%d", i), Class: ClassMemory, Rail: memRail, State: D0, KeepAliveInSz: true})
+	}
+	add(&Device{Name: "imc0", Class: ClassMemoryController, Rail: memRail, State: D0, KeepAliveInSz: true})
+	if spec.HasRemoteNIC {
+		add(&Device{Name: "ib0", Class: ClassRemoteNIC, Rail: nicRail, State: D0, KeepAliveInSz: true})
+		add(&Device{Name: "pcie-root-ib", Class: ClassPCIeRoot, Rail: nicRail, State: D0, KeepAliveInSz: true})
+	}
+	add(&Device{Name: "eth0", Class: ClassWakeNIC, Rail: "rail-standby", State: D0})
+	add(&Device{Name: "pcie-root0", Class: ClassPCIeRoot, Rail: "rail-main", State: D0})
+	add(&Device{Name: "sata0", Class: ClassStorage, Rail: "rail-main", State: D0})
+	add(&Device{Name: "pch0", Class: ClassChipset, Rail: "rail-main", State: D0})
+	add(&Device{Name: "fan0", Class: ClassFan, Rail: "rail-main", State: D0})
+	add(&Device{Name: "bmc0", Class: ClassBMC, Rail: "rail-standby", State: D0})
+	return devices, rails
+}
+
+// sortedDeviceNames returns the device names in deterministic order, so that
+// transition traces and tests are stable.
+func sortedDeviceNames(devices map[string]*Device) []string {
+	names := make([]string, 0, len(devices))
+	for n := range devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,276 @@
+// Package acpi models the ACPI global sleep states of a server platform,
+// extended with the paper's new zombie (Sz) state.
+//
+// The package provides:
+//
+//   - the global sleep states S0..S5 plus Sz and their semantics
+//     (which device classes remain powered, whether memory stays remotely
+//     accessible, transition latencies);
+//   - device power states D0..D3 and per-device power-domain membership;
+//   - a Platform type describing a server board as a set of devices attached
+//     to power rails, with PM1A/PM1B-style sleep control registers;
+//   - an OSPM transition engine that reproduces the suspend execution path of
+//     the paper's Figure 6 ("echo zom > /sys/power/state"), including the
+//     keep-alive device set that distinguishes Sz from S3;
+//   - a Firmware model responsible for chipset (re)initialisation on boot and
+//     on every Sz enter/exit.
+//
+// The paper has no Sz-capable hardware either; it reasons about Sz through a
+// model. This package is that model, made explicit and testable, so that the
+// rack-level memory disaggregation layers can ask questions such as "is this
+// server's memory reachable right now?" and "how long does an Sz exit take?".
+package acpi
+
+import "fmt"
+
+// SleepState is an ACPI global system power state.
+type SleepState int
+
+// Global sleep states. S0 is fully working, S5 is soft-off. Sz is the paper's
+// zombie state: the platform is suspended like S3 but DRAM and the RDMA NIC
+// path stay in active-idle so the memory remains remotely accessible.
+const (
+	S0 SleepState = iota // working
+	S1                   // power on suspend (CPU caches flushed, CPU stopped)
+	S2                   // CPU powered off (rarely implemented)
+	S3                   // suspend to RAM
+	S4                   // suspend to disk (hibernate)
+	S5                   // soft off
+	Sz                   // zombie: suspended, memory remotely accessible
+)
+
+// String returns the conventional name of the state.
+func (s SleepState) String() string {
+	switch s {
+	case S0:
+		return "S0"
+	case S1:
+		return "S1"
+	case S2:
+		return "S2"
+	case S3:
+		return "S3"
+	case S4:
+		return "S4"
+	case S5:
+		return "S5"
+	case Sz:
+		return "Sz"
+	default:
+		return fmt.Sprintf("SleepState(%d)", int(s))
+	}
+}
+
+// SysfsKeyword returns the keyword written to /sys/power/state to request the
+// state under the Linux OSPM convention, extended with the paper's "zom"
+// keyword for Sz. States that cannot be requested through sysfs return "".
+func (s SleepState) SysfsKeyword() string {
+	switch s {
+	case S1:
+		return "freeze"
+	case S3:
+		return "mem"
+	case S4:
+		return "disk"
+	case Sz:
+		return "zom"
+	default:
+		return ""
+	}
+}
+
+// ParseSysfsKeyword maps a /sys/power/state keyword to a sleep state.
+func ParseSysfsKeyword(kw string) (SleepState, error) {
+	switch kw {
+	case "freeze", "standby":
+		return S1, nil
+	case "mem":
+		return S3, nil
+	case "disk":
+		return S4, nil
+	case "zom":
+		return Sz, nil
+	default:
+		return S0, fmt.Errorf("acpi: unknown sleep keyword %q", kw)
+	}
+}
+
+// IsSleeping reports whether the state is any state other than S0.
+func (s SleepState) IsSleeping() bool { return s != S0 }
+
+// CPUAvailable reports whether the CPU executes instructions in this state.
+func (s SleepState) CPUAvailable() bool { return s == S0 }
+
+// MemoryPowered reports whether DRAM contents are preserved by hardware in
+// this state (S3 self-refresh, Sz active-idle, and of course S0/S1/S2).
+func (s SleepState) MemoryPowered() bool {
+	switch s {
+	case S0, S1, S2, S3, Sz:
+		return true
+	default:
+		return false
+	}
+}
+
+// MemoryRemotelyAccessible reports whether the memory of a platform in this
+// state can be accessed by one-sided RDMA operations without waking the CPU.
+// This is the defining property of Sz: in S3 the DRAM is in low-power
+// self-refresh and the memory controller and NIC data path are down, so the
+// memory is preserved but unreachable; in Sz both stay in active-idle.
+func (s SleepState) MemoryRemotelyAccessible() bool {
+	return s == S0 || s == Sz
+}
+
+// ContextPreservedOnDisk reports whether the system image is saved to storage
+// (hibernate-style states).
+func (s SleepState) ContextPreservedOnDisk() bool { return s == S4 }
+
+// SleepTypeValue returns the SLP_TYP value written into the PM1 control
+// registers to request the state. The concrete values are platform specific;
+// the ones used here follow the common FACP encodings, with Sz using one of
+// the values that the ACPI specification leaves unused (the paper's approach:
+// "since these registers have unused values, we consider new ones for
+// triggering to zombie").
+func (s SleepState) SleepTypeValue() uint16 {
+	switch s {
+	case S0:
+		return 0x0
+	case S1:
+		return 0x1
+	case S2:
+		return 0x2
+	case S3:
+		return 0x5
+	case S4:
+		return 0x6
+	case S5:
+		return 0x7
+	case Sz:
+		return 0xA // unused value claimed for zombie
+	default:
+		return 0xF
+	}
+}
+
+// AllStates lists every modelled state in ascending "depth" order with Sz
+// placed between S3 and S4, matching its power envelope.
+func AllStates() []SleepState {
+	return []SleepState{S0, S1, S2, S3, Sz, S4, S5}
+}
+
+// DeviceState is an ACPI device power state (D-state).
+type DeviceState int
+
+// Device power states from fully-on (D0) to off (D3cold). D0i is the
+// "active idle" sub-state the paper relies on for DRAM and the Infiniband
+// path while in Sz (the memory behaviour of Sz "mimics that of Si0x state
+// specifications, where the memory is kept in active idle").
+const (
+	D0     DeviceState = iota // fully on
+	D0i                       // active idle (low-power but instantly usable)
+	D1                        // light sleep
+	D2                        // deeper sleep
+	D3Hot                     // off, power still applied
+	D3Cold                    // off, power removed
+)
+
+// String returns the conventional name of the device state.
+func (d DeviceState) String() string {
+	switch d {
+	case D0:
+		return "D0"
+	case D0i:
+		return "D0i"
+	case D1:
+		return "D1"
+	case D2:
+		return "D2"
+	case D3Hot:
+		return "D3hot"
+	case D3Cold:
+		return "D3cold"
+	default:
+		return fmt.Sprintf("DeviceState(%d)", int(d))
+	}
+}
+
+// Functional reports whether a device in this state can serve requests
+// without a wake-up transition.
+func (d DeviceState) Functional() bool { return d == D0 || d == D0i }
+
+// Powered reports whether the device still receives power in this state.
+func (d DeviceState) Powered() bool { return d != D3Cold }
+
+// StateProfile summarises the platform-level consequences of a sleep state.
+// It is consumed by the energy model and by the rack manager.
+type StateProfile struct {
+	State SleepState
+	// CPUOn indicates the CPU power domain is energised and executing.
+	CPUOn bool
+	// MemoryState is the D-state of the DRAM subsystem.
+	MemoryState DeviceState
+	// RemoteNICState is the D-state of the RDMA-capable NIC and the PCIe
+	// path from the NIC to the memory controller.
+	RemoteNICState DeviceState
+	// WakeNICOn indicates a management/Wake-on-LAN NIC remains powered.
+	WakeNICOn bool
+	// RemoteMemoryServing indicates one-sided remote memory access works.
+	RemoteMemoryServing bool
+}
+
+// Profile returns the canonical StateProfile of a sleep state.
+func Profile(s SleepState) StateProfile {
+	switch s {
+	case S0:
+		return StateProfile{State: s, CPUOn: true, MemoryState: D0, RemoteNICState: D0, WakeNICOn: true, RemoteMemoryServing: true}
+	case S1, S2:
+		return StateProfile{State: s, CPUOn: false, MemoryState: D0, RemoteNICState: D2, WakeNICOn: true}
+	case S3:
+		return StateProfile{State: s, CPUOn: false, MemoryState: D1, RemoteNICState: D3Hot, WakeNICOn: true}
+	case Sz:
+		return StateProfile{State: s, CPUOn: false, MemoryState: D0i, RemoteNICState: D0i, WakeNICOn: true, RemoteMemoryServing: true}
+	case S4:
+		return StateProfile{State: s, CPUOn: false, MemoryState: D3Cold, RemoteNICState: D3Hot, WakeNICOn: true}
+	case S5:
+		return StateProfile{State: s, CPUOn: false, MemoryState: D3Cold, RemoteNICState: D3Cold, WakeNICOn: true}
+	default:
+		return StateProfile{State: s, MemoryState: D3Cold, RemoteNICState: D3Cold}
+	}
+}
+
+// TransitionLatency describes how long entering and leaving a state takes, in
+// nanoseconds of simulated time. The numbers follow commonly reported
+// magnitudes (S3 resume a few seconds, S4/S5 tens of seconds, Sz ~ S3).
+type TransitionLatency struct {
+	Enter int64 // ns to go from S0 to the state
+	Exit  int64 // ns to resume from the state to S0
+}
+
+// Latency returns the canonical transition latency of a state.
+func Latency(s SleepState) TransitionLatency {
+	const (
+		ms = int64(1e6)
+		s1 = int64(1e9)
+	)
+	switch s {
+	case S0:
+		return TransitionLatency{}
+	case S1:
+		return TransitionLatency{Enter: 50 * ms, Exit: 100 * ms}
+	case S2:
+		return TransitionLatency{Enter: 100 * ms, Exit: 300 * ms}
+	case S3:
+		return TransitionLatency{Enter: 3 * s1, Exit: 4 * s1}
+	case Sz:
+		// Same path as S3; keeping the memory and NIC in active idle avoids
+		// the memory-controller retraining on exit, so resume is marginally
+		// faster than S3 resume.
+		return TransitionLatency{Enter: 3 * s1, Exit: 3 * s1}
+	case S4:
+		return TransitionLatency{Enter: 15 * s1, Exit: 30 * s1}
+	case S5:
+		return TransitionLatency{Enter: 10 * s1, Exit: 60 * s1}
+	default:
+		return TransitionLatency{Enter: 10 * s1, Exit: 60 * s1}
+	}
+}

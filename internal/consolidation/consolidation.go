@@ -1,0 +1,545 @@
+// Package consolidation implements the VM consolidation systems compared in
+// the paper's Section 6.6.2 (Figure 10):
+//
+//   - Neat: the OpenStack Neat consolidation loop (underload/overload
+//     detection, VM selection, placement, suspend freed hosts). Vanilla Neat
+//     only places a VM on a server that holds ALL the resources the VM booked,
+//     so memory-heavy fleets strand CPU.
+//   - Oasis: energy-oriented consolidation in which idle VMs are partially
+//     migrated (only their working set moves) and their remaining memory is
+//     relocated to a dedicated low-power memory server consuming about 40% of
+//     a regular server, letting the original host suspend.
+//   - ZombieStack: the paper's system. Placement only requires a fraction of
+//     the VM's memory locally (the rest is remote), freed servers are pushed
+//     into the Sz zombie state so their memory keeps serving the rack, and
+//     zombies with the fewest allocated buffers are woken first.
+//
+// Two views are provided: a fleet-level planner (Policy) used by the
+// datacenter simulator to reproduce Figure 10, and the step-wise Neat loop
+// (PlanSteps) used at rack level.
+package consolidation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/acpi"
+)
+
+// VMDemand is the consolidation-level view of one VM (one trace task).
+type VMDemand struct {
+	ID           string
+	BookedCPU    float64 // cores
+	BookedMemGiB float64
+	UsedCPU      float64
+	UsedMemGiB   float64
+}
+
+// Idle reports whether the VM is idle by the paper's criterion (CPU
+// utilization below 1% of a core).
+func (v VMDemand) Idle() bool { return v.UsedCPU < 0.01 }
+
+// WSSGiB estimates the VM's working set (the memory it actively uses).
+func (v VMDemand) WSSGiB() float64 { return v.UsedMemGiB }
+
+// ServerSpec describes one server model of the fleet.
+type ServerSpec struct {
+	Cores  float64
+	MemGiB float64
+}
+
+// DefaultServerSpec matches the paper's testbed machines (8 cores, 16 GiB).
+func DefaultServerSpec() ServerSpec { return ServerSpec{Cores: 8, MemGiB: 16} }
+
+// FleetPlan is the outcome of one consolidation epoch at fleet level: how
+// many servers are in each power state and how busy the active ones are.
+type FleetPlan struct {
+	// Policy names the algorithm that produced the plan.
+	Policy string
+	// ActiveHosts are servers in S0 running VMs.
+	ActiveHosts int
+	// ZombieHosts are servers in Sz lending their memory (ZombieStack only).
+	ZombieHosts int
+	// MemoryServers are Oasis low-power memory servers (Oasis only).
+	MemoryServers int
+	// SleepHosts are servers suspended to S3.
+	SleepHosts int
+	// ActiveCPUUtilization is the mean CPU utilization of the active hosts.
+	ActiveCPUUtilization float64
+	// RemoteMemoryGiB is the memory served remotely (zombie or memory server).
+	RemoteMemoryGiB float64
+}
+
+// TotalHosts returns the fleet size covered by the plan.
+func (p FleetPlan) TotalHosts() int {
+	return p.ActiveHosts + p.ZombieHosts + p.MemoryServers + p.SleepHosts
+}
+
+// Policy plans one consolidation epoch at fleet level.
+type Policy interface {
+	// Name identifies the policy in result tables.
+	Name() string
+	// Plan distributes the currently running VMs over totalServers servers of
+	// the given spec and decides every server's power state.
+	Plan(vms []VMDemand, spec ServerSpec, totalServers int) FleetPlan
+}
+
+// sumDemand returns the aggregate CPU (cores) and memory (GiB) demand, booked
+// and used.
+func sumDemand(vms []VMDemand) (bookedCPU, bookedMem, usedCPU, usedMem float64) {
+	for _, v := range vms {
+		bookedCPU += v.BookedCPU
+		bookedMem += v.BookedMemGiB
+		usedCPU += v.UsedCPU
+		usedMem += v.UsedMemGiB
+	}
+	return
+}
+
+// clampHosts bounds n to [0, total].
+func clampHosts(n, total int) int {
+	if n < 0 {
+		return 0
+	}
+	if n > total {
+		return total
+	}
+	return n
+}
+
+// NoConsolidation is the reference policy: every server stays in S0
+// regardless of load. Figure 10's "% energy saving" is computed against it.
+type NoConsolidation struct{}
+
+// Name implements Policy.
+func (NoConsolidation) Name() string { return "none" }
+
+// Plan implements Policy.
+func (NoConsolidation) Plan(vms []VMDemand, spec ServerSpec, totalServers int) FleetPlan {
+	_, _, usedCPU, _ := sumDemand(vms)
+	util := 0.0
+	if totalServers > 0 && spec.Cores > 0 {
+		util = usedCPU / (float64(totalServers) * spec.Cores)
+	}
+	if util > 1 {
+		util = 1
+	}
+	return FleetPlan{Policy: "none", ActiveHosts: totalServers, ActiveCPUUtilization: util}
+}
+
+// Neat packs VMs by their booked resources: a server must hold everything a
+// VM booked, so the number of active servers is driven by whichever resource
+// dimension saturates first (memory, for memory-heavy fleets). Freed servers
+// suspend to S3.
+type Neat struct {
+	// TargetUtilization caps how full Neat packs the active servers (QoS
+	// headroom); 0.9 by default.
+	TargetUtilization float64
+}
+
+// NewNeat returns Neat with its default packing target.
+func NewNeat() *Neat { return &Neat{TargetUtilization: 0.9} }
+
+// Name implements Policy.
+func (n *Neat) Name() string { return "neat" }
+
+// Plan implements Policy.
+func (n *Neat) Plan(vms []VMDemand, spec ServerSpec, totalServers int) FleetPlan {
+	target := n.TargetUtilization
+	if target <= 0 || target > 1 {
+		target = 0.9
+	}
+	bookedCPU, bookedMem, usedCPU, _ := sumDemand(vms)
+	cpuHosts := int(math.Ceil(bookedCPU / (spec.Cores * target)))
+	memHosts := int(math.Ceil(bookedMem / (spec.MemGiB * target)))
+	active := cpuHosts
+	if memHosts > active {
+		active = memHosts // memory is the binding dimension in the paper's fleets
+	}
+	if len(vms) > 0 && active < 1 {
+		active = 1
+	}
+	active = clampHosts(active, totalServers)
+	util := 0.0
+	if active > 0 {
+		util = usedCPU / (float64(active) * spec.Cores)
+		if util > 1 {
+			util = 1
+		}
+	}
+	return FleetPlan{
+		Policy:               n.Name(),
+		ActiveHosts:          active,
+		SleepHosts:           totalServers - active,
+		ActiveCPUUtilization: util,
+	}
+}
+
+// Oasis extends Neat: idle VMs are partially migrated, their non-working-set
+// memory relocated to dedicated low-power memory servers so that the servers
+// hosting only idle VMs can be suspended.
+type Oasis struct {
+	// TargetUtilization is the packing target for the active servers.
+	TargetUtilization float64
+	// MemoryServerPowerFraction is the power of one memory server relative to
+	// a regular server (the paper assumes about 40%); kept here so the energy
+	// model and the planner agree.
+	MemoryServerPowerFraction float64
+}
+
+// NewOasis returns Oasis with the paper's assumptions.
+func NewOasis() *Oasis {
+	return &Oasis{TargetUtilization: 0.9, MemoryServerPowerFraction: 0.4}
+}
+
+// Name implements Policy.
+func (o *Oasis) Name() string { return "oasis" }
+
+// Plan implements Policy.
+func (o *Oasis) Plan(vms []VMDemand, spec ServerSpec, totalServers int) FleetPlan {
+	target := o.TargetUtilization
+	if target <= 0 || target > 1 {
+		target = 0.9
+	}
+	// Split the fleet into busy and idle VMs.
+	var busy, idle []VMDemand
+	for _, v := range vms {
+		if v.Idle() {
+			idle = append(idle, v)
+		} else {
+			busy = append(busy, v)
+		}
+	}
+	busyCPU, busyMem, usedCPU, _ := sumDemand(busy)
+	// Busy VMs are packed like Neat (full reservations local).
+	cpuHosts := int(math.Ceil(busyCPU / (spec.Cores * target)))
+	memHosts := int(math.Ceil(busyMem / (spec.MemGiB * target)))
+	active := cpuHosts
+	if memHosts > active {
+		active = memHosts
+	}
+	if len(busy) > 0 && active < 1 {
+		active = 1
+	}
+	// Idle VMs keep only their working set on the active servers; the rest of
+	// their memory moves to memory servers.
+	var idleWSS, idleCold float64
+	for _, v := range idle {
+		idleWSS += v.WSSGiB()
+		idleCold += v.BookedMemGiB - v.WSSGiB()
+	}
+	// The working sets must still fit on active servers' memory.
+	extraForWSS := int(math.Ceil((busyMem + idleWSS) / (spec.MemGiB * target)))
+	if extraForWSS > active {
+		active = extraForWSS
+	}
+	memServers := 0
+	if idleCold > 0 {
+		memServers = int(math.Ceil(idleCold / spec.MemGiB))
+	}
+	active = clampHosts(active, totalServers)
+	memServers = clampHosts(memServers, totalServers-active)
+	util := 0.0
+	if active > 0 {
+		util = usedCPU / (float64(active) * spec.Cores)
+		if util > 1 {
+			util = 1
+		}
+	}
+	return FleetPlan{
+		Policy:               o.Name(),
+		ActiveHosts:          active,
+		MemoryServers:        memServers,
+		SleepHosts:           totalServers - active - memServers,
+		ActiveCPUUtilization: util,
+		RemoteMemoryGiB:      idleCold,
+	}
+}
+
+// ZombieStack packs VMs by CPU demand, keeping only LocalMemoryFraction of
+// each VM's memory on the active servers; the overflow memory is served by
+// zombie servers in Sz. Servers that are neither active nor needed as
+// zombies suspend to S3.
+type ZombieStack struct {
+	// TargetUtilization is the packing target for active servers.
+	TargetUtilization float64
+	// LocalMemoryFraction is the share of each VM's reserved memory that must
+	// be local (the 50% placement rule; consolidation tolerates down to the
+	// 30% WSS rule before waking a zombie).
+	LocalMemoryFraction float64
+	// WakeThresholdWSS is the fraction of a VM's WSS that must be available
+	// before re-using an active server instead of waking a zombie (Section
+	// 5.2 uses 30%).
+	WakeThresholdWSS float64
+}
+
+// NewZombieStack returns the policy with the paper's parameters.
+func NewZombieStack() *ZombieStack {
+	return &ZombieStack{TargetUtilization: 0.9, LocalMemoryFraction: 0.5, WakeThresholdWSS: 0.3}
+}
+
+// Name implements Policy.
+func (z *ZombieStack) Name() string { return "zombiestack" }
+
+// Plan implements Policy.
+func (z *ZombieStack) Plan(vms []VMDemand, spec ServerSpec, totalServers int) FleetPlan {
+	target := z.TargetUtilization
+	if target <= 0 || target > 1 {
+		target = 0.9
+	}
+	localFrac := z.LocalMemoryFraction
+	if localFrac <= 0 || localFrac > 1 {
+		localFrac = 0.5
+	}
+	bookedCPU, bookedMem, usedCPU, _ := sumDemand(vms)
+	// Active servers are sized by CPU demand and by the LOCAL part of the
+	// memory demand only.
+	cpuHosts := int(math.Ceil(bookedCPU / (spec.Cores * target)))
+	localMemHosts := int(math.Ceil(bookedMem * localFrac / (spec.MemGiB * target)))
+	active := cpuHosts
+	if localMemHosts > active {
+		active = localMemHosts
+	}
+	if len(vms) > 0 && active < 1 {
+		active = 1
+	}
+	active = clampHosts(active, totalServers)
+
+	// The remaining memory demand is served remotely: first from the active
+	// servers' own leftover memory, then from zombie servers.
+	remoteNeed := bookedMem - float64(active)*spec.MemGiB*target
+	if remoteNeed < 0 {
+		remoteNeed = 0
+	}
+	zombies := 0
+	if remoteNeed > 0 {
+		zombies = int(math.Ceil(remoteNeed / spec.MemGiB))
+	}
+	zombies = clampHosts(zombies, totalServers-active)
+	util := 0.0
+	if active > 0 {
+		util = usedCPU / (float64(active) * spec.Cores)
+		if util > 1 {
+			util = 1
+		}
+	}
+	return FleetPlan{
+		Policy:               z.Name(),
+		ActiveHosts:          active,
+		ZombieHosts:          zombies,
+		SleepHosts:           totalServers - active - zombies,
+		ActiveCPUUtilization: util,
+		RemoteMemoryGiB:      remoteNeed,
+	}
+}
+
+// SleepStateFor returns the ACPI state a policy uses for its non-active,
+// non-zombie servers (all three suspend to S3) and for its special servers.
+func SleepStateFor(policy string) acpi.SleepState {
+	switch policy {
+	case "zombiestack":
+		return acpi.Sz
+	default:
+		return acpi.S3
+	}
+}
+
+// AllPolicies returns the Figure 10 contenders plus the no-consolidation
+// reference, in presentation order.
+func AllPolicies() []Policy {
+	return []Policy{NoConsolidation{}, NewNeat(), NewOasis(), NewZombieStack()}
+}
+
+// PolicyByName returns the named policy.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range AllPolicies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("consolidation: unknown policy %q", name)
+}
+
+// --- Step-wise Neat loop (rack level) ---------------------------------------
+
+// HostLoad is the step-wise planner's view of one host.
+type HostLoad struct {
+	ID string
+	// CPUUtilization is used/total CPU (0..1).
+	CPUUtilization float64
+	// VMs currently placed on the host.
+	VMs []VMDemand
+	// FreeMemGiB is the host's free local memory.
+	FreeMemGiB float64
+	// Suspended reports whether the host is currently asleep.
+	Suspended bool
+}
+
+// StepPlan is the outcome of one pass of the Neat consolidation loop.
+type StepPlan struct {
+	// UnderloadedHosts should be emptied and suspended.
+	UnderloadedHosts []string
+	// OverloadedHosts need some VMs migrated away.
+	OverloadedHosts []string
+	// Migrations maps VM IDs to destination host IDs.
+	Migrations map[string]string
+	// Suspend lists hosts to suspend after their VMs leave.
+	Suspend []string
+	// Wake lists suspended hosts that must be woken to receive VMs.
+	Wake []string
+}
+
+// StepConfig parameterises the step-wise loop.
+type StepConfig struct {
+	// UnderloadThreshold marks a host underloaded (default 0.2, the paper's
+	// Oasis experiment uses 20%).
+	UnderloadThreshold float64
+	// OverloadThreshold marks a host overloaded (default 0.9).
+	OverloadThreshold float64
+	// ZombieAware relaxes the placement constraint to the 30%-of-WSS rule and
+	// suspends to Sz instead of S3.
+	ZombieAware bool
+	// WSSFraction is the fraction of a VM's WSS that must fit on the target
+	// (0.3 in Section 5.2) when ZombieAware.
+	WSSFraction float64
+}
+
+// DefaultStepConfig returns the thresholds used in the paper.
+func DefaultStepConfig(zombieAware bool) StepConfig {
+	return StepConfig{UnderloadThreshold: 0.2, OverloadThreshold: 0.9, ZombieAware: zombieAware, WSSFraction: 0.3}
+}
+
+// PlanSteps runs the four Neat steps over the current host loads: determine
+// underloaded hosts, determine overloaded hosts, select VMs to migrate, and
+// place them (waking suspended hosts when nothing else fits).
+func PlanSteps(hosts []HostLoad, cfg StepConfig) StepPlan {
+	if cfg.UnderloadThreshold <= 0 {
+		cfg.UnderloadThreshold = 0.2
+	}
+	if cfg.OverloadThreshold <= 0 || cfg.OverloadThreshold > 1 {
+		cfg.OverloadThreshold = 0.9
+	}
+	if cfg.WSSFraction <= 0 {
+		cfg.WSSFraction = 0.3
+	}
+	plan := StepPlan{Migrations: make(map[string]string)}
+
+	// Steps 1 and 2: classify hosts.
+	var under, over, normal []int
+	for i, h := range hosts {
+		if h.Suspended {
+			continue
+		}
+		switch {
+		case h.CPUUtilization < cfg.UnderloadThreshold:
+			under = append(under, i)
+			plan.UnderloadedHosts = append(plan.UnderloadedHosts, h.ID)
+		case h.CPUUtilization > cfg.OverloadThreshold:
+			over = append(over, i)
+			plan.OverloadedHosts = append(plan.OverloadedHosts, h.ID)
+		default:
+			normal = append(normal, i)
+		}
+	}
+
+	// Step 3: select VMs to migrate — all VMs of underloaded hosts, and the
+	// largest CPU consumers of overloaded hosts.
+	type pending struct {
+		vm   VMDemand
+		from int
+	}
+	var toMigrate []pending
+	for _, i := range under {
+		for _, v := range hosts[i].VMs {
+			toMigrate = append(toMigrate, pending{v, i})
+		}
+	}
+	for _, i := range over {
+		vms := append([]VMDemand(nil), hosts[i].VMs...)
+		sort.Slice(vms, func(a, b int) bool { return vms[a].UsedCPU > vms[b].UsedCPU })
+		if len(vms) > 0 {
+			toMigrate = append(toMigrate, pending{vms[0], i})
+		}
+	}
+
+	// Step 4: place the selected VMs on normal hosts; wake suspended hosts if
+	// nothing fits. Targets are chosen greedily by free memory.
+	free := make(map[int]float64, len(hosts))
+	for _, i := range normal {
+		free[i] = hosts[i].FreeMemGiB
+	}
+	wakeSet := map[string]bool{}
+	for _, p := range toMigrate {
+		need := p.vm.BookedMemGiB
+		if cfg.ZombieAware {
+			need = p.vm.WSSGiB() * cfg.WSSFraction
+		}
+		placed := false
+		// Deterministic target order: by index.
+		idxs := make([]int, 0, len(free))
+		for i := range free {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			if i == p.from {
+				continue
+			}
+			if free[i] >= need {
+				free[i] -= need
+				plan.Migrations[p.vm.ID] = hosts[i].ID
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Wake a suspended host (the zombie with the fewest allocated
+			// buffers in the real system; here the first suspended host).
+			for i, h := range hosts {
+				if h.Suspended && !wakeSet[h.ID] {
+					wakeSet[h.ID] = true
+					plan.Wake = append(plan.Wake, h.ID)
+					plan.Migrations[p.vm.ID] = h.ID
+					free[i] = hosts[i].FreeMemGiB - need
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			// The VM stays where it is; its source host cannot be suspended.
+			delete(plan.Migrations, p.vm.ID)
+			if p.from < len(hosts) {
+				for j, id := range plan.UnderloadedHosts {
+					if id == hosts[p.from].ID {
+						plan.UnderloadedHosts = append(plan.UnderloadedHosts[:j], plan.UnderloadedHosts[j+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Underloaded hosts whose every VM found a destination are suspended.
+	for _, i := range under {
+		allMoved := true
+		for _, v := range hosts[i].VMs {
+			if _, ok := plan.Migrations[v.ID]; !ok {
+				allMoved = false
+				break
+			}
+		}
+		stillListed := false
+		for _, id := range plan.UnderloadedHosts {
+			if id == hosts[i].ID {
+				stillListed = true
+				break
+			}
+		}
+		if allMoved && stillListed {
+			plan.Suspend = append(plan.Suspend, hosts[i].ID)
+		}
+	}
+	return plan
+}

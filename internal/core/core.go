@@ -1,0 +1,664 @@
+// Package core assembles the paper's full rack architecture (Figure 7): a set
+// of general-purpose servers connected by an RDMA fabric, a global memory
+// controller mirrored by a secondary controller, per-server remote memory
+// manager agents, ACPI platforms with the Sz zombie state, per-server energy
+// accounting, and the ZombieStack placement and paging machinery on top.
+//
+// The Rack type is the library's integration point: the public root package
+// re-exports it, the examples drive it, and the rack-level experiments
+// (Figure 8, Tables 1-2, Figure 9) run on top of it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/acpi"
+	"repro/internal/energy"
+	"repro/internal/hypervisor"
+	"repro/internal/memctl"
+	"repro/internal/pagepolicy"
+	"repro/internal/placement"
+	"repro/internal/rdma"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Errors returned by the rack.
+var (
+	ErrUnknownServer = errors.New("core: unknown server")
+	ErrUnknownVM     = errors.New("core: unknown VM")
+)
+
+// ServerRole mirrors the five roles of Figure 7.
+type ServerRole string
+
+// The server roles of the paper's architecture.
+const (
+	RoleController          ServerRole = "global-mem-ctr"
+	RoleSecondaryController ServerRole = "secondary-ctr"
+	RoleUser                ServerRole = "user"
+	RoleZombie              ServerRole = "zombie"
+	RoleActive              ServerRole = "active"
+)
+
+// Server is one general-purpose server of the rack.
+type Server struct {
+	Name string
+
+	Platform *acpi.Platform
+	Device   *rdma.Device
+	Agent    *memctl.Agent
+	Energy   *energy.Accumulator
+
+	role ServerRole
+	vms  map[string]*GuestVM
+}
+
+// Role returns the server's current role.
+func (s *Server) Role() ServerRole { return s.role }
+
+// State returns the server's ACPI state.
+func (s *Server) State() acpi.SleepState { return s.Platform.State() }
+
+// VMs returns the names of the VMs hosted on the server, sorted.
+func (s *Server) VMs() []string {
+	names := make([]string, 0, len(s.vms))
+	for n := range s.vms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GuestVM is a VM running on the rack with hypervisor-managed RAM Ext paging.
+type GuestVM struct {
+	Spec vm.VM
+	Host string
+
+	// Paging is the RAM Ext context; its Stats carry faults and time.
+	Paging *hypervisor.RAMExt
+	// LocalBytes and RemoteBytes describe the placement decision.
+	LocalBytes  int64
+	RemoteBytes int64
+	// buffers are the remote buffers backing the remote part.
+	buffers []*memctl.RemoteBuffer
+}
+
+// Config parameterises a Rack.
+type Config struct {
+	// Servers is the number of general-purpose servers (at least 1).
+	Servers int
+	// Board describes every server's hardware; DefaultBoardSpec if zero.
+	Board acpi.BoardSpec
+	// MachineProfile is the per-server power model; the HP profile if nil.
+	MachineProfile *energy.MachineProfile
+	// BufferSize is the rack-wide remote buffer size; memctl default if 0.
+	BufferSize int64
+	// HostReservedBytes is the memory each server keeps for itself (host OS,
+	// hypervisor); 1 GiB if 0.
+	HostReservedBytes int64
+	// CostModel is the RDMA fabric cost model; the default if zero.
+	CostModel rdma.CostModel
+}
+
+// Rack is the assembled system.
+type Rack struct {
+	mu sync.Mutex
+
+	cfg        Config
+	fabric     *rdma.Fabric
+	controller *memctl.GlobalController
+	secondary  *memctl.SecondaryController
+	scheduler  *placement.Scheduler
+	admission  *placement.AdmissionController
+
+	servers map[string]*Server
+	vms     map[string]*GuestVM
+
+	nowNs int64
+}
+
+// NewRack builds and wires a rack.
+func NewRack(cfg Config) (*Rack, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("core: a rack needs at least one server, got %d", cfg.Servers)
+	}
+	if cfg.Board == (acpi.BoardSpec{}) {
+		cfg.Board = acpi.DefaultBoardSpec()
+	}
+	if err := cfg.Board.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MachineProfile == nil {
+		cfg.MachineProfile = energy.HPProfile()
+	}
+	if err := cfg.MachineProfile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HostReservedBytes <= 0 {
+		cfg.HostReservedBytes = 1 << 30
+	}
+	if cfg.CostModel == (rdma.CostModel{}) {
+		cfg.CostModel = rdma.DefaultCostModel()
+	}
+
+	r := &Rack{
+		cfg:       cfg,
+		fabric:    rdma.NewFabric(cfg.CostModel),
+		secondary: memctl.NewSecondaryController(),
+		scheduler: placement.NewScheduler(),
+		servers:   make(map[string]*Server),
+		vms:       make(map[string]*GuestVM),
+	}
+	opts := []memctl.Option{memctl.WithMirror(r.secondary)}
+	if cfg.BufferSize > 0 {
+		opts = append(opts, memctl.WithBufferSize(cfg.BufferSize))
+	}
+	r.controller = memctl.NewGlobalController(opts...)
+	r.admission = placement.NewAdmissionController(0)
+
+	resolve := func(id memctl.ServerID) *rdma.Device {
+		s, ok := r.servers[string(id)]
+		if !ok {
+			return nil
+		}
+		return s.Device
+	}
+
+	for i := 0; i < cfg.Servers; i++ {
+		name := fmt.Sprintf("server-%02d", i)
+		platform, err := acpi.NewPlatform(cfg.Board)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := r.fabric.AttachDevice(name)
+		if err != nil {
+			return nil, err
+		}
+		agent, err := memctl.NewAgent(memctl.AgentConfig{
+			ID:            memctl.ServerID(name),
+			Controller:    r.controller,
+			Device:        dev,
+			TotalMem:      int64(cfg.Board.MemoryBytes),
+			ReservedMem:   cfg.HostReservedBytes,
+			ResolveDevice: resolve,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.servers[name] = &Server{
+			Name:     name,
+			Platform: platform,
+			Device:   dev,
+			Agent:    agent,
+			Energy:   energy.NewAccumulator(cfg.MachineProfile),
+			role:     RoleActive,
+			vms:      make(map[string]*GuestVM),
+		}
+	}
+	return r, nil
+}
+
+// Servers returns the server names, sorted.
+func (r *Rack) Servers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.servers))
+	for n := range r.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Server returns the named server.
+func (r *Rack) Server(name string) (*Server, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.servers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownServer, name)
+	}
+	return s, nil
+}
+
+// Controller exposes the global memory controller (for inspection).
+func (r *Rack) Controller() *memctl.GlobalController { return r.controller }
+
+// Secondary exposes the secondary controller.
+func (r *Rack) Secondary() *memctl.SecondaryController { return r.secondary }
+
+// Fabric exposes the RDMA fabric (for stats).
+func (r *Rack) Fabric() *rdma.Fabric { return r.fabric }
+
+// Now returns the rack's simulated clock.
+func (r *Rack) Now() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nowNs
+}
+
+// AdvanceClock moves simulated time forward on every server and the
+// controllers (heartbeats), integrating energy.
+func (r *Rack) AdvanceClock(deltaNs int64) {
+	if deltaNs <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nowNs += deltaNs
+	for _, s := range r.servers {
+		s.Platform.AdvanceClock(deltaNs)
+		s.Energy.AdvanceTo(r.nowNs)
+	}
+	r.secondary.Heartbeat(r.nowNs)
+}
+
+// FreeRemoteMemory returns the unallocated remote memory in the rack.
+func (r *Rack) FreeRemoteMemory() int64 { return r.controller.FreeMemory() }
+
+// PushToZombie suspends a server into the Sz state: its free memory is
+// delegated to the controller, the platform transitions to Sz, and the RDMA
+// device stops initiating but keeps serving one-sided operations.
+func (r *Rack) PushToZombie(name string) error {
+	r.mu.Lock()
+	s, ok := r.servers[name]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownServer, name)
+	}
+	if len(s.vms) > 0 {
+		return fmt.Errorf("core: server %s still hosts %d VMs", name, len(s.vms))
+	}
+	if err := s.Platform.CanEnter(acpi.Sz); err != nil {
+		return err
+	}
+	if _, err := s.Agent.DelegateAndGoZombie(); err != nil {
+		return err
+	}
+	if _, err := s.Platform.Suspend(acpi.Sz); err != nil {
+		return err
+	}
+	// The NIC can no longer initiate (its driver is suspended with the CPU)
+	// but the memory path keeps serving.
+	s.Device.SetUp(false)
+	s.Device.SetServing(true)
+	s.Energy.SetState(r.Now(), acpi.Sz)
+	r.mu.Lock()
+	s.role = RoleZombie
+	r.mu.Unlock()
+	r.syncAdmissionCapacity()
+	return nil
+}
+
+// Suspend suspends a server into a conventional sleep state (S3/S4/S5): its
+// memory becomes unreachable, so nothing is delegated.
+func (r *Rack) Suspend(name string, state acpi.SleepState) error {
+	r.mu.Lock()
+	s, ok := r.servers[name]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownServer, name)
+	}
+	if state == acpi.Sz {
+		return r.PushToZombie(name)
+	}
+	if len(s.vms) > 0 {
+		return fmt.Errorf("core: server %s still hosts %d VMs", name, len(s.vms))
+	}
+	if _, err := s.Platform.Suspend(state); err != nil {
+		return err
+	}
+	s.Device.SetUp(false)
+	s.Device.SetServing(false)
+	s.Energy.SetState(r.Now(), state)
+	r.mu.Lock()
+	s.role = RoleActive
+	r.mu.Unlock()
+	return nil
+}
+
+// Wake resumes a suspended or zombie server to S0 and reclaims its delegated
+// memory (all of it).
+func (r *Rack) Wake(name string) error {
+	r.mu.Lock()
+	s, ok := r.servers[name]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownServer, name)
+	}
+	if _, err := s.Platform.Wake(acpi.WakeLAN); err != nil {
+		return err
+	}
+	s.Device.SetUp(true)
+	s.Device.SetServing(true)
+	if _, err := s.Agent.WakeAndReclaim(-1); err != nil {
+		return err
+	}
+	s.Energy.SetState(r.Now(), acpi.S0)
+	r.mu.Lock()
+	s.role = RoleActive
+	r.mu.Unlock()
+	r.syncAdmissionCapacity()
+	return nil
+}
+
+// LRUZombie returns the zombie server with the fewest allocated buffers (the
+// cheapest to wake), per GS_get_lru_zombie().
+func (r *Rack) LRUZombie() (string, error) {
+	id, err := r.controller.LRUZombie()
+	return string(id), err
+}
+
+// syncAdmissionCapacity aligns the admission controller with the rack's
+// delegatable memory.
+func (r *Rack) syncAdmissionCapacity() {
+	r.admission.SetCapacity(r.controller.FreeMemory() + r.admission.Committed())
+}
+
+// placementHosts builds the scheduler's host view.
+func (r *Rack) placementHosts() []placement.Host {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.servers))
+	for n := range r.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	hosts := make([]placement.Host, 0, len(names))
+	for _, n := range names {
+		s := r.servers[n]
+		var usedCPU int
+		var usedMem int64
+		for _, g := range s.vms {
+			usedCPU += g.Spec.VCPUs
+			usedMem += g.LocalBytes
+		}
+		hosts = append(hosts, placement.Host{
+			ID:          placement.HostID(n),
+			TotalCPUs:   r.cfg.Board.TotalCores(),
+			UsedCPUs:    usedCPU,
+			TotalMemory: int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - lentBytes(s),
+			UsedMemory:  usedMem,
+			PoweredOn:   s.Platform.State() == acpi.S0,
+		})
+	}
+	return hosts
+}
+
+// lentBytes returns the memory the server has delegated to the rack.
+func lentBytes(s *Server) int64 {
+	return int64(s.Agent.ServedBuffers()) * memctl.DefaultBufferSize
+}
+
+// CreateVMOptions tunes VM creation.
+type CreateVMOptions struct {
+	// Policy is the page replacement policy; Mixed when nil.
+	Policy pagepolicy.Policy
+	// Strategy is the placement strategy; stacking by default.
+	Strategy placement.Strategy
+	// SimPages caps the simulated page count of the paging context.
+	SimPages int
+}
+
+// CreateVM places a VM on the rack, allocating its remote memory (if any)
+// with the guaranteed GS_alloc_ext path, and builds the hypervisor paging
+// context for it.
+func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if _, dup := r.vms[spec.ID]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("core: VM %s already exists", spec.ID)
+	}
+	r.mu.Unlock()
+
+	r.syncAdmissionCapacity()
+	hosts := r.placementHosts()
+	decision, err := r.scheduler.Place(hosts, placement.Request{
+		VM:                    spec,
+		RemoteMemoryAvailable: r.admission.Available(),
+		Strategy:              opts.Strategy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if decision.RemoteBytes > 0 {
+		if err := r.admission.Admit(decision.RemoteBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	r.mu.Lock()
+	host := r.servers[string(decision.Host)]
+	r.mu.Unlock()
+
+	guest := &GuestVM{Spec: spec, Host: host.Name, LocalBytes: decision.LocalBytes, RemoteBytes: decision.RemoteBytes}
+
+	// Allocate the remote part through the host's agent.
+	if decision.RemoteBytes > 0 {
+		buffers, err := host.Agent.RequestExt(decision.RemoteBytes)
+		if err != nil {
+			r.admission.Release(decision.RemoteBytes)
+			return nil, err
+		}
+		guest.buffers = buffers
+	}
+
+	// Build the paging context. The page count is scaled for tractability;
+	// the local fraction of the placement decision is preserved.
+	simPages := opts.SimPages
+	if simPages <= 0 {
+		simPages = workload.DefaultSimPages
+	}
+	totalPages := spec.ReservedPages()
+	if totalPages > simPages {
+		totalPages = simPages
+	}
+	localFrac := float64(decision.LocalBytes) / float64(spec.ReservedBytes)
+	localFrames := int(float64(totalPages) * localFrac)
+	if localFrames < 1 {
+		localFrames = 1
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = pagepolicy.NewMixed(pagepolicy.DefaultCost(), pagepolicy.DefaultMixedWindow)
+	}
+	var store hypervisor.RemoteStore
+	if localFrames < totalPages {
+		store = newBufferStore(guest.buffers, totalPages-localFrames)
+	}
+	paging, err := hypervisor.NewRAMExt(hypervisor.Config{
+		Pages:       totalPages,
+		LocalFrames: localFrames,
+		Policy:      policy,
+		Remote:      store,
+	})
+	if err != nil {
+		if guest.buffers != nil {
+			_ = host.Agent.ReleaseBuffers(guest.buffers)
+			r.admission.Release(decision.RemoteBytes)
+		}
+		return nil, err
+	}
+	guest.Paging = paging
+
+	r.mu.Lock()
+	host.vms[spec.ID] = guest
+	r.vms[spec.ID] = guest
+	r.mu.Unlock()
+
+	// Hosting VMs makes the server a user of remote memory (or plainly
+	// active); update utilization for energy accounting.
+	r.mu.Lock()
+	if decision.RemoteBytes > 0 {
+		host.role = RoleUser
+	}
+	util := float64(len(host.vms)) * float64(spec.VCPUs) / float64(r.cfg.Board.TotalCores())
+	if util > 1 {
+		util = 1
+	}
+	r.mu.Unlock()
+	host.Energy.SetUtilization(r.Now(), util)
+	return guest, nil
+}
+
+// DestroyVM removes a VM and releases its remote memory.
+func (r *Rack) DestroyVM(id string) error {
+	r.mu.Lock()
+	guest, ok := r.vms[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownVM, id)
+	}
+	host := r.servers[guest.Host]
+	delete(r.vms, id)
+	delete(host.vms, id)
+	r.mu.Unlock()
+
+	if len(guest.buffers) > 0 {
+		if err := host.Agent.ReleaseBuffers(guest.buffers); err != nil {
+			return err
+		}
+		r.admission.Release(guest.RemoteBytes)
+	}
+	return nil
+}
+
+// VM returns a VM by name.
+func (r *Rack) VM(id string) (*GuestVM, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.vms[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVM, id)
+	}
+	return g, nil
+}
+
+// VMs returns the names of every VM on the rack, sorted.
+func (r *Rack) VMs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.vms))
+	for n := range r.vms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunWorkload replays a workload stream against a VM's paging context and
+// returns the accumulated paging statistics.
+func (r *Rack) RunWorkload(vmID string, kind workload.Kind, iterations int, seed int64) (hypervisor.Stats, error) {
+	guest, err := r.VM(vmID)
+	if err != nil {
+		return hypervisor.Stats{}, err
+	}
+	stream, err := workload.NewStream(workload.ProfileOf(kind), guest.Paging.Pages(), iterations, seed)
+	if err != nil {
+		return hypervisor.Stats{}, err
+	}
+	for {
+		a, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if _, err := guest.Paging.Access(a.Page, a.Write); err != nil {
+			return guest.Paging.Stats(), err
+		}
+	}
+	return guest.Paging.Stats(), nil
+}
+
+// EnergyReport summarises per-server energy consumption.
+type EnergyReport struct {
+	Server string
+	State  acpi.SleepState
+	Joules float64
+}
+
+// EnergyReportAll returns the energy report of every server, sorted by name.
+func (r *Rack) EnergyReportAll() []EnergyReport {
+	names := r.Servers()
+	out := make([]EnergyReport, 0, len(names))
+	for _, n := range names {
+		r.mu.Lock()
+		s := r.servers[n]
+		r.mu.Unlock()
+		out = append(out, EnergyReport{Server: n, State: s.Platform.State(), Joules: s.Energy.Joules()})
+	}
+	return out
+}
+
+// TotalEnergyJoules sums the rack's energy consumption.
+func (r *Rack) TotalEnergyJoules() float64 {
+	var total float64
+	for _, rep := range r.EnergyReportAll() {
+		total += rep.Joules
+	}
+	return total
+}
+
+// bufferStore adapts a set of memctl remote buffers into the hypervisor's
+// page-granular RemoteStore. Pages are spread across the buffers so that a
+// single remote server failure affects only part of a VM's remote memory.
+type bufferStore struct {
+	buffers []*memctl.RemoteBuffer
+	slots   int
+	perBuf  int
+}
+
+// newBufferStore sizes a store of at least minSlots pages over the buffers.
+func newBufferStore(buffers []*memctl.RemoteBuffer, minSlots int) *bufferStore {
+	if len(buffers) == 0 {
+		return &bufferStore{}
+	}
+	pageSize := int64(vm.DefaultPageSize)
+	perBuf := int(buffers[0].Size / pageSize)
+	slots := perBuf * len(buffers)
+	if slots < minSlots {
+		slots = minSlots // the RAMExt constructor will reject it explicitly
+	}
+	return &bufferStore{buffers: buffers, slots: slots, perBuf: perBuf}
+}
+
+// Slots implements hypervisor.RemoteStore.
+func (b *bufferStore) Slots() int { return b.slots }
+
+// locate maps a slot to (buffer, offset), striping across buffers.
+func (b *bufferStore) locate(slot int) (*memctl.RemoteBuffer, int64, error) {
+	if len(b.buffers) == 0 {
+		return nil, 0, fmt.Errorf("core: no remote buffers")
+	}
+	buf := b.buffers[slot%len(b.buffers)]
+	idx := slot / len(b.buffers)
+	off := int64(idx) * int64(vm.DefaultPageSize)
+	if off+int64(vm.DefaultPageSize) > buf.Size {
+		return nil, 0, fmt.Errorf("core: slot %d outside buffer capacity", slot)
+	}
+	return buf, off, nil
+}
+
+// WritePage implements hypervisor.RemoteStore with a one-sided RDMA WRITE.
+func (b *bufferStore) WritePage(slot int, page []byte) (int64, error) {
+	buf, off, err := b.locate(slot)
+	if err != nil {
+		return 0, err
+	}
+	return buf.WriteRemote(off, page)
+}
+
+// ReadPage implements hypervisor.RemoteStore with a one-sided RDMA READ.
+func (b *bufferStore) ReadPage(slot int, dst []byte) (int64, error) {
+	buf, off, err := b.locate(slot)
+	if err != nil {
+		return 0, err
+	}
+	return buf.ReadRemote(off, dst)
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/acpi"
+	"repro/internal/memctl"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func TestMigrateVMZombieStackProtocol(t *testing.T) {
+	r := testRack(t, 3)
+	if err := r.PushToZombie("server-02"); err != nil {
+		t.Fatal(err)
+	}
+	// A VM that needs remote memory (1.5 GiB on 896 MiB-free hosts).
+	spec := vm.New("mig", 3<<29, 1<<30)
+	guest, err := r.CreateVM(spec, CreateVMOptions{SimPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guest.RemoteBytes == 0 {
+		t.Fatal("the test VM should have remote memory")
+	}
+	srcHost := guest.Host
+	dest := "server-01"
+	if srcHost == dest {
+		dest = "server-00"
+	}
+	buffersBefore := len(r.Controller().BuffersServedBy(memctl.ServerID("server-02")))
+
+	res, err := r.MigrateVM("mig", dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "zombiestack" {
+		t.Errorf("protocol = %q", res.Protocol)
+	}
+	// Only the hot local part is copied: strictly less than the reservation.
+	if res.BytesTransferred >= spec.ReservedBytes {
+		t.Errorf("migration copied %d bytes, should copy only the local hot part", res.BytesTransferred)
+	}
+	if res.RemoteOwnershipUpdates == 0 {
+		t.Error("remote buffers should be re-pointed")
+	}
+	// The VM now lives on the destination; its remote buffers did not move.
+	moved, err := r.VM("mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Host != dest {
+		t.Errorf("VM host = %s, want %s", moved.Host, dest)
+	}
+	if got := len(r.Controller().BuffersOf(memctl.ServerID(dest))); got == 0 {
+		t.Error("the destination should own the VM's remote buffers after migration")
+	}
+	if got := len(r.Controller().BuffersOf(memctl.ServerID(srcHost))); got != 0 {
+		t.Errorf("the source still owns %d buffers", got)
+	}
+	if got := len(r.Controller().BuffersServedBy(memctl.ServerID("server-02"))); got != buffersBefore {
+		t.Errorf("the zombie's served buffers changed across migration (%d -> %d): data must not move", buffersBefore, got)
+	}
+	// The migration advanced the simulated clock by its duration.
+	if r.Now() == 0 {
+		t.Error("migration should consume simulated time")
+	}
+	// Workloads keep running on the destination.
+	if _, err := r.RunWorkload("mig", workload.SparkSQL, 1, 5); err != nil {
+		t.Fatalf("workload after migration: %v", err)
+	}
+}
+
+func TestMigrateVMValidation(t *testing.T) {
+	r := testRack(t, 2)
+	if _, err := r.MigrateVM("ghost", "server-01"); err == nil {
+		t.Error("unknown VM should fail")
+	}
+	spec := vm.New("v", 256<<20, 128<<20)
+	g, err := r.CreateVM(spec, CreateVMOptions{SimPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MigrateVM("v", "nope"); err == nil {
+		t.Error("unknown destination should fail")
+	}
+	if _, err := r.MigrateVM("v", g.Host); err == nil {
+		t.Error("migrating to the current host should fail")
+	}
+	// A suspended destination is rejected.
+	other := "server-00"
+	if g.Host == "server-00" {
+		other = "server-01"
+	}
+	if err := r.Suspend(other, acpi.S3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.MigrateVM("v", other); err == nil {
+		t.Error("suspended destination should fail")
+	}
+}
+
+func TestMigrateVMCapacityCheck(t *testing.T) {
+	r := testRack(t, 2)
+	// Fill the destination with a large VM, then try to migrate another
+	// large VM onto it.
+	a, err := r.CreateVM(vm.New("a", 512<<20, 256<<20), CreateVMOptions{SimPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bHost := "server-00"
+	if a.Host == "server-00" {
+		bHost = "server-01"
+	}
+	_ = bHost
+	b, err := r.CreateVM(vm.New("b", 512<<20, 256<<20), CreateVMOptions{SimPages: 128, Strategy: 1 /* spreading */})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Host == b.Host {
+		t.Skip("placement stacked both VMs; capacity check not exercisable")
+	}
+	// b's host has 896 MiB usable and already hosts b's 512 MiB; migrating
+	// a's 512 MiB of local memory there must fail the capacity check.
+	if _, err := r.MigrateVM("a", b.Host); err == nil {
+		t.Fatal("migration beyond the destination's local memory should fail")
+	}
+}
+
+func TestConsolidateOncePushesIdleHostsToZombie(t *testing.T) {
+	r := testRack(t, 4)
+	// One small VM on a stacked host; the remaining hosts are idle.
+	if _, err := r.CreateVM(vm.New("only", 256<<20, 128<<20), CreateVMOptions{SimPages: 128}); err != nil {
+		t.Fatal(err)
+	}
+	report, err := r.ConsolidateOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completely idle hosts have no VMs to migrate, so they are classified
+	// underloaded and suspended into Sz.
+	if len(report.PushedToZombie) == 0 {
+		t.Fatalf("consolidation should park idle hosts in Sz, report=%+v", report)
+	}
+	for _, name := range report.PushedToZombie {
+		s, _ := r.Server(name)
+		if s.State() != acpi.Sz {
+			t.Errorf("%s state = %v, want Sz", name, s.State())
+		}
+	}
+	// The rack now has remote memory available from the zombies.
+	if r.FreeRemoteMemory() == 0 {
+		t.Error("zombie hosts should have delegated their memory")
+	}
+	// A second pass is idempotent enough not to error.
+	if _, err := r.ConsolidateOnce(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsolidateOnceMigratesFromUnderloadedHost(t *testing.T) {
+	r := testRack(t, 3)
+	// Two VMs on two different hosts (spreading), each lightly loaded: the
+	// consolidation pass should co-locate them and free a host.
+	a, err := r.CreateVM(vm.New("a", 256<<20, 64<<20), CreateVMOptions{SimPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.CreateVM(vm.New("b", 256<<20, 64<<20), CreateVMOptions{SimPages: 128, Strategy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Host == b.Host {
+		t.Skip("spreading placed both VMs together; nothing to consolidate")
+	}
+	report, err := r.ConsolidateOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Underloaded) == 0 {
+		t.Error("both hosts are underloaded")
+	}
+	if len(report.Migrated)+len(report.PushedToZombie) == 0 {
+		t.Errorf("consolidation should have acted, report=%+v", report)
+	}
+}
+
+func TestFailoverController(t *testing.T) {
+	r := testRack(t, 3)
+	if err := r.PushToZombie("server-02"); err != nil {
+		t.Fatal(err)
+	}
+	// While the rack heartbeats, fail-over is refused.
+	r.AdvanceClock(1e9)
+	if _, err := r.FailoverController(r.Now()); err == nil {
+		t.Fatal("fail-over should be refused while the primary heartbeats")
+	}
+	// Silence the primary for longer than the heartbeat timeout: the
+	// secondary promotes itself and rebuilds the state.
+	rebuilt, err := r.FailoverController(r.Now() + 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Secondary().Promoted() {
+		t.Error("secondary should be promoted")
+	}
+	if rebuilt != r.Controller() {
+		t.Error("the rack should now use the rebuilt controller")
+	}
+	if len(rebuilt.Servers()) != 3 {
+		t.Errorf("rebuilt controller knows %d servers, want 3", len(rebuilt.Servers()))
+	}
+	if role, _ := rebuilt.Role(memctl.ServerID("server-02")); role != memctl.RoleZombie {
+		t.Errorf("rebuilt role of server-02 = %v, want zombie", role)
+	}
+	if rebuilt.FreeMemory() == 0 {
+		t.Error("the rebuilt controller should know about the zombie's lent memory")
+	}
+}

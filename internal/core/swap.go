@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memctl"
+	"repro/internal/swapdev"
+	"repro/internal/vm"
+)
+
+// This file implements the rack-level Explicit SD function (Section 4.5): a
+// swap device exposed to a VM whose slots are backed by remote memory buffers
+// allocated best-effort through GS_alloc_swap. Swap-outs are one-sided RDMA
+// writes to the zombie (or active) server holding the buffer, and every write
+// is also mirrored asynchronously to local storage so the data survives a
+// reclaim of the remote memory (the split-driver model's fault-tolerance
+// path).
+
+// RemoteSwapDevice is a swapdev.Device backed by remote memory buffers.
+type RemoteSwapDevice struct {
+	mu sync.Mutex
+
+	rack    *Rack
+	host    *Server
+	buffers []*memctl.RemoteBuffer
+	mirror  *swapdev.Mirror
+
+	slots      int
+	perBuffer  int
+	reclaimed  bool
+	stats      swapdev.Stats
+	slotInUse  []bool
+	mirrorOnly []bool // slot served from the local mirror after a reclaim
+}
+
+var _ swapdev.Device = (*RemoteSwapDevice)(nil)
+
+// CreateSwapDevice allocates a best-effort remote swap device of up to
+// requestBytes for the named host (the paper's GS_alloc_swap path). The
+// returned device may be smaller than requested when the rack has little
+// free remote memory; it is nil (with no error) when none is available.
+func (r *Rack) CreateSwapDevice(hostName string, requestBytes int64) (*RemoteSwapDevice, error) {
+	host, err := r.Server(hostName)
+	if err != nil {
+		return nil, err
+	}
+	if requestBytes <= 0 {
+		return nil, fmt.Errorf("core: swap device needs a positive size")
+	}
+	buffers, err := host.Agent.RequestSwap(requestBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(buffers) == 0 {
+		return nil, nil
+	}
+	perBuffer := int(buffers[0].Size / int64(vm.DefaultPageSize))
+	slots := perBuffer * len(buffers)
+	localMirror, err := swapdev.New(swapdev.LocalHDD, slots)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteSwapDevice{
+		rack:       r,
+		host:       host,
+		buffers:    buffers,
+		mirror:     swapdev.NewMirror(localMirror),
+		slots:      slots,
+		perBuffer:  perBuffer,
+		slotInUse:  make([]bool, slots),
+		mirrorOnly: make([]bool, slots),
+	}, nil
+}
+
+// Kind implements swapdev.Device.
+func (d *RemoteSwapDevice) Kind() swapdev.Kind { return swapdev.RemoteRAM }
+
+// Slots implements swapdev.Device.
+func (d *RemoteSwapDevice) Slots() int { return d.slots }
+
+// Buffers returns the number of remote buffers backing the device.
+func (d *RemoteSwapDevice) Buffers() int { return len(d.buffers) }
+
+// locate maps a slot to its backing buffer and offset, striping across the
+// buffers so a single remote server failure only affects part of the device.
+func (d *RemoteSwapDevice) locate(slot int) (*memctl.RemoteBuffer, int64, error) {
+	if slot < 0 || slot >= d.slots {
+		return nil, 0, swapdev.ErrSlotOutOfRange
+	}
+	buf := d.buffers[slot%len(d.buffers)]
+	off := int64(slot/len(d.buffers)) * int64(vm.DefaultPageSize)
+	return buf, off, nil
+}
+
+// SwapOut implements swapdev.Device: a one-sided RDMA write to the remote
+// buffer plus an asynchronous local mirror write.
+func (d *RemoteSwapDevice) SwapOut(slot int, page []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(page) > swapdev.PageSize {
+		return 0, fmt.Errorf("core: page of %d bytes exceeds %d", len(page), swapdev.PageSize)
+	}
+	buf, off, err := d.locate(slot)
+	if err != nil {
+		return 0, err
+	}
+	var lat int64
+	if d.reclaimed || d.mirrorOnly[slot] {
+		// The remote memory was reclaimed: fall back to the local mirror only.
+		d.mirrorOnly[slot] = true
+		lat = swapdev.LatencyOf(swapdev.LocalHDD).WriteNs
+	} else {
+		lat, err = buf.WriteRemote(off, page)
+		if err != nil {
+			return 0, err
+		}
+	}
+	d.mirror.WriteAsync(uint64(slot), page)
+	d.slotInUse[slot] = true
+	d.stats.SwapOuts++
+	d.stats.BytesWritten += uint64(len(page))
+	d.stats.TotalNs += lat
+	return lat, nil
+}
+
+// SwapIn implements swapdev.Device: a one-sided RDMA read, or the slow local
+// mirror path when the remote copy has been reclaimed.
+func (d *RemoteSwapDevice) SwapIn(slot int, dst []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	buf, off, err := d.locate(slot)
+	if err != nil {
+		return 0, err
+	}
+	if !d.slotInUse[slot] {
+		return 0, swapdev.ErrEmptySlot
+	}
+	var lat int64
+	if d.reclaimed || d.mirrorOnly[slot] {
+		lat, err = d.mirror.Recover(uint64(slot), dst)
+	} else {
+		lat, err = buf.ReadRemote(off, dst)
+	}
+	if err != nil {
+		return 0, err
+	}
+	d.stats.SwapIns++
+	d.stats.BytesRead += uint64(len(dst))
+	d.stats.TotalNs += lat
+	return lat, nil
+}
+
+// Free implements swapdev.Device.
+func (d *RemoteSwapDevice) Free(slot int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if slot >= 0 && slot < d.slots {
+		d.slotInUse[slot] = false
+		d.mirrorOnly[slot] = false
+	}
+}
+
+// Stats implements swapdev.Device.
+func (d *RemoteSwapDevice) Stats() swapdev.Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// MirrorWrites returns the number of asynchronous local mirror writes.
+func (d *RemoteSwapDevice) MirrorWrites() uint64 { return d.mirror.Writes() }
+
+// MarkReclaimed switches the device to its degraded mode: the remote memory
+// has been taken back (US_reclaim), so swapped pages are served from the
+// local mirror until the device is released. The paper's design keeps the VM
+// running — slower, but correct.
+func (d *RemoteSwapDevice) MarkReclaimed() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reclaimed = true
+}
+
+// Reclaimed reports whether the device is running on its local mirror.
+func (d *RemoteSwapDevice) Reclaimed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reclaimed
+}
+
+// Release returns the device's remote buffers to the rack.
+func (d *RemoteSwapDevice) Release() error {
+	d.mu.Lock()
+	buffers := d.buffers
+	d.buffers = nil
+	d.reclaimed = true
+	d.mu.Unlock()
+	if len(buffers) == 0 {
+		return nil
+	}
+	return d.host.Agent.ReleaseBuffers(buffers)
+}

@@ -1,0 +1,228 @@
+// Package dcsim is the large-scale datacenter simulator of Section 6.6.2: it
+// replays a (Google-like) task trace against a server fleet, runs a
+// consolidation policy at a fixed period, and integrates the fleet's energy
+// using the per-state power model of internal/energy. The output is the
+// energy saving relative to the no-consolidation baseline, which is what
+// Figure 10 reports for Neat, Oasis and ZombieStack on HP and Dell servers.
+package dcsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/acpi"
+	"repro/internal/consolidation"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Trace is the workload to replay.
+	Trace *trace.Trace
+	// Policy is the consolidation policy under test.
+	Policy consolidation.Policy
+	// Machine is the power profile of every server in the fleet.
+	Machine *energy.MachineProfile
+	// ServerSpec is the capacity of every server.
+	ServerSpec consolidation.ServerSpec
+	// ConsolidationPeriodSec is how often the policy re-plans (OpenStack Neat
+	// style periodic consolidation); 300 s by default.
+	ConsolidationPeriodSec int64
+	// OasisMemoryServerFraction is the relative power of an Oasis memory
+	// server (0.4 per the paper) — only used when the policy plans them.
+	OasisMemoryServerFraction float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Trace == nil {
+		return fmt.Errorf("dcsim: a trace is required")
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("dcsim: a consolidation policy is required")
+	}
+	if c.Machine == nil {
+		return fmt.Errorf("dcsim: a machine power profile is required")
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.ServerSpec.Cores <= 0 || c.ServerSpec.MemGiB <= 0 {
+		return fmt.Errorf("dcsim: server spec needs positive capacity")
+	}
+	return nil
+}
+
+// applyDefaults fills optional fields.
+func (c *Config) applyDefaults() {
+	if c.ConsolidationPeriodSec <= 0 {
+		c.ConsolidationPeriodSec = 300
+	}
+	if c.OasisMemoryServerFraction <= 0 {
+		c.OasisMemoryServerFraction = 0.4
+	}
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Policy  string
+	Machine string
+	Trace   string
+	// EnergyJoules is the fleet energy over the trace horizon.
+	EnergyJoules float64
+	// BaselineJoules is the no-consolidation fleet energy over the same
+	// horizon (all servers in S0).
+	BaselineJoules float64
+	// SavingPercent is the Figure 10 metric: 100*(1 - Energy/Baseline).
+	SavingPercent float64
+	// MeanActiveHosts is the time-weighted mean number of S0 servers.
+	MeanActiveHosts float64
+	// MeanZombieHosts is the time-weighted mean number of Sz servers.
+	MeanZombieHosts float64
+	// MeanSleepHosts is the time-weighted mean number of S3 servers.
+	MeanSleepHosts float64
+	// MeanActiveUtilization is the time-weighted mean CPU utilization of the
+	// active servers.
+	MeanActiveUtilization float64
+	// Epochs is the number of consolidation periods simulated.
+	Epochs int
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg.applyDefaults()
+	tr := cfg.Trace
+	total := tr.Machines
+	period := cfg.ConsolidationPeriodSec
+
+	// Index task start/end events by epoch for efficient replay.
+	running := make(map[int]trace.Task)
+	byStart := append([]trace.Task(nil), tr.Tasks...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].StartSec < byStart[j].StartSec })
+	next := 0
+
+	res := Result{Policy: cfg.Policy.Name(), Machine: cfg.Machine.Name, Trace: tr.Name}
+	var horizonSec float64
+
+	for epochStart := int64(0); epochStart < tr.HorizonSec; epochStart += period {
+		epochEnd := epochStart + period
+		if epochEnd > tr.HorizonSec {
+			epochEnd = tr.HorizonSec
+		}
+		// Admit tasks starting before the epoch end, retire finished ones.
+		for next < len(byStart) && byStart[next].StartSec < epochEnd {
+			running[byStart[next].ID] = byStart[next]
+			next++
+		}
+		for id, t := range running {
+			if t.EndSec <= epochStart {
+				delete(running, id)
+			}
+		}
+
+		// Build the VM population of this epoch.
+		vms := make([]consolidation.VMDemand, 0, len(running))
+		for _, t := range running {
+			vms = append(vms, consolidation.VMDemand{
+				ID:           fmt.Sprintf("task-%d", t.ID),
+				BookedCPU:    t.BookedCPU,
+				BookedMemGiB: t.BookedMemGiB,
+				UsedCPU:      t.UsedCPU,
+				UsedMemGiB:   t.UsedMemGiB,
+			})
+		}
+		sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+
+		plan := cfg.Policy.Plan(vms, cfg.ServerSpec, total)
+		dt := float64(epochEnd - epochStart)
+		horizonSec += dt
+
+		// Integrate the fleet power over the epoch.
+		res.EnergyJoules += fleetPower(cfg, plan) * dt
+		res.BaselineJoules += baselinePower(cfg, vms, total) * dt
+
+		res.MeanActiveHosts += float64(plan.ActiveHosts) * dt
+		res.MeanZombieHosts += float64(plan.ZombieHosts) * dt
+		res.MeanSleepHosts += float64(plan.SleepHosts) * dt
+		res.MeanActiveUtilization += plan.ActiveCPUUtilization * dt
+		res.Epochs++
+	}
+
+	if horizonSec > 0 {
+		res.MeanActiveHosts /= horizonSec
+		res.MeanZombieHosts /= horizonSec
+		res.MeanSleepHosts /= horizonSec
+		res.MeanActiveUtilization /= horizonSec
+	}
+	if res.BaselineJoules > 0 {
+		res.SavingPercent = 100 * (1 - res.EnergyJoules/res.BaselineJoules)
+	}
+	return res, nil
+}
+
+// fleetPower returns the fleet's power (watts) under a consolidation plan.
+func fleetPower(cfg Config, plan consolidation.FleetPlan) float64 {
+	m := cfg.Machine
+	p := float64(plan.ActiveHosts) * m.PowerWatts(acpi.S0, plan.ActiveCPUUtilization)
+	p += float64(plan.ZombieHosts) * m.PowerWatts(acpi.Sz, 0)
+	p += float64(plan.MemoryServers) * cfg.OasisMemoryServerFraction * m.MaxPowerWatts
+	p += float64(plan.SleepHosts) * m.PowerWatts(acpi.S3, 0)
+	return p
+}
+
+// baselinePower returns the fleet's power without consolidation: every server
+// stays in S0 and the load spreads across the whole fleet.
+func baselinePower(cfg Config, vms []consolidation.VMDemand, totalServers int) float64 {
+	var usedCPU float64
+	for _, v := range vms {
+		usedCPU += v.UsedCPU
+	}
+	util := 0.0
+	if totalServers > 0 && cfg.ServerSpec.Cores > 0 {
+		util = usedCPU / (float64(totalServers) * cfg.ServerSpec.Cores)
+		if util > 1 {
+			util = 1
+		}
+	}
+	return float64(totalServers) * cfg.Machine.PowerWatts(acpi.S0, util)
+}
+
+// Comparison is the Figure 10 experiment: every policy on every machine
+// profile for one trace.
+type Comparison struct {
+	Trace   string
+	Results []Result
+}
+
+// Compare runs Neat, Oasis and ZombieStack (plus the baseline used for the
+// saving computation) on the trace for each machine profile.
+func Compare(tr *trace.Trace, machines []*energy.MachineProfile, spec consolidation.ServerSpec) (Comparison, error) {
+	cmp := Comparison{Trace: tr.Name}
+	for _, m := range machines {
+		for _, pol := range []consolidation.Policy{consolidation.NewNeat(), consolidation.NewOasis(), consolidation.NewZombieStack()} {
+			res, err := Run(Config{Trace: tr, Policy: pol, Machine: m, ServerSpec: spec})
+			if err != nil {
+				return Comparison{}, err
+			}
+			cmp.Results = append(cmp.Results, res)
+		}
+	}
+	return cmp, nil
+}
+
+// Saving returns the saving of a given policy/machine pair from a comparison.
+func (c Comparison) Saving(policy, machine string) (float64, bool) {
+	for _, r := range c.Results {
+		if r.Policy == policy && r.Machine == machine {
+			return r.SavingPercent, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,83 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LatencyStore is a RemoteStore backed by plain host memory with a fixed
+// latency model. It is used by tests and by the large parameter sweeps where
+// running every page through the full RDMA fabric simulation would be
+// needlessly slow; the RDMA-backed store in internal/core is used when the
+// experiment exercises the real protocol path.
+type LatencyStore struct {
+	mu      sync.Mutex
+	slots   [][]byte
+	writeNs int64
+	readNs  int64
+
+	writes uint64
+	reads  uint64
+}
+
+// NewLatencyStore creates a store with the given capacity and per-page
+// latencies.
+func NewLatencyStore(slots int, writeNs, readNs int64) (*LatencyStore, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("hypervisor: latency store needs positive capacity")
+	}
+	return &LatencyStore{slots: make([][]byte, slots), writeNs: writeNs, readNs: readNs}, nil
+}
+
+// NewInfinibandStore returns a LatencyStore with FDR-Infiniband-like per-page
+// latencies (matching the RDMA fabric's default cost model for a 4 KiB page).
+func NewInfinibandStore(slots int) *LatencyStore {
+	s, _ := NewLatencyStore(slots, 2900, 2900)
+	return s
+}
+
+// Slots implements RemoteStore.
+func (l *LatencyStore) Slots() int { return len(l.slots) }
+
+// WritePage implements RemoteStore.
+func (l *LatencyStore) WritePage(slot int, page []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if slot < 0 || slot >= len(l.slots) {
+		return 0, fmt.Errorf("hypervisor: slot %d out of range", slot)
+	}
+	buf := make([]byte, len(page))
+	copy(buf, page)
+	l.slots[slot] = buf
+	l.writes++
+	return l.writeNs, nil
+}
+
+// ReadPage implements RemoteStore.
+func (l *LatencyStore) ReadPage(slot int, dst []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if slot < 0 || slot >= len(l.slots) {
+		return 0, fmt.Errorf("hypervisor: slot %d out of range", slot)
+	}
+	if l.slots[slot] == nil {
+		return 0, fmt.Errorf("hypervisor: slot %d is empty", slot)
+	}
+	copy(dst, l.slots[slot])
+	l.reads++
+	return l.readNs, nil
+}
+
+// Writes returns the number of pages written to the store.
+func (l *LatencyStore) Writes() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writes
+}
+
+// Reads returns the number of pages read from the store.
+func (l *LatencyStore) Reads() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reads
+}

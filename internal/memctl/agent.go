@@ -1,0 +1,421 @@
+package memctl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rdma"
+)
+
+// Agent is the remote memory manager (remote-mem-mgr) running on every
+// server. It interacts with the global controller to lend its own memory
+// (when the server is pushed into Sz, or opportunistically while active) and
+// to obtain remote memory for its local consumers (the hypervisor's RAM Ext
+// paging and explicit swap devices).
+//
+// The agent owns:
+//   - the server's lendable-memory accounting,
+//   - the RDMA memory regions backing the buffers it serves,
+//   - the queue pairs and handles for the remote buffers it uses.
+type Agent struct {
+	mu sync.Mutex
+
+	id         ServerID
+	controller *GlobalController
+	device     *rdma.Device
+
+	totalMem    int64
+	reservedMem int64 // memory pinned for local use (VMs + host overhead)
+
+	// served maps the controller's buffer IDs to the local regions backing
+	// the memory this server lends.
+	served map[BufferID]*rdma.MemoryRegion
+	// specs remembers the spec of every served buffer (for re-registration).
+	servedBytes int64
+
+	// used maps buffer IDs to handles for the remote buffers this server
+	// consumes.
+	used map[BufferID]*RemoteBuffer
+
+	// qps caches one queue pair per remote host.
+	qps map[ServerID]*rdma.QueuePair
+	cq  *rdma.CompletionQueue
+
+	// mirrorWrites counts asynchronous local-storage mirror writes (fault
+	// tolerance for reclaim; Section 4.3 footnote 3).
+	mirrorWrites uint64
+	reclaimsSeen uint64
+
+	// resolve maps a host ID to its RDMA device (set through the Rack wiring).
+	resolve func(ServerID) *rdma.Device
+
+	nextWR uint64
+}
+
+// RemoteBuffer is a usable handle on a remote memory buffer: the user server
+// reads and writes it with one-sided verbs through the agent.
+type RemoteBuffer struct {
+	Buffer
+	agent *Agent
+}
+
+// AgentConfig configures an Agent.
+type AgentConfig struct {
+	ID         ServerID
+	Controller *GlobalController
+	Device     *rdma.Device
+	TotalMem   int64
+	// ReservedMem is kept for local consumption and never lent.
+	ReservedMem int64
+	// ResolveDevice maps a server ID to its RDMA device so the agent can
+	// connect queue pairs to remote hosts.
+	ResolveDevice func(ServerID) *rdma.Device
+}
+
+// NewAgent creates and registers an agent with the global controller.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("memctl: agent %s needs a controller", cfg.ID)
+	}
+	if cfg.TotalMem <= 0 {
+		return nil, fmt.Errorf("memctl: agent %s needs positive memory", cfg.ID)
+	}
+	if cfg.ReservedMem < 0 || cfg.ReservedMem > cfg.TotalMem {
+		return nil, fmt.Errorf("memctl: agent %s reserved memory %d outside [0,%d]", cfg.ID, cfg.ReservedMem, cfg.TotalMem)
+	}
+	a := &Agent{
+		id:          cfg.ID,
+		controller:  cfg.Controller,
+		device:      cfg.Device,
+		totalMem:    cfg.TotalMem,
+		reservedMem: cfg.ReservedMem,
+		served:      make(map[BufferID]*rdma.MemoryRegion),
+		used:        make(map[BufferID]*RemoteBuffer),
+		qps:         make(map[ServerID]*rdma.QueuePair),
+		cq:          rdma.NewCompletionQueue(),
+		resolve:     cfg.ResolveDevice,
+	}
+	if err := cfg.Controller.RegisterServer(cfg.ID, cfg.TotalMem, a, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ID returns the server ID the agent runs on.
+func (a *Agent) ID() ServerID { return a.id }
+
+// FreeMemory returns the memory the agent could lend right now.
+func (a *Agent) FreeMemory() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freeMemoryLocked()
+}
+
+func (a *Agent) freeMemoryLocked() int64 {
+	return a.totalMem - a.reservedMem - a.servedBytes
+}
+
+// SetReservedMemory updates the memory pinned for local consumption.
+func (a *Agent) SetReservedMemory(bytes int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if bytes < 0 || bytes > a.totalMem {
+		return fmt.Errorf("memctl: reserved memory %d outside [0,%d]", bytes, a.totalMem)
+	}
+	a.reservedMem = bytes
+	return nil
+}
+
+// ServedBuffers returns the number of buffers this server is lending.
+func (a *Agent) ServedBuffers() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.served)
+}
+
+// UsedBuffers returns the number of remote buffers this server is using.
+func (a *Agent) UsedBuffers() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.used)
+}
+
+// MirrorWrites returns the number of asynchronous local-storage mirror writes.
+func (a *Agent) MirrorWrites() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mirrorWrites
+}
+
+// ReclaimsSeen returns how many US_reclaim notifications the agent handled.
+func (a *Agent) ReclaimsSeen() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reclaimsSeen
+}
+
+// buildSpecs slices the agent's free memory into uniform buffers and
+// registers an RDMA region for each, returning the specs to send to the
+// controller and the regions (indexed in the same order).
+func (a *Agent) buildSpecs(freeBytes int64) ([]BufferSpec, []*rdma.MemoryRegion, error) {
+	bufSize := a.controller.BufferSize()
+	n := freeBytes / bufSize
+	specs := make([]BufferSpec, 0, n)
+	regions := make([]*rdma.MemoryRegion, 0, n)
+	for i := int64(0); i < n; i++ {
+		var rkey uint32
+		var mr *rdma.MemoryRegion
+		if a.device != nil {
+			var err error
+			mr, err = a.device.RegisterMemory(int(bufSize), rdma.AccessFlags{RemoteRead: true, RemoteWrite: true})
+			if err != nil {
+				return nil, nil, err
+			}
+			rkey = mr.RKey()
+		}
+		specs = append(specs, BufferSpec{Offset: i * bufSize, Size: bufSize, RKey: rkey})
+		regions = append(regions, mr)
+	}
+	return specs, regions, nil
+}
+
+// DelegateAndGoZombie computes the server's free memory, organises it into
+// buffers, registers them with the RDMA device and announces the transition
+// to Sz via GS_goto_zombie. It returns the number of buffers lent.
+func (a *Agent) DelegateAndGoZombie() (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	specs, regions, err := a.buildSpecs(a.freeMemoryLocked())
+	if err != nil {
+		return 0, err
+	}
+	ids, err := a.controller.GotoZombie(a.id, specs)
+	if err != nil {
+		return 0, err
+	}
+	for i, id := range ids {
+		if i < len(regions) {
+			a.served[id] = regions[i]
+		}
+		a.servedBytes += specs[i].Size
+	}
+	return len(ids), nil
+}
+
+// DelegateWhileActive lends free memory while the server stays active.
+// keepBytes of free memory are held back for local headroom.
+func (a *Agent) DelegateWhileActive(keepBytes int64) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lendable := a.freeMemoryLocked() - keepBytes
+	if lendable <= 0 {
+		return 0, nil
+	}
+	specs, regions, err := a.buildSpecs(lendable)
+	if err != nil {
+		return 0, err
+	}
+	ids, err := a.controller.DelegateActive(a.id, specs)
+	if err != nil {
+		return 0, err
+	}
+	for i, id := range ids {
+		if i < len(regions) {
+			a.served[id] = regions[i]
+		}
+		a.servedBytes += specs[i].Size
+	}
+	return len(ids), nil
+}
+
+// WakeAndReclaim reclaims nbBuffers of the memory this server had lent (all
+// of them when nbBuffers is negative). The controller notifies any user
+// servers first; on return the memory is local again.
+func (a *Agent) WakeAndReclaim(nbBuffers int) (int, error) {
+	a.mu.Lock()
+	if nbBuffers < 0 || nbBuffers > len(a.served) {
+		nbBuffers = len(a.served)
+	}
+	a.mu.Unlock()
+
+	ids, err := a.controller.Reclaim(a.id, nbBuffers)
+	if err != nil {
+		return 0, err
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bufSize := a.controller.BufferSize()
+	for _, id := range ids {
+		if mr, ok := a.served[id]; ok {
+			if a.device != nil && mr != nil {
+				a.device.DeregisterMemory(mr)
+			}
+			delete(a.served, id)
+		}
+		a.servedBytes -= bufSize
+	}
+	if a.servedBytes < 0 {
+		a.servedBytes = 0
+	}
+	return len(ids), nil
+}
+
+// USReclaim implements ReclaimNotifier: the controller reclaims buffers this
+// server was using. The agent "transfers the backup copy of the data to other
+// remote locations" — modelled as mirror writes — and drops the handles.
+func (a *Agent) USReclaim(ids []BufferID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reclaimsSeen++
+	for _, id := range ids {
+		if _, ok := a.used[id]; ok {
+			// The data is recovered from the asynchronous local mirror; count
+			// one mirror read-back per buffer.
+			a.mirrorWrites++
+			delete(a.used, id)
+		}
+	}
+	return nil
+}
+
+// ASGetFreeMem implements FreeMemoryProvider: an active server offers half of
+// its free memory when the controller scavenges for a guaranteed allocation.
+func (a *Agent) ASGetFreeMem() []BufferSpec {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lendable := a.freeMemoryLocked() / 2
+	specs, regions, err := a.buildSpecs(lendable)
+	if err != nil {
+		return nil
+	}
+	// Track them as served immediately; the controller will add them to its
+	// database as active buffers.
+	bufSize := a.controller.BufferSize()
+	for i := range specs {
+		_ = regions[i]
+		a.servedBytes += bufSize
+	}
+	// Note: the controller assigns IDs; we cannot map regions to IDs here, so
+	// regions for scavenged buffers are tracked by the controller's RKey only.
+	return specs
+}
+
+// RequestExt requests a guaranteed RAM Extension allocation of memSize bytes
+// and returns handles for the allocated remote buffers.
+func (a *Agent) RequestExt(memSize int64) ([]*RemoteBuffer, error) {
+	bufs, err := a.controller.AllocExt(a.id, memSize)
+	if err != nil {
+		return nil, err
+	}
+	return a.adopt(bufs), nil
+}
+
+// RequestSwap requests a best-effort swap allocation of memSize bytes. The
+// returned handles may cover less than memSize.
+func (a *Agent) RequestSwap(memSize int64) ([]*RemoteBuffer, error) {
+	bufs, err := a.controller.AllocSwap(a.id, memSize)
+	if err != nil {
+		return nil, err
+	}
+	return a.adopt(bufs), nil
+}
+
+// ReleaseBuffers returns remote buffers to the controller.
+func (a *Agent) ReleaseBuffers(handles []*RemoteBuffer) error {
+	ids := make([]BufferID, 0, len(handles))
+	a.mu.Lock()
+	for _, h := range handles {
+		ids = append(ids, h.ID)
+		delete(a.used, h.ID)
+	}
+	a.mu.Unlock()
+	return a.controller.Release(a.id, ids)
+}
+
+// adopt wraps allocated buffers into handles and records them as used.
+func (a *Agent) adopt(bufs []Buffer) []*RemoteBuffer {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*RemoteBuffer, 0, len(bufs))
+	for _, b := range bufs {
+		h := &RemoteBuffer{Buffer: b, agent: a}
+		a.used[b.ID] = h
+		out = append(out, h)
+	}
+	return out
+}
+
+// UsedBufferHandles returns the handles of all remote buffers in use, sorted
+// by buffer ID.
+func (a *Agent) UsedBufferHandles() []*RemoteBuffer {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*RemoteBuffer, 0, len(a.used))
+	for _, h := range a.used {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// qpFor returns (creating if needed) a connected queue pair to the host.
+func (a *Agent) qpFor(host ServerID) (*rdma.QueuePair, error) {
+	if a.device == nil || a.resolve == nil {
+		return nil, fmt.Errorf("memctl: agent %s has no RDMA wiring", a.id)
+	}
+	if qp, ok := a.qps[host]; ok {
+		return qp, nil
+	}
+	remote := a.resolve(host)
+	if remote == nil {
+		return nil, fmt.Errorf("memctl: cannot resolve RDMA device of %s", host)
+	}
+	qp := a.device.CreateQueuePair(a.cq)
+	peer := remote.CreateQueuePair(rdma.NewCompletionQueue())
+	if err := rdma.Connect(qp, peer); err != nil {
+		return nil, err
+	}
+	a.qps[host] = qp
+	return qp, nil
+}
+
+// WriteRemote writes data into the remote buffer at the given offset using a
+// one-sided RDMA WRITE, returning the simulated latency. Every remote write
+// is also mirrored asynchronously to local storage for fault tolerance.
+func (rb *RemoteBuffer) WriteRemote(offset int64, data []byte) (int64, error) {
+	a := rb.agent
+	a.mu.Lock()
+	qp, err := a.qpFor(rb.Host)
+	if err != nil {
+		a.mu.Unlock()
+		return 0, err
+	}
+	a.nextWR++
+	wr := a.nextWR
+	a.mirrorWrites++ // asynchronous local mirror (does not add latency)
+	a.mu.Unlock()
+	if offset < 0 || offset+int64(len(data)) > rb.Size {
+		return 0, fmt.Errorf("memctl: write outside buffer %d bounds", rb.ID)
+	}
+	return qp.Write(wr, data, rb.RKey, int(offset))
+}
+
+// ReadRemote reads length bytes from the remote buffer at offset into dst.
+func (rb *RemoteBuffer) ReadRemote(offset int64, dst []byte) (int64, error) {
+	a := rb.agent
+	a.mu.Lock()
+	qp, err := a.qpFor(rb.Host)
+	if err != nil {
+		a.mu.Unlock()
+		return 0, err
+	}
+	a.nextWR++
+	wr := a.nextWR
+	a.mu.Unlock()
+	if offset < 0 || offset+int64(len(dst)) > rb.Size {
+		return 0, fmt.Errorf("memctl: read outside buffer %d bounds", rb.ID)
+	}
+	return qp.Read(wr, dst, rb.RKey, int(offset), len(dst))
+}

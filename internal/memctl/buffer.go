@@ -1,0 +1,278 @@
+// Package memctl implements the rack-level remote memory management protocol
+// of Section 4: the global memory controller (global-mem-ctr), its mirrored
+// secondary controller (secondary-ctr), and the per-server remote memory
+// manager agents (remote-mem-mgr).
+//
+// Memory is delegated, allocated and reclaimed at buffer granularity. Buffers
+// have a uniform size across the rack (BUFF_SIZE in the paper, BufferSize
+// here). The controller keeps an in-memory database of every buffer: which
+// host serves it, whether that host is a zombie or an active server, and
+// which user server (if any) currently uses it.
+//
+// The protocol functions follow the paper's naming:
+//
+//	GS_goto_zombie(buffers)  -> GlobalController.GotoZombie
+//	GS_reclaim(nbBuffers)    -> GlobalController.Reclaim
+//	GS_alloc_ext(memSize)    -> GlobalController.AllocExt
+//	GS_alloc_swap(memSize)   -> GlobalController.AllocSwap
+//	GS_get_lru_zombie()      -> GlobalController.LRUZombie
+//	US_reclaim(buff_IDs)     -> ReclaimNotifier.USReclaim (agent callback)
+//	AS_get_free_mem()        -> FreeMemoryProvider.ASGetFreeMem (agent callback)
+package memctl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultBufferSize is the rack-wide BUFF_SIZE: 64 MiB, a compromise between
+// allocation bookkeeping overhead and fragmentation (ablated in the bench
+// suite).
+const DefaultBufferSize int64 = 64 << 20
+
+// ServerID identifies a server in the rack.
+type ServerID string
+
+// BufferID identifies one remote memory buffer.
+type BufferID uint64
+
+// BufferType distinguishes memory served by a zombie server from memory
+// served by an active server. Zombie memory always has allocation priority.
+type BufferType int
+
+// Buffer types.
+const (
+	ZombieBuffer BufferType = iota
+	ActiveBuffer
+)
+
+// String names the buffer type.
+func (t BufferType) String() string {
+	if t == ZombieBuffer {
+		return "zombie"
+	}
+	return "active"
+}
+
+// Buffer is one entry of the controller's in-memory database, as described in
+// Section 4.3: identifier, offset, size, type, serving host and current user.
+type Buffer struct {
+	ID     BufferID
+	Host   ServerID
+	User   ServerID // empty when unallocated
+	Offset int64
+	Size   int64
+	Type   BufferType
+	// RKey is the RDMA remote key a user server needs to address the buffer
+	// with one-sided verbs.
+	RKey uint32
+}
+
+// Allocated reports whether the buffer is currently lent to a user server.
+func (b Buffer) Allocated() bool { return b.User != "" }
+
+// bufferDB is the controller's buffer database. It is not safe for concurrent
+// use; the owning controller serialises access.
+type bufferDB struct {
+	nextID  BufferID
+	byID    map[BufferID]*Buffer
+	byHost  map[ServerID][]BufferID
+	byUser  map[ServerID][]BufferID
+	freeIDs map[BufferID]struct{}
+}
+
+func newBufferDB() *bufferDB {
+	return &bufferDB{
+		byID:    make(map[BufferID]*Buffer),
+		byHost:  make(map[ServerID][]BufferID),
+		byUser:  make(map[ServerID][]BufferID),
+		freeIDs: make(map[BufferID]struct{}),
+	}
+}
+
+// add inserts a new unallocated buffer served by host and returns it.
+func (db *bufferDB) add(host ServerID, offset, size int64, typ BufferType, rkey uint32) *Buffer {
+	db.nextID++
+	b := &Buffer{ID: db.nextID, Host: host, Offset: offset, Size: size, Type: typ, RKey: rkey}
+	db.byID[b.ID] = b
+	db.byHost[host] = append(db.byHost[host], b.ID)
+	db.freeIDs[b.ID] = struct{}{}
+	return b
+}
+
+// get returns the buffer with the given id.
+func (db *bufferDB) get(id BufferID) (*Buffer, bool) {
+	b, ok := db.byID[id]
+	return b, ok
+}
+
+// remove deletes a buffer entirely (its host reclaimed the memory).
+func (db *bufferDB) remove(id BufferID) {
+	b, ok := db.byID[id]
+	if !ok {
+		return
+	}
+	delete(db.byID, id)
+	delete(db.freeIDs, id)
+	db.byHost[b.Host] = removeID(db.byHost[b.Host], id)
+	if b.User != "" {
+		db.byUser[b.User] = removeID(db.byUser[b.User], id)
+	}
+}
+
+// allocate marks the buffer as used by user.
+func (db *bufferDB) allocate(id BufferID, user ServerID) error {
+	b, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("memctl: buffer %d does not exist", id)
+	}
+	if b.User != "" {
+		return fmt.Errorf("memctl: buffer %d already allocated to %s", id, b.User)
+	}
+	b.User = user
+	delete(db.freeIDs, id)
+	db.byUser[user] = append(db.byUser[user], id)
+	return nil
+}
+
+// release returns the buffer to the free pool.
+func (db *bufferDB) release(id BufferID) error {
+	b, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("memctl: buffer %d does not exist", id)
+	}
+	if b.User == "" {
+		return fmt.Errorf("memctl: buffer %d is not allocated", id)
+	}
+	db.byUser[b.User] = removeID(db.byUser[b.User], id)
+	b.User = ""
+	db.freeIDs[id] = struct{}{}
+	return nil
+}
+
+// retype changes the buffer type of every buffer served by host (when the
+// host transitions between zombie and active).
+func (db *bufferDB) retype(host ServerID, typ BufferType) {
+	for _, id := range db.byHost[host] {
+		db.byID[id].Type = typ
+	}
+}
+
+// freeByType returns the IDs of unallocated buffers of the given type, in
+// ascending ID order for determinism.
+func (db *bufferDB) freeByType(typ BufferType) []BufferID {
+	var out []BufferID
+	for id := range db.freeIDs {
+		if db.byID[id].Type == typ {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hostBuffers returns the IDs of buffers served by host, ascending.
+func (db *bufferDB) hostBuffers(host ServerID) []BufferID {
+	out := append([]BufferID(nil), db.byHost[host]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// userBuffers returns the IDs of buffers used by user, ascending.
+func (db *bufferDB) userBuffers(user ServerID) []BufferID {
+	out := append([]BufferID(nil), db.byUser[user]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// allocatedCount returns the number of allocated buffers served by host.
+func (db *bufferDB) allocatedCount(host ServerID) int {
+	n := 0
+	for _, id := range db.byHost[host] {
+		if db.byID[id].User != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// totalFreeBytes returns the free (unallocated) remote memory.
+func (db *bufferDB) totalFreeBytes() int64 {
+	var total int64
+	for id := range db.freeIDs {
+		total += db.byID[id].Size
+	}
+	return total
+}
+
+// checkInvariants validates the cross-index consistency of the database. It
+// is exercised by the property-based tests.
+func (db *bufferDB) checkInvariants() error {
+	for id, b := range db.byID {
+		if b.ID != id {
+			return fmt.Errorf("memctl: buffer %d stored under id %d", b.ID, id)
+		}
+		if b.Size <= 0 {
+			return fmt.Errorf("memctl: buffer %d has non-positive size", id)
+		}
+		if _, free := db.freeIDs[id]; free == (b.User != "") {
+			return fmt.Errorf("memctl: buffer %d free-set membership inconsistent with user %q", id, b.User)
+		}
+		if !containsID(db.byHost[b.Host], id) {
+			return fmt.Errorf("memctl: buffer %d missing from host index", id)
+		}
+		if b.User != "" && !containsID(db.byUser[b.User], id) {
+			return fmt.Errorf("memctl: buffer %d missing from user index", id)
+		}
+	}
+	for host, ids := range db.byHost {
+		for _, id := range ids {
+			b, ok := db.byID[id]
+			if !ok {
+				return fmt.Errorf("memctl: host %s indexes unknown buffer %d", host, id)
+			}
+			if b.Host != host {
+				return fmt.Errorf("memctl: buffer %d indexed under wrong host", id)
+			}
+		}
+	}
+	for user, ids := range db.byUser {
+		for _, id := range ids {
+			b, ok := db.byID[id]
+			if !ok {
+				return fmt.Errorf("memctl: user %s indexes unknown buffer %d", user, id)
+			}
+			if b.User != user {
+				return fmt.Errorf("memctl: buffer %d indexed under wrong user", id)
+			}
+		}
+	}
+	return nil
+}
+
+func removeID(ids []BufferID, id BufferID) []BufferID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func containsID(ids []BufferID, id BufferID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returned by the controller.
+var (
+	ErrUnknownServer    = errors.New("memctl: unknown server")
+	ErrNotEnoughMemory  = errors.New("memctl: not enough remote memory to satisfy a guaranteed allocation")
+	ErrNoZombie         = errors.New("memctl: no zombie server available")
+	ErrAdmissionControl = errors.New("memctl: allocation rejected by rack-level admission control")
+)

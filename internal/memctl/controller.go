@@ -1,0 +1,643 @@
+package memctl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ReclaimNotifier is implemented by remote memory manager agents. The
+// controller calls USReclaim when buffers a user server depends on are being
+// taken back by their owner; the agent must relocate the affected data (it
+// keeps an asynchronously-mirrored copy on local storage) before the call
+// returns.
+type ReclaimNotifier interface {
+	// USReclaim informs the agent that the listed buffers are no longer
+	// available. This is the paper's US_reclaim(buff_IDs).
+	USReclaim(ids []BufferID) error
+}
+
+// FreeMemoryProvider is implemented by agents of active servers; the
+// controller uses it to scavenge additional remote memory from active servers
+// when the zombie pool is exhausted. This is the paper's AS_get_free_mem().
+type FreeMemoryProvider interface {
+	// ASGetFreeMem returns buffer descriptors for memory the active server is
+	// willing to lend right now (may be empty).
+	ASGetFreeMem() []BufferSpec
+}
+
+// BufferSpec describes a buffer a server offers to lend.
+type BufferSpec struct {
+	Offset int64
+	Size   int64
+	RKey   uint32
+}
+
+// ServerRole is the controller's view of a server's power role.
+type ServerRole int
+
+// Server roles as the controller tracks them.
+const (
+	RoleActive ServerRole = iota // S0, may use and serve memory
+	RoleZombie                   // Sz, serves memory only
+	RoleDown                     // S3/S4/S5, serves nothing
+)
+
+// String names the role.
+func (r ServerRole) String() string {
+	switch r {
+	case RoleActive:
+		return "active"
+	case RoleZombie:
+		return "zombie"
+	default:
+		return "down"
+	}
+}
+
+// serverRecord is the controller's per-server state.
+type serverRecord struct {
+	id       ServerID
+	role     ServerRole
+	totalMem int64
+	agent    ReclaimNotifier
+	provider FreeMemoryProvider
+}
+
+// Operation is one mirrored state-changing operation, streamed to the
+// secondary controller for transparent high availability.
+type Operation struct {
+	Seq    uint64
+	Kind   string
+	Server ServerID
+	IDs    []BufferID
+	Bytes  int64
+}
+
+// Mirror receives the synchronous operation stream of the controller. The
+// secondary controller implements it; tests may substitute their own.
+type Mirror interface {
+	Apply(op Operation)
+}
+
+// GlobalController is the rack's global memory controller (global-mem-ctr).
+// It owns the buffer database and implements the allocation protocol.
+type GlobalController struct {
+	mu sync.Mutex
+
+	bufferSize int64
+	db         *bufferDB
+	servers    map[ServerID]*serverRecord
+	mirror     Mirror
+	seq        uint64
+
+	// extAllocated tracks guaranteed (RAM Ext) bytes per user for admission
+	// control: the sum of guarantees can never exceed the delegatable memory
+	// of the rack.
+	extAllocated map[ServerID]int64
+
+	stats ControllerStats
+}
+
+// ControllerStats aggregates protocol activity counters.
+type ControllerStats struct {
+	GotoZombieCalls uint64
+	ReclaimCalls    uint64
+	AllocExtCalls   uint64
+	AllocSwapCalls  uint64
+	USReclaims      uint64
+	BuffersLent     uint64
+	BuffersReturned uint64
+}
+
+// Option configures a GlobalController.
+type Option func(*GlobalController)
+
+// WithBufferSize overrides the rack-wide buffer size.
+func WithBufferSize(size int64) Option {
+	return func(g *GlobalController) {
+		if size > 0 {
+			g.bufferSize = size
+		}
+	}
+}
+
+// WithMirror attaches a mirror (normally the secondary controller).
+func WithMirror(m Mirror) Option {
+	return func(g *GlobalController) { g.mirror = m }
+}
+
+// NewGlobalController creates a controller with an empty buffer database.
+func NewGlobalController(opts ...Option) *GlobalController {
+	g := &GlobalController{
+		bufferSize:   DefaultBufferSize,
+		db:           newBufferDB(),
+		servers:      make(map[ServerID]*serverRecord),
+		extAllocated: make(map[ServerID]int64),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// BufferSize returns the rack-wide buffer size.
+func (g *GlobalController) BufferSize() int64 { return g.bufferSize }
+
+// Stats returns a snapshot of the protocol counters.
+func (g *GlobalController) Stats() ControllerStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// RegisterServer adds a server to the rack. Initially every server is active
+// (Section 4.2: "Initially all servers are designated active").
+func (g *GlobalController) RegisterServer(id ServerID, totalMem int64, agent ReclaimNotifier, provider FreeMemoryProvider) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.servers[id]; ok {
+		return fmt.Errorf("memctl: server %s already registered", id)
+	}
+	if totalMem <= 0 {
+		return fmt.Errorf("memctl: server %s needs positive memory", id)
+	}
+	g.servers[id] = &serverRecord{id: id, role: RoleActive, totalMem: totalMem, agent: agent, provider: provider}
+	g.record(Operation{Kind: "register", Server: id, Bytes: totalMem})
+	return nil
+}
+
+// UnregisterServer removes a server and every buffer it serves. Buffers in
+// use by other servers are reclaimed first (their agents are notified).
+func (g *GlobalController) UnregisterServer(id ServerID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.servers[id]; !ok {
+		return ErrUnknownServer
+	}
+	ids := g.db.hostBuffers(id)
+	g.notifyUsersLocked(ids)
+	for _, bid := range ids {
+		g.db.remove(bid)
+	}
+	delete(g.servers, id)
+	delete(g.extAllocated, id)
+	g.record(Operation{Kind: "unregister", Server: id, IDs: ids})
+	return nil
+}
+
+// Role returns the controller's view of a server's role.
+func (g *GlobalController) Role(id ServerID) (ServerRole, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rec, ok := g.servers[id]
+	if !ok {
+		return RoleDown, ErrUnknownServer
+	}
+	return rec.role, nil
+}
+
+// Servers returns all registered server IDs, sorted.
+func (g *GlobalController) Servers() []ServerID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ServerID, 0, len(g.servers))
+	for id := range g.servers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Zombies returns the IDs of servers currently in the zombie role, sorted.
+func (g *GlobalController) Zombies() []ServerID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []ServerID
+	for id, rec := range g.servers {
+		if rec.role == RoleZombie {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GotoZombie is GS_goto_zombie(buffers): the server's agent announces its
+// transition to Sz and lends the listed memory buffers. The controller
+// records them as zombie buffers.
+func (g *GlobalController) GotoZombie(host ServerID, buffers []BufferSpec) ([]BufferID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rec, ok := g.servers[host]
+	if !ok {
+		return nil, ErrUnknownServer
+	}
+	g.stats.GotoZombieCalls++
+	rec.role = RoleZombie
+	// Any buffer the host was already serving as an active server becomes a
+	// zombie buffer (higher allocation priority).
+	g.db.retype(host, ZombieBuffer)
+	ids := make([]BufferID, 0, len(buffers))
+	for _, spec := range buffers {
+		if spec.Size <= 0 {
+			continue
+		}
+		b := g.db.add(host, spec.Offset, spec.Size, ZombieBuffer, spec.RKey)
+		ids = append(ids, b.ID)
+	}
+	g.record(Operation{Kind: "goto_zombie", Server: host, IDs: ids})
+	return ids, nil
+}
+
+// DelegateActive records buffers lent by a server that stays active (the
+// implementation "also allows for serving and using remote memory from other
+// active servers").
+func (g *GlobalController) DelegateActive(host ServerID, buffers []BufferSpec) ([]BufferID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.servers[host]; !ok {
+		return nil, ErrUnknownServer
+	}
+	ids := make([]BufferID, 0, len(buffers))
+	for _, spec := range buffers {
+		if spec.Size <= 0 {
+			continue
+		}
+		b := g.db.add(host, spec.Offset, spec.Size, ActiveBuffer, spec.RKey)
+		ids = append(ids, b.ID)
+	}
+	g.record(Operation{Kind: "delegate_active", Server: host, IDs: ids})
+	return ids, nil
+}
+
+// Reclaim is GS_reclaim(nbBuffers): a server waking from Sz reclaims
+// nbBuffers of the memory it had lent. Unallocated buffers are returned
+// first; if more are needed, buffers allocated to other servers are reclaimed
+// with US_reclaim. The reclaimed buffer IDs are removed from the database and
+// returned to the caller.
+func (g *GlobalController) Reclaim(host ServerID, nbBuffers int) ([]BufferID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rec, ok := g.servers[host]
+	if !ok {
+		return nil, ErrUnknownServer
+	}
+	g.stats.ReclaimCalls++
+	all := g.db.hostBuffers(host)
+	if nbBuffers > len(all) {
+		nbBuffers = len(all)
+	}
+	// Unallocated first.
+	var chosen []BufferID
+	for _, id := range all {
+		if len(chosen) >= nbBuffers {
+			break
+		}
+		if b, _ := g.db.get(id); !b.Allocated() {
+			chosen = append(chosen, id)
+		}
+	}
+	// Then allocated ones, notifying their users.
+	var toNotify []BufferID
+	for _, id := range all {
+		if len(chosen) >= nbBuffers {
+			break
+		}
+		if b, _ := g.db.get(id); b.Allocated() && !containsID(chosen, id) {
+			chosen = append(chosen, id)
+			toNotify = append(toNotify, id)
+		}
+	}
+	g.notifyUsersLocked(toNotify)
+	for _, id := range chosen {
+		g.db.remove(id)
+	}
+	// The host becomes active again once it reclaims memory.
+	rec.role = RoleActive
+	g.db.retype(host, ActiveBuffer)
+	g.stats.BuffersReturned += uint64(len(chosen))
+	g.record(Operation{Kind: "reclaim", Server: host, IDs: chosen})
+	return chosen, nil
+}
+
+// notifyUsersLocked groups the buffers by user and invokes each user agent's
+// USReclaim callback.
+func (g *GlobalController) notifyUsersLocked(ids []BufferID) {
+	byUser := make(map[ServerID][]BufferID)
+	for _, id := range ids {
+		b, ok := g.db.get(id)
+		if !ok || !b.Allocated() {
+			continue
+		}
+		byUser[b.User] = append(byUser[b.User], id)
+	}
+	users := make([]ServerID, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	for _, u := range users {
+		g.stats.USReclaims++
+		if rec, ok := g.servers[u]; ok && rec.agent != nil {
+			// The agent relocates its data (from the local mirror) before we
+			// drop the buffer.
+			_ = rec.agent.USReclaim(byUser[u])
+		}
+	}
+}
+
+// delegatableBytes returns the total size of all buffers currently in the
+// database (the rack's lendable memory), used by admission control.
+func (g *GlobalController) delegatableBytes() int64 {
+	var total int64
+	for _, rec := range g.servers {
+		_ = rec
+	}
+	for id := range g.db.byID {
+		total += g.db.byID[id].Size
+	}
+	return total
+}
+
+// AllocExt is GS_alloc_ext(memSize): a guaranteed RAM Extension allocation.
+// Admission control ensures the sum of guarantees never exceeds the rack's
+// delegated memory; within that envelope the allocation must be fulfilled,
+// scavenging active servers if needed. Zombie buffers are preferred. The
+// returned buffers may come from multiple servers (failure containment).
+func (g *GlobalController) AllocExt(user ServerID, memSize int64) ([]Buffer, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.servers[user]; !ok {
+		return nil, ErrUnknownServer
+	}
+	g.stats.AllocExtCalls++
+	need := buffersFor(memSize, g.bufferSize)
+	if need == 0 {
+		return nil, nil
+	}
+	// Admission control: guaranteed allocations must fit in the delegated pool.
+	var guaranteed int64
+	for _, v := range g.extAllocated {
+		guaranteed += v
+	}
+	if guaranteed+int64(need)*g.bufferSize > g.delegatableBytes() {
+		// Try to scavenge more memory from active servers before rejecting.
+		g.scavengeActiveLocked(int64(need)*g.bufferSize-(g.delegatableBytes()-guaranteed), user)
+		if guaranteed+int64(need)*g.bufferSize > g.delegatableBytes() {
+			return nil, ErrAdmissionControl
+		}
+	}
+	got, err := g.allocateLocked(user, need, true)
+	if err != nil {
+		return nil, err
+	}
+	g.extAllocated[user] += int64(len(got)) * g.bufferSize
+	g.record(Operation{Kind: "alloc_ext", Server: user, IDs: bufferIDs(got), Bytes: memSize})
+	return got, nil
+}
+
+// AllocSwap is GS_alloc_swap(memSize): a best-effort allocation backing an
+// explicit swap device. The returned memory may be less than requested.
+func (g *GlobalController) AllocSwap(user ServerID, memSize int64) ([]Buffer, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.servers[user]; !ok {
+		return nil, ErrUnknownServer
+	}
+	g.stats.AllocSwapCalls++
+	need := buffersFor(memSize, g.bufferSize)
+	got, _ := g.allocateLocked(user, need, false)
+	g.record(Operation{Kind: "alloc_swap", Server: user, IDs: bufferIDs(got), Bytes: memSize})
+	return got, nil
+}
+
+// allocateLocked hands out up to need free buffers to user, zombie buffers
+// first. When guaranteed is true and the free pool is short, it scavenges
+// active servers (never the requester itself); if the allocation still cannot
+// be fulfilled it fails without allocating anything. Best-effort (swap)
+// allocations only consume what is already free: fast swap is not part of the
+// VM's SLA, so the controller does not disturb active servers for it.
+func (g *GlobalController) allocateLocked(user ServerID, need int, guaranteed bool) ([]Buffer, error) {
+	pick := func() []BufferID {
+		ids := g.db.freeByType(ZombieBuffer)
+		ids = append(ids, g.db.freeByType(ActiveBuffer)...)
+		return ids
+	}
+	free := pick()
+	if guaranteed && len(free) < need {
+		g.scavengeActiveLocked(int64(need-len(free))*g.bufferSize, user)
+		free = pick()
+	}
+	if guaranteed && len(free) < need {
+		return nil, ErrNotEnoughMemory
+	}
+	n := need
+	if n > len(free) {
+		n = len(free)
+	}
+	out := make([]Buffer, 0, n)
+	for _, id := range free[:n] {
+		if err := g.db.allocate(id, user); err != nil {
+			return nil, err
+		}
+		b, _ := g.db.get(id)
+		out = append(out, *b)
+		g.stats.BuffersLent++
+	}
+	return out, nil
+}
+
+// scavengeActiveLocked asks active servers (other than exclude) for
+// additional lendable memory until at least wantBytes of new buffers have
+// been added (or providers run out). This is the AS_get_free_mem() path.
+func (g *GlobalController) scavengeActiveLocked(wantBytes int64, exclude ServerID) {
+	if wantBytes <= 0 {
+		return
+	}
+	ids := make([]ServerID, 0, len(g.servers))
+	for id := range g.servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var added int64
+	for _, id := range ids {
+		if added >= wantBytes {
+			return
+		}
+		rec := g.servers[id]
+		if id == exclude || rec.role != RoleActive || rec.provider == nil {
+			continue
+		}
+		for _, spec := range rec.provider.ASGetFreeMem() {
+			if spec.Size <= 0 {
+				continue
+			}
+			g.db.add(id, spec.Offset, spec.Size, ActiveBuffer, spec.RKey)
+			added += spec.Size
+		}
+	}
+}
+
+// Release returns buffers a user no longer needs to the free pool.
+func (g *GlobalController) Release(user ServerID, ids []BufferID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, id := range ids {
+		b, ok := g.db.get(id)
+		if !ok {
+			continue
+		}
+		if b.User != user {
+			return fmt.Errorf("memctl: server %s cannot release buffer %d owned by %s", user, id, b.User)
+		}
+		if err := g.db.release(id); err != nil {
+			return err
+		}
+		g.stats.BuffersReturned++
+	}
+	if ext, ok := g.extAllocated[user]; ok {
+		released := int64(len(ids)) * g.bufferSize
+		if released > ext {
+			released = ext
+		}
+		g.extAllocated[user] = ext - released
+	}
+	g.record(Operation{Kind: "release", Server: user, IDs: ids})
+	return nil
+}
+
+// TransferBuffers moves the ownership of allocated buffers from one user
+// server to another without touching the data. This is the ownership-pointer
+// update of the ZombieStack migration protocol (Section 5.3): the VM's remote
+// memory does not move; only the record of which server uses it changes.
+func (g *GlobalController) TransferBuffers(from, to ServerID, ids []BufferID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.servers[to]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownServer, to)
+	}
+	for _, id := range ids {
+		b, ok := g.db.get(id)
+		if !ok {
+			return fmt.Errorf("memctl: buffer %d does not exist", id)
+		}
+		if b.User != from {
+			return fmt.Errorf("memctl: buffer %d is used by %s, not %s", id, b.User, from)
+		}
+	}
+	for _, id := range ids {
+		b, _ := g.db.get(id)
+		g.db.byUser[from] = removeID(g.db.byUser[from], id)
+		b.User = to
+		g.db.byUser[to] = append(g.db.byUser[to], id)
+	}
+	// Guaranteed-allocation accounting follows the buffers.
+	moved := int64(len(ids)) * g.bufferSize
+	if ext := g.extAllocated[from]; ext > 0 {
+		if moved > ext {
+			moved = ext
+		}
+		g.extAllocated[from] -= moved
+		g.extAllocated[to] += moved
+	}
+	g.record(Operation{Kind: "transfer", Server: to, IDs: ids})
+	return nil
+}
+
+// LRUZombie is GS_get_lru_zombie(): the zombie server with the minimum number
+// of allocated buffers, i.e. the cheapest one to wake up because the least
+// zombie memory has to be reclaimed.
+func (g *GlobalController) LRUZombie() (ServerID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	best := ServerID("")
+	bestCount := -1
+	ids := make([]ServerID, 0, len(g.servers))
+	for id := range g.servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if g.servers[id].role != RoleZombie {
+			continue
+		}
+		c := g.db.allocatedCount(id)
+		if bestCount == -1 || c < bestCount {
+			best, bestCount = id, c
+		}
+	}
+	if best == "" {
+		return "", ErrNoZombie
+	}
+	return best, nil
+}
+
+// FreeMemory returns the unallocated remote memory in bytes.
+func (g *GlobalController) FreeMemory() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.db.totalFreeBytes()
+}
+
+// BuffersOf returns copies of the buffers currently used by a server.
+func (g *GlobalController) BuffersOf(user ServerID) []Buffer {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := g.db.userBuffers(user)
+	out := make([]Buffer, 0, len(ids))
+	for _, id := range ids {
+		b, _ := g.db.get(id)
+		out = append(out, *b)
+	}
+	return out
+}
+
+// BuffersServedBy returns copies of the buffers served by a host.
+func (g *GlobalController) BuffersServedBy(host ServerID) []Buffer {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := g.db.hostBuffers(host)
+	out := make([]Buffer, 0, len(ids))
+	for _, id := range ids {
+		b, _ := g.db.get(id)
+		out = append(out, *b)
+	}
+	return out
+}
+
+// CheckInvariants validates the buffer database (used by tests).
+func (g *GlobalController) CheckInvariants() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.db.checkInvariants()
+}
+
+// record assigns a sequence number and mirrors the operation.
+func (g *GlobalController) record(op Operation) {
+	g.seq++
+	op.Seq = g.seq
+	if g.mirror != nil {
+		g.mirror.Apply(op)
+	}
+}
+
+// buffersFor returns how many buffers of size bufSize cover memSize bytes.
+func buffersFor(memSize, bufSize int64) int {
+	if memSize <= 0 || bufSize <= 0 {
+		return 0
+	}
+	n := memSize / bufSize
+	if memSize%bufSize != 0 {
+		n++
+	}
+	return int(n)
+}
+
+func bufferIDs(bufs []Buffer) []BufferID {
+	out := make([]BufferID, len(bufs))
+	for i, b := range bufs {
+		out[i] = b.ID
+	}
+	return out
+}

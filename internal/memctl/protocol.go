@@ -1,0 +1,351 @@
+package memctl
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/rdma"
+)
+
+// marshal and unmarshal isolate the wire encoding (JSON control messages).
+func marshal(v interface{}) ([]byte, error)      { return json.Marshal(v) }
+func unmarshal(data []byte, v interface{}) error { return json.Unmarshal(data, v) }
+
+// This file implements the wire protocol of Section 4.1: the global memory
+// controller exposes its functions as RPC over RDMA, and remote callers (the
+// per-server remote memory managers, the cloud manager, monitoring tools)
+// invoke them through a ProtocolClient. Requests and responses travel as
+// small JSON control messages written into registered request/response slots
+// with one-sided RDMA writes; bulk data never goes through the RPC path — it
+// moves through the one-sided verbs of the RemoteBuffer handles.
+//
+// Method names follow the paper:
+//
+//	GS_goto_zombie   lend buffers and transition to Sz
+//	GS_reclaim       take lent buffers back
+//	GS_alloc_ext     guaranteed RAM Extension allocation
+//	GS_alloc_swap    best-effort swap allocation
+//	GS_release       return allocated buffers
+//	GS_get_lru_zombie zombie with the fewest allocated buffers
+//	GS_free_mem      free remote memory in the rack
+//	GS_register      add a server to the rack
+//	GS_transfer      move buffer ownership between servers (migration)
+
+// Wire message types. Field names are kept short: these are control messages
+// on the critical path of suspend/resume and allocation.
+
+type wireBufferSpec struct {
+	Offset int64  `json:"off"`
+	Size   int64  `json:"size"`
+	RKey   uint32 `json:"rkey"`
+}
+
+type wireBuffer struct {
+	ID     uint64 `json:"id"`
+	Host   string `json:"host"`
+	Offset int64  `json:"off"`
+	Size   int64  `json:"size"`
+	Type   int    `json:"type"`
+	RKey   uint32 `json:"rkey"`
+}
+
+func toWireBuffer(b Buffer) wireBuffer {
+	return wireBuffer{ID: uint64(b.ID), Host: string(b.Host), Offset: b.Offset, Size: b.Size, Type: int(b.Type), RKey: b.RKey}
+}
+
+func fromWireBuffer(w wireBuffer) Buffer {
+	return Buffer{ID: BufferID(w.ID), Host: ServerID(w.Host), Offset: w.Offset, Size: w.Size, Type: BufferType(w.Type), RKey: w.RKey}
+}
+
+type registerRequest struct {
+	Server   string `json:"server"`
+	TotalMem int64  `json:"total_mem"`
+}
+
+type gotoZombieRequest struct {
+	Server  string           `json:"server"`
+	Buffers []wireBufferSpec `json:"buffers"`
+}
+
+type gotoZombieResponse struct {
+	IDs []uint64 `json:"ids"`
+}
+
+type reclaimRequest struct {
+	Server    string `json:"server"`
+	NbBuffers int    `json:"nb_buffers"`
+}
+
+type reclaimResponse struct {
+	IDs []uint64 `json:"ids"`
+}
+
+type allocRequest struct {
+	Server  string `json:"server"`
+	MemSize int64  `json:"mem_size"`
+}
+
+type allocResponse struct {
+	Buffers []wireBuffer `json:"buffers"`
+}
+
+type releaseRequest struct {
+	Server string   `json:"server"`
+	IDs    []uint64 `json:"ids"`
+}
+
+type lruZombieResponse struct {
+	Server string `json:"server"`
+}
+
+type freeMemResponse struct {
+	Bytes int64 `json:"bytes"`
+}
+
+type transferRequest struct {
+	From string   `json:"from"`
+	To   string   `json:"to"`
+	IDs  []uint64 `json:"ids"`
+}
+
+// ProtocolServer exposes a GlobalController over RPC-on-RDMA. It runs on the
+// global-mem-ctr host (which must stay in S0: its CPU executes the handlers).
+type ProtocolServer struct {
+	controller *GlobalController
+	rpc        *rdma.RPCServer
+}
+
+// NewProtocolServer binds the controller to an RPC server on the given RDMA
+// device and registers every protocol method.
+func NewProtocolServer(name string, device *rdma.Device, controller *GlobalController) (*ProtocolServer, error) {
+	if device == nil || controller == nil {
+		return nil, fmt.Errorf("memctl: protocol server needs a device and a controller")
+	}
+	s := &ProtocolServer{controller: controller, rpc: rdma.NewRPCServer(name, device)}
+	s.register()
+	return s, nil
+}
+
+// RPCServer returns the underlying RPC server (clients connect to it).
+func (s *ProtocolServer) RPCServer() *rdma.RPCServer { return s.rpc }
+
+// Calls returns the number of protocol calls served.
+func (s *ProtocolServer) Calls() uint64 { return s.rpc.Calls() }
+
+// register installs one handler per protocol method.
+func (s *ProtocolServer) register() {
+	s.rpc.Handle("GS_register", jsonHandler(func(req registerRequest) (struct{}, error) {
+		return struct{}{}, s.controller.RegisterServer(ServerID(req.Server), req.TotalMem, nil, nil)
+	}))
+	s.rpc.Handle("GS_goto_zombie", jsonHandler(func(req gotoZombieRequest) (gotoZombieResponse, error) {
+		specs := make([]BufferSpec, len(req.Buffers))
+		for i, b := range req.Buffers {
+			specs[i] = BufferSpec{Offset: b.Offset, Size: b.Size, RKey: b.RKey}
+		}
+		ids, err := s.controller.GotoZombie(ServerID(req.Server), specs)
+		if err != nil {
+			return gotoZombieResponse{}, err
+		}
+		return gotoZombieResponse{IDs: toUint64s(ids)}, nil
+	}))
+	s.rpc.Handle("GS_reclaim", jsonHandler(func(req reclaimRequest) (reclaimResponse, error) {
+		ids, err := s.controller.Reclaim(ServerID(req.Server), req.NbBuffers)
+		if err != nil {
+			return reclaimResponse{}, err
+		}
+		return reclaimResponse{IDs: toUint64s(ids)}, nil
+	}))
+	s.rpc.Handle("GS_alloc_ext", jsonHandler(func(req allocRequest) (allocResponse, error) {
+		bufs, err := s.controller.AllocExt(ServerID(req.Server), req.MemSize)
+		if err != nil {
+			return allocResponse{}, err
+		}
+		return allocResponse{Buffers: toWireBuffers(bufs)}, nil
+	}))
+	s.rpc.Handle("GS_alloc_swap", jsonHandler(func(req allocRequest) (allocResponse, error) {
+		bufs, err := s.controller.AllocSwap(ServerID(req.Server), req.MemSize)
+		if err != nil {
+			return allocResponse{}, err
+		}
+		return allocResponse{Buffers: toWireBuffers(bufs)}, nil
+	}))
+	s.rpc.Handle("GS_release", jsonHandler(func(req releaseRequest) (struct{}, error) {
+		return struct{}{}, s.controller.Release(ServerID(req.Server), toBufferIDs(req.IDs))
+	}))
+	s.rpc.Handle("GS_get_lru_zombie", jsonHandler(func(_ struct{}) (lruZombieResponse, error) {
+		id, err := s.controller.LRUZombie()
+		if err != nil {
+			return lruZombieResponse{}, err
+		}
+		return lruZombieResponse{Server: string(id)}, nil
+	}))
+	s.rpc.Handle("GS_free_mem", jsonHandler(func(_ struct{}) (freeMemResponse, error) {
+		return freeMemResponse{Bytes: s.controller.FreeMemory()}, nil
+	}))
+	s.rpc.Handle("GS_transfer", jsonHandler(func(req transferRequest) (struct{}, error) {
+		return struct{}{}, s.controller.TransferBuffers(ServerID(req.From), ServerID(req.To), toBufferIDs(req.IDs))
+	}))
+}
+
+// jsonHandler adapts a typed request/response function to the raw rdma
+// handler signature, with JSON (de)serialisation at both ends.
+func jsonHandler[Req any, Resp any](fn func(Req) (Resp, error)) rdma.HandlerFunc {
+	return func(args []byte) ([]byte, error) {
+		var req Req
+		if len(args) > 0 {
+			if err := unmarshal(args, &req); err != nil {
+				return nil, fmt.Errorf("memctl: decode request: %w", err)
+			}
+		}
+		resp, err := fn(req)
+		if err != nil {
+			return nil, err
+		}
+		return marshal(resp)
+	}
+}
+
+// ProtocolClient is the caller side of the protocol: it wraps an RPC client
+// with the typed GS_* methods.
+type ProtocolClient struct {
+	server ServerID
+	rpc    *rdma.RPCClient
+
+	// totalLatencyNs accumulates the simulated round-trip time of every call,
+	// so the rack-level experiments can charge protocol overhead.
+	totalLatencyNs int64
+}
+
+// NewProtocolClient connects a caller on the given device to a protocol
+// server. The server ID identifies the calling server in every request.
+func NewProtocolClient(server ServerID, device *rdma.Device, target *ProtocolServer) (*ProtocolClient, error) {
+	if target == nil {
+		return nil, fmt.Errorf("memctl: protocol client needs a server")
+	}
+	cli, err := rdma.NewRPCClient(string(server), device, target.RPCServer())
+	if err != nil {
+		return nil, err
+	}
+	return &ProtocolClient{server: server, rpc: cli}, nil
+}
+
+// Close releases the client's RPC resources.
+func (c *ProtocolClient) Close() { c.rpc.Close() }
+
+// TotalLatencyNs returns the accumulated simulated protocol latency.
+func (c *ProtocolClient) TotalLatencyNs() int64 { return c.totalLatencyNs }
+
+// call performs one RPC, accumulating latency.
+func (c *ProtocolClient) call(method string, req, resp interface{}) error {
+	lat, err := c.rpc.Call(method, req, resp)
+	c.totalLatencyNs += lat
+	return err
+}
+
+// Register adds the calling server to the rack.
+func (c *ProtocolClient) Register(totalMem int64) error {
+	return c.call("GS_register", registerRequest{Server: string(c.server), TotalMem: totalMem}, nil)
+}
+
+// GotoZombie lends buffers and marks the calling server as a zombie.
+func (c *ProtocolClient) GotoZombie(buffers []BufferSpec) ([]BufferID, error) {
+	req := gotoZombieRequest{Server: string(c.server)}
+	for _, b := range buffers {
+		req.Buffers = append(req.Buffers, wireBufferSpec{Offset: b.Offset, Size: b.Size, RKey: b.RKey})
+	}
+	var resp gotoZombieResponse
+	if err := c.call("GS_goto_zombie", req, &resp); err != nil {
+		return nil, err
+	}
+	return toBufferIDs(resp.IDs), nil
+}
+
+// Reclaim takes back nbBuffers of the calling server's lent memory.
+func (c *ProtocolClient) Reclaim(nbBuffers int) ([]BufferID, error) {
+	var resp reclaimResponse
+	if err := c.call("GS_reclaim", reclaimRequest{Server: string(c.server), NbBuffers: nbBuffers}, &resp); err != nil {
+		return nil, err
+	}
+	return toBufferIDs(resp.IDs), nil
+}
+
+// AllocExt requests a guaranteed RAM Extension allocation.
+func (c *ProtocolClient) AllocExt(memSize int64) ([]Buffer, error) {
+	var resp allocResponse
+	if err := c.call("GS_alloc_ext", allocRequest{Server: string(c.server), MemSize: memSize}, &resp); err != nil {
+		return nil, err
+	}
+	return fromWireBuffers(resp.Buffers), nil
+}
+
+// AllocSwap requests a best-effort swap allocation.
+func (c *ProtocolClient) AllocSwap(memSize int64) ([]Buffer, error) {
+	var resp allocResponse
+	if err := c.call("GS_alloc_swap", allocRequest{Server: string(c.server), MemSize: memSize}, &resp); err != nil {
+		return nil, err
+	}
+	return fromWireBuffers(resp.Buffers), nil
+}
+
+// Release returns buffers the calling server no longer uses.
+func (c *ProtocolClient) Release(ids []BufferID) error {
+	return c.call("GS_release", releaseRequest{Server: string(c.server), IDs: toUint64s(ids)}, nil)
+}
+
+// LRUZombie returns the zombie server with the fewest allocated buffers.
+func (c *ProtocolClient) LRUZombie() (ServerID, error) {
+	var resp lruZombieResponse
+	if err := c.call("GS_get_lru_zombie", struct{}{}, &resp); err != nil {
+		return "", err
+	}
+	return ServerID(resp.Server), nil
+}
+
+// FreeMemory returns the rack's unallocated remote memory.
+func (c *ProtocolClient) FreeMemory() (int64, error) {
+	var resp freeMemResponse
+	if err := c.call("GS_free_mem", struct{}{}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Bytes, nil
+}
+
+// Transfer moves ownership of buffers from one user server to another (the
+// migration protocol's ownership-pointer update).
+func (c *ProtocolClient) Transfer(from, to ServerID, ids []BufferID) error {
+	return c.call("GS_transfer", transferRequest{From: string(from), To: string(to), IDs: toUint64s(ids)}, nil)
+}
+
+// --- small conversion helpers ------------------------------------------------
+
+func toUint64s(ids []BufferID) []uint64 {
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
+}
+
+func toBufferIDs(ids []uint64) []BufferID {
+	out := make([]BufferID, len(ids))
+	for i, id := range ids {
+		out[i] = BufferID(id)
+	}
+	return out
+}
+
+func toWireBuffers(bufs []Buffer) []wireBuffer {
+	out := make([]wireBuffer, len(bufs))
+	for i, b := range bufs {
+		out[i] = toWireBuffer(b)
+	}
+	return out
+}
+
+func fromWireBuffers(ws []wireBuffer) []Buffer {
+	out := make([]Buffer, len(ws))
+	for i, w := range ws {
+		out[i] = fromWireBuffer(w)
+	}
+	return out
+}

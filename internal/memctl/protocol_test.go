@@ -1,0 +1,250 @@
+package memctl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rdma"
+)
+
+// protocolRig wires a controller, a protocol server and two protocol clients
+// over a simulated fabric.
+type protocolRig struct {
+	ctr    *GlobalController
+	fabric *rdma.Fabric
+	server *ProtocolServer
+	zombie *ProtocolClient
+	user   *ProtocolClient
+}
+
+func newProtocolRig(t *testing.T) *protocolRig {
+	t.Helper()
+	r := &protocolRig{
+		ctr:    NewGlobalController(WithBufferSize(testBufSize)),
+		fabric: rdma.NewFabric(rdma.DefaultCostModel()),
+	}
+	ctrDev, err := r.fabric.AttachDevice("global-mem-ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.server, err = NewProtocolServer("global-mem-ctr", ctrDev, r.ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zombieDev, _ := r.fabric.AttachDevice("zombie-host")
+	userDev, _ := r.fabric.AttachDevice("user-host")
+	r.zombie, err = NewProtocolClient("zombie-host", zombieDev, r.server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.user, err = NewProtocolClient("user-host", userDev, r.server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestProtocolServerValidation(t *testing.T) {
+	if _, err := NewProtocolServer("x", nil, NewGlobalController()); err == nil {
+		t.Error("nil device should be rejected")
+	}
+	f := rdma.NewFabric(rdma.DefaultCostModel())
+	dev, _ := f.AttachDevice("d")
+	if _, err := NewProtocolServer("x", dev, nil); err == nil {
+		t.Error("nil controller should be rejected")
+	}
+	if _, err := NewProtocolClient("c", dev, nil); err == nil {
+		t.Error("nil protocol server should be rejected")
+	}
+}
+
+func TestProtocolEndToEnd(t *testing.T) {
+	r := newProtocolRig(t)
+	defer r.zombie.Close()
+	defer r.user.Close()
+
+	// Register both servers over the wire.
+	if err := r.zombie.Register(16 * testBufSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.user.Register(16 * testBufSize); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ctr.Servers()) != 2 {
+		t.Fatalf("servers = %v", r.ctr.Servers())
+	}
+
+	// The zombie host lends 8 buffers and transitions to Sz.
+	specs := make([]BufferSpec, 8)
+	for i := range specs {
+		specs[i] = BufferSpec{Offset: int64(i) * testBufSize, Size: testBufSize, RKey: uint32(100 + i)}
+	}
+	ids, err := r.zombie.GotoZombie(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 8 {
+		t.Fatalf("lent %d buffers", len(ids))
+	}
+	if role, _ := r.ctr.Role("zombie-host"); role != RoleZombie {
+		t.Errorf("role = %v", role)
+	}
+
+	// The user host queries free memory and allocates.
+	free, err := r.user.FreeMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 8*testBufSize {
+		t.Errorf("free = %d", free)
+	}
+	bufs, err := r.user.AllocExt(3 * testBufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bufs) != 3 {
+		t.Fatalf("allocated %d buffers", len(bufs))
+	}
+	for _, b := range bufs {
+		if b.Host != "zombie-host" || b.RKey == 0 {
+			t.Errorf("buffer %+v should come from the zombie with its rkey", b)
+		}
+	}
+
+	// Best-effort swap allocation over the wire.
+	swap, err := r.user.AllocSwap(100 * testBufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swap) == 0 || len(swap) > 5 {
+		t.Errorf("swap allocation = %d buffers", len(swap))
+	}
+
+	// LRU zombie lookup.
+	lru, err := r.user.LRUZombie()
+	if err != nil || lru != "zombie-host" {
+		t.Errorf("lru = %q (%v)", lru, err)
+	}
+
+	// Release and reclaim over the wire.
+	relIDs := []BufferID{bufs[0].ID}
+	if err := r.user.Release(relIDs); err != nil {
+		t.Fatal(err)
+	}
+	reclaimed, err := r.zombie.Reclaim(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reclaimed) != 4 {
+		t.Errorf("reclaimed %d", len(reclaimed))
+	}
+	if err := r.ctr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every call travelled through the fabric with a simulated latency.
+	if r.user.TotalLatencyNs() <= 0 || r.zombie.TotalLatencyNs() <= 0 {
+		t.Error("protocol latency should be accounted")
+	}
+	if r.server.Calls() < 8 {
+		t.Errorf("server should have served at least 8 calls, got %d", r.server.Calls())
+	}
+	if r.fabric.Stats().Writes == 0 {
+		t.Error("the protocol should ride on one-sided RDMA writes")
+	}
+}
+
+func TestProtocolErrorsPropagate(t *testing.T) {
+	r := newProtocolRig(t)
+	// Allocating for an unregistered server fails across the wire.
+	if _, err := r.user.AllocExt(testBufSize); err == nil {
+		t.Error("allocation before registration should fail")
+	}
+	if err := r.user.Register(16 * testBufSize); err != nil {
+		t.Fatal(err)
+	}
+	// A guaranteed allocation beyond the rack's memory fails.
+	if _, err := r.user.AllocExt(1 << 40); err == nil {
+		t.Error("oversized guaranteed allocation should fail")
+	}
+	// No zombie yet.
+	if _, err := r.user.LRUZombie(); err == nil {
+		t.Error("LRU zombie with no zombie should fail")
+	}
+	// Double registration is rejected by the controller and surfaces.
+	if err := r.user.Register(16 * testBufSize); err == nil {
+		t.Error("double registration should fail")
+	}
+}
+
+func TestTransferBuffers(t *testing.T) {
+	r := newTestRack(t, "user-a", "user-b", "zombie")
+	if _, err := r.agents["zombie"].DelegateAndGoZombie(); err != nil {
+		t.Fatal(err)
+	}
+	handles, err := r.agents["user-a"].RequestExt(4 * testBufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]BufferID, len(handles))
+	for i, h := range handles {
+		ids[i] = h.ID
+	}
+
+	// Transfer ownership to user-b (the migration ownership-pointer update).
+	if err := r.ctr.TransferBuffers("user-a", "user-b", ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.ctr.BuffersOf("user-b")); got != 4 {
+		t.Errorf("user-b owns %d buffers, want 4", got)
+	}
+	if got := len(r.ctr.BuffersOf("user-a")); got != 0 {
+		t.Errorf("user-a still owns %d buffers", got)
+	}
+	if err := r.ctr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error paths: unknown destination, wrong current owner, unknown buffer.
+	if err := r.ctr.TransferBuffers("user-b", "ghost", ids); !errors.Is(err, ErrUnknownServer) {
+		t.Errorf("transfer to unknown server: %v", err)
+	}
+	if err := r.ctr.TransferBuffers("user-a", "user-b", ids); err == nil {
+		t.Error("transfer from the wrong owner should fail")
+	}
+	if err := r.ctr.TransferBuffers("user-b", "user-a", []BufferID{9999}); err == nil {
+		t.Error("transfer of an unknown buffer should fail")
+	}
+	// Failed transfers must not have moved anything.
+	if got := len(r.ctr.BuffersOf("user-b")); got != 4 {
+		t.Errorf("failed transfers must be atomic, user-b owns %d", got)
+	}
+}
+
+func TestTransferOverProtocol(t *testing.T) {
+	r := newProtocolRig(t)
+	if err := r.zombie.Register(16 * testBufSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.user.Register(16 * testBufSize); err != nil {
+		t.Fatal(err)
+	}
+	specs := []BufferSpec{{Offset: 0, Size: testBufSize}}
+	if _, err := r.zombie.GotoZombie(specs); err != nil {
+		t.Fatal(err)
+	}
+	bufs, err := r.user.AllocExt(testBufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register a third server and transfer the buffer to it over the wire.
+	if err := r.ctr.RegisterServer("dest-host", 16*testBufSize, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.user.Transfer("user-host", "dest-host", []BufferID{bufs[0].ID}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.ctr.BuffersOf("dest-host")); got != 1 {
+		t.Errorf("dest-host owns %d buffers, want 1", got)
+	}
+}

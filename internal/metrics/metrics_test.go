@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("expected zero summary, got %+v", s)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Fatalf("min/max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, math.Sqrt(2.5))
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v, want 3", s.P50)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Errorf("p0 = %v, want 10", got)
+	}
+	if got := Percentile(sorted, 1); got != 40 {
+		t.Errorf("p100 = %v, want 40", got)
+	}
+	if got := Percentile(sorted, 0.5); got != 25 {
+		t.Errorf("p50 = %v, want 25", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		sample := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				sample = append(sample, v)
+			}
+		}
+		if len(sample) == 0 {
+			return true
+		}
+		s := Summarize(sample)
+		pp := math.Abs(math.Mod(p, 1))
+		sorted := append([]float64(nil), sample...)
+		sortFloats(sorted)
+		v := Percentile(sorted, pp)
+		return v >= s.Min-1e-9 && v <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("GeoMean of non-positives = %v, want 0", got)
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange(100, 150); got != 50 {
+		t.Errorf("RelativeChange = %v, want 50", got)
+	}
+	if got := RelativeChange(0, 5); !math.IsInf(got, 1) {
+		t.Errorf("RelativeChange(0,5) = %v, want +Inf", got)
+	}
+	if got := RelativeChange(0, 0); got != 0 {
+		t.Errorf("RelativeChange(0,0) = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "a", "bbbb")
+	tb.AddRow("1", "2")
+	tb.AddRowf(3.5, "x")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Errorf("missing title in %q", out)
+	}
+	if !strings.Contains(out, "bbbb") {
+		t.Errorf("missing header in %q", out)
+	}
+	if !strings.Contains(out, "3.50") {
+		t.Errorf("missing formatted float in %q", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.14:   "3.14",
+		0.1234: "0.123",
+		123.45: "123.5",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(math.Inf(1)); got != "inf" {
+		t.Errorf("FormatFloat(+Inf) = %q", got)
+	}
+	if got := FormatPercent(math.Inf(1)); got != "inf" {
+		t.Errorf("FormatPercent(+Inf) = %q", got)
+	}
+	if got := FormatPercent(12.5); got != "12.50%" {
+		t.Errorf("FormatPercent(12.5) = %q", got)
+	}
+}
+
+func TestSeriesAndRender(t *testing.T) {
+	s1 := &Series{Name: "native"}
+	s2 := &Series{Name: "zombie"}
+	for i := 0; i < 4; i++ {
+		s1.Add(float64(i*20), float64(10+i))
+		s2.Add(float64(i*20), float64(5+i))
+	}
+	if s1.Len() != 4 {
+		t.Fatalf("series len = %d, want 4", s1.Len())
+	}
+	out := RenderSeries("fig", "wss", s1, s2)
+	if !strings.Contains(out, "native") || !strings.Contains(out, "zombie") {
+		t.Errorf("series names missing in %q", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 6 {
+		t.Errorf("expected at least 6 lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Inc() != 1 || c.Add(4) != 5 || c.Value() != 5 {
+		t.Fatalf("counter sequence wrong: %v", c.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5555 {
+		t.Fatalf("sum = %v, want 5555", h.Sum())
+	}
+	if math.Abs(h.Mean()-1388.75) > 1e-9 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets shape wrong: %v %v", bounds, counts)
+	}
+	for _, c := range counts {
+		if c != 1 {
+			t.Fatalf("each bucket should hold one observation: %v", counts)
+		}
+	}
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 {
+		t.Fatalf("empty histogram mean = %v, want 0", h.Mean())
+	}
+}

@@ -1,0 +1,207 @@
+// Package migration models the two live-migration protocols compared in the
+// paper's Section 6.5 (Figure 9):
+//
+//   - the vanilla pre-copy migration, which iteratively copies dirty pages
+//     while the VM keeps running and whose duration is dominated by the fixed
+//     number of copy rounds over the VM's full memory;
+//   - the ZombieStack protocol, which stops the VM, copies only the hot pages
+//     resident in the source host's local memory (about half of the working
+//     set with the 50% placement rule), and leaves the remote part untouched:
+//     only the ownership pointers of the remote buffers are updated.
+package migration
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Network carries the transfer characteristics of the migration path.
+type Network struct {
+	// BandwidthBytesPerSec is the sustained migration throughput.
+	BandwidthBytesPerSec float64
+	// PerPageOverheadNs is the per-page protocol overhead.
+	PerPageOverheadNs float64
+	// RTTNs is the control-message round-trip (start, handshakes, switchover).
+	RTTNs float64
+}
+
+// DefaultNetwork returns 10 GbE-like migration characteristics (live
+// migration traffic normally rides the datacenter network, not the RDMA
+// fabric).
+func DefaultNetwork() Network {
+	return Network{
+		BandwidthBytesPerSec: 1.1e9,
+		PerPageOverheadNs:    200,
+		RTTNs:                200_000,
+	}
+}
+
+// Result describes one migration.
+type Result struct {
+	// Protocol is "vanilla-precopy" or "zombiestack".
+	Protocol string
+	// BytesTransferred is the memory actually copied to the destination.
+	BytesTransferred int64
+	// PagesTransferred is the page count copied.
+	PagesTransferred int64
+	// DurationNs is the total migration time.
+	DurationNs float64
+	// DowntimeNs is the time the VM was paused.
+	DowntimeNs float64
+	// RemoteOwnershipUpdates counts remote buffers whose ownership pointer
+	// was switched instead of copying the data (ZombieStack only).
+	RemoteOwnershipUpdates int
+}
+
+// DurationSeconds returns the migration time in seconds, the unit of Fig. 9.
+func (r Result) DurationSeconds() float64 { return r.DurationNs / 1e9 }
+
+// Vanilla models the unmodified pre-copy protocol.
+type Vanilla struct {
+	Network Network
+	// CopyRounds is the fixed number of pre-copy iterations. The paper
+	// observes that vanilla migration time barely depends on the WSS because
+	// this iteration count is fixed.
+	CopyRounds int
+	// DirtyRate is the fraction of the WSS redirtied (and therefore
+	// recopied) per round while the VM keeps running.
+	DirtyRate float64
+}
+
+// NewVanilla returns the vanilla protocol with 3 copy rounds and a 12% per-
+// round redirty rate.
+func NewVanilla() *Vanilla {
+	return &Vanilla{Network: DefaultNetwork(), CopyRounds: 3, DirtyRate: 0.12}
+}
+
+// Migrate estimates the migration of the VM. wssRatio is the fraction of the
+// VM's reserved memory that is actively written (the x axis of Fig. 9).
+func (v *Vanilla) Migrate(machine vm.VM, wssRatio float64) (Result, error) {
+	if err := machine.Validate(); err != nil {
+		return Result{}, err
+	}
+	if wssRatio < 0 || wssRatio > 1 {
+		return Result{}, fmt.Errorf("migration: wss ratio %v outside [0,1]", wssRatio)
+	}
+	rounds := v.CopyRounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	pageSize := int64(machine.EffectivePageSize())
+
+	// Round 1 copies the whole reservation; each further round copies the
+	// pages the running VM redirtied (a fraction of the WSS).
+	bytes := machine.ReservedBytes
+	wssBytes := int64(float64(machine.ReservedBytes) * wssRatio)
+	for i := 1; i < rounds; i++ {
+		bytes += int64(float64(wssBytes) * v.DirtyRate)
+	}
+	// The final stop-and-copy round transfers the last dirty set.
+	finalDirty := int64(float64(wssBytes) * v.DirtyRate)
+	bytes += finalDirty
+
+	pages := bytes / pageSize
+	transferNs := float64(bytes)/v.Network.BandwidthBytesPerSec*1e9 +
+		float64(pages)*v.Network.PerPageOverheadNs + v.Network.RTTNs
+	downtime := float64(finalDirty)/v.Network.BandwidthBytesPerSec*1e9 + v.Network.RTTNs
+	return Result{
+		Protocol:         "vanilla-precopy",
+		BytesTransferred: bytes,
+		PagesTransferred: pages,
+		DurationNs:       transferNs,
+		DowntimeNs:       downtime,
+	}, nil
+}
+
+// ZombieStack models the paper's protocol: stop the VM, copy the local (hot)
+// part, update ownership of the remote buffers, resume on the destination.
+type ZombieStack struct {
+	Network Network
+	// OwnershipUpdateNs is the cost of re-pointing one remote buffer.
+	OwnershipUpdateNs float64
+	// BufferSize is the remote buffer granularity (for counting updates).
+	BufferSize int64
+}
+
+// NewZombieStack returns the protocol with default parameters (64 MiB
+// buffers, 20 microseconds per ownership update through the controller).
+func NewZombieStack() *ZombieStack {
+	return &ZombieStack{Network: DefaultNetwork(), OwnershipUpdateNs: 20_000, BufferSize: 64 << 20}
+}
+
+// Migrate estimates the migration of a VM whose localFraction of reserved
+// memory is local to the source host (the rest lives in remote buffers).
+// Only the local pages that belong to the working set are hot and need to be
+// copied; the cold local pages are demoted to remote buffers as part of the
+// switchover (ownership updates, no copy).
+func (z *ZombieStack) Migrate(machine vm.VM, wssRatio, localFraction float64) (Result, error) {
+	if err := machine.Validate(); err != nil {
+		return Result{}, err
+	}
+	if wssRatio < 0 || wssRatio > 1 {
+		return Result{}, fmt.Errorf("migration: wss ratio %v outside [0,1]", wssRatio)
+	}
+	if localFraction <= 0 || localFraction > 1 {
+		return Result{}, fmt.Errorf("migration: local fraction %v outside (0,1]", localFraction)
+	}
+	pageSize := int64(machine.EffectivePageSize())
+
+	// The replacement policy keeps hot pages local, so the memory to copy is
+	// the intersection of the WSS and the local fraction.
+	localBytes := int64(float64(machine.ReservedBytes) * localFraction)
+	wssBytes := int64(float64(machine.ReservedBytes) * wssRatio)
+	hotLocal := wssBytes
+	if hotLocal > localBytes {
+		hotLocal = localBytes
+	}
+	pages := hotLocal / pageSize
+
+	remoteBytes := machine.ReservedBytes - localBytes
+	updates := 0
+	if remoteBytes > 0 && z.BufferSize > 0 {
+		updates = int((remoteBytes + z.BufferSize - 1) / z.BufferSize)
+	}
+
+	transferNs := float64(hotLocal)/z.Network.BandwidthBytesPerSec*1e9 +
+		float64(pages)*z.Network.PerPageOverheadNs +
+		float64(updates)*z.OwnershipUpdateNs + z.Network.RTTNs
+	// Post-copy style: the VM is stopped for the whole (short) transfer.
+	return Result{
+		Protocol:               "zombiestack",
+		BytesTransferred:       hotLocal,
+		PagesTransferred:       pages,
+		DurationNs:             transferNs,
+		DowntimeNs:             transferNs,
+		RemoteOwnershipUpdates: updates,
+	}, nil
+}
+
+// Figure9Point is one x position of Fig. 9: migration time of both protocols
+// for a given WSS ratio.
+type Figure9Point struct {
+	WSSRatio   float64
+	VanillaSec float64
+	ZombieSec  float64
+}
+
+// Figure9 sweeps the WSS ratio (the paper uses 20..80% of the VM's memory)
+// and returns both protocols' migration times. localFraction is the share of
+// the VM's memory kept local under ZombieStack (50% per the placement rule).
+func Figure9(machine vm.VM, wssRatios []float64, localFraction float64) ([]Figure9Point, error) {
+	v := NewVanilla()
+	z := NewZombieStack()
+	out := make([]Figure9Point, 0, len(wssRatios))
+	for _, w := range wssRatios {
+		rv, err := v.Migrate(machine, w)
+		if err != nil {
+			return nil, err
+		}
+		rz, err := z.Migrate(machine, w, localFraction)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure9Point{WSSRatio: w, VanillaSec: rv.DurationSeconds(), ZombieSec: rz.DurationSeconds()})
+	}
+	return out, nil
+}

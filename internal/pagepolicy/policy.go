@@ -1,0 +1,341 @@
+// Package pagepolicy implements the page replacement policies compared in the
+// paper's Section 6.2 (Figure 8): FIFO, Clock and Mixed.
+//
+// The policies decide which local page frame to demote to remote memory when
+// local memory becomes scarce. Each policy also accounts the CPU cycles it
+// spends inside the page fault handler (list iteration, accessed-bit
+// management), because that cost is one of the three quantities Figure 8
+// reports.
+package pagepolicy
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID identifies a guest page tracked by a policy.
+type PageID uint64
+
+// Cost models the per-operation CPU cost of a policy, in cycles.
+type Cost struct {
+	// IterationCycles is the cost of examining one list element.
+	IterationCycles uint64
+	// AccessedBitCycles is the cost of reading or clearing one accessed bit.
+	AccessedBitCycles uint64
+	// BaseCycles is the fixed cost of invoking the policy.
+	BaseCycles uint64
+}
+
+// DefaultCost returns the cost parameters used throughout the repository
+// (representative x86 magnitudes: a dependent memory read per list element, a
+// page-table walk per accessed-bit probe).
+func DefaultCost() Cost {
+	return Cost{IterationCycles: 12, AccessedBitCycles: 40, BaseCycles: 120}
+}
+
+// Policy selects victim pages for demotion to remote memory.
+type Policy interface {
+	// Name returns the policy name ("fifo", "clock", "mixed").
+	Name() string
+	// Fault records that the page generated a page fault and is now resident
+	// in local memory (appended to the policy's bookkeeping).
+	Fault(p PageID)
+	// Access records an access to a resident page (sets its accessed bit).
+	Access(p PageID)
+	// Evict chooses a victim among resident pages and removes it from the
+	// bookkeeping. It returns the victim and the number of CPU cycles the
+	// selection consumed. ok is false when no page is resident.
+	Evict() (victim PageID, cycles uint64, ok bool)
+	// Remove forgets a resident page without counting it as an eviction
+	// (used when a VM releases memory or migrates).
+	Remove(p PageID)
+	// Len returns the number of resident pages tracked.
+	Len() int
+	// TotalCycles returns the cumulative cycles consumed by Evict calls.
+	TotalCycles() uint64
+	// Evictions returns the number of successful Evict calls.
+	Evictions() uint64
+}
+
+// entry is one element of the FIFO list shared by all three policies.
+type entry struct {
+	page     PageID
+	accessed bool
+}
+
+// base carries the FIFO list machinery shared by the policies.
+type base struct {
+	cost    Cost
+	order   *list.List // front = oldest fault
+	index   map[PageID]*list.Element
+	cycles  uint64
+	evicted uint64
+}
+
+func newBase(cost Cost) base {
+	return base{cost: cost, order: list.New(), index: make(map[PageID]*list.Element)}
+}
+
+func (b *base) Fault(p PageID) {
+	if el, ok := b.index[p]; ok {
+		// Refaulting an already-tracked page refreshes its accessed bit only;
+		// its position in the FIFO list is defined by its oldest fault.
+		el.Value.(*entry).accessed = true
+		return
+	}
+	b.index[p] = b.order.PushBack(&entry{page: p})
+}
+
+func (b *base) Access(p PageID) {
+	if el, ok := b.index[p]; ok {
+		el.Value.(*entry).accessed = true
+	}
+}
+
+func (b *base) Remove(p PageID) {
+	if el, ok := b.index[p]; ok {
+		b.order.Remove(el)
+		delete(b.index, p)
+	}
+}
+
+func (b *base) Len() int { return b.order.Len() }
+
+func (b *base) TotalCycles() uint64 { return b.cycles }
+
+func (b *base) Evictions() uint64 { return b.evicted }
+
+func (b *base) removeElement(el *list.Element) PageID {
+	e := el.Value.(*entry)
+	b.order.Remove(el)
+	delete(b.index, e.page)
+	return e.page
+}
+
+// FIFO evicts the page with the oldest recorded fault.
+type FIFO struct {
+	base
+}
+
+// NewFIFO returns a FIFO policy with the given cost parameters.
+func NewFIFO(cost Cost) *FIFO { return &FIFO{base: newBase(cost)} }
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return "fifo" }
+
+// Evict implements Policy: the victim is the front of the FIFO list.
+func (f *FIFO) Evict() (PageID, uint64, bool) {
+	cycles := f.cost.BaseCycles
+	front := f.order.Front()
+	if front == nil {
+		f.cycles += cycles
+		return 0, cycles, false
+	}
+	cycles += f.cost.IterationCycles
+	victim := f.removeElement(front)
+	f.cycles += cycles
+	f.evicted++
+	return victim, cycles, true
+}
+
+// ClockClearPeriod is the number of evictions between two runs of the
+// accessed-bit clearing daemon ("the accessed bit of all pages is
+// periodically cleared" in the paper's Clock description). Its cost is
+// charged to the Clock policy; Mixed bounds that management cost to its
+// window, which is the paper's motivation for Mixed.
+const ClockClearPeriod = 8
+
+// Clock is the second-chance policy: a hand iterates circularly over the
+// FIFO list, clearing accessed bits as it passes and evicting the first page
+// whose bit is already clear. A page therefore gets a full revolution of the
+// hand to prove it is still in use, which protects hot pages; the price is an
+// unbounded scan when many consecutive pages have their bits set, plus the
+// periodic accessed-bit management over every resident page — the costs the
+// paper's Mixed policy was designed to curb.
+type Clock struct {
+	base
+	hand *list.Element
+}
+
+// NewClock returns a Clock policy with the given cost parameters.
+func NewClock(cost Cost) *Clock { return &Clock{base: newBase(cost)} }
+
+// Name implements Policy.
+func (c *Clock) Name() string { return "clock" }
+
+// Remove implements Policy, keeping the hand valid when its element goes.
+func (c *Clock) Remove(p PageID) {
+	if el, ok := c.index[p]; ok && el == c.hand {
+		c.hand = c.advance(c.hand)
+	}
+	c.base.Remove(p)
+}
+
+// advance moves the hand one step, wrapping to the front.
+func (c *Clock) advance(el *list.Element) *list.Element {
+	if el == nil {
+		return c.order.Front()
+	}
+	next := el.Next()
+	if next == nil {
+		next = c.order.Front()
+	}
+	return next
+}
+
+// Evict implements Policy.
+func (c *Clock) Evict() (PageID, uint64, bool) {
+	cycles := c.cost.BaseCycles
+	n := c.order.Len()
+	if n == 0 {
+		c.cycles += cycles
+		return 0, cycles, false
+	}
+	// Amortized cost of the periodic accessed-bit clearing daemon: every
+	// ClockClearPeriod evictions it touches the bit of every resident page.
+	cycles += uint64(n) * c.cost.AccessedBitCycles / ClockClearPeriod
+	if c.hand == nil {
+		c.hand = c.order.Front()
+	}
+	// At most two revolutions: the first may clear every bit, the second is
+	// then guaranteed to find a victim.
+	for i := 0; i < 2*n; i++ {
+		cycles += c.cost.IterationCycles + c.cost.AccessedBitCycles
+		e := c.hand.Value.(*entry)
+		if !e.accessed {
+			victimEl := c.hand
+			c.hand = c.advance(c.hand)
+			if c.hand == victimEl {
+				c.hand = nil
+			}
+			victim := c.removeElement(victimEl)
+			c.cycles += cycles
+			c.evicted++
+			return victim, cycles, true
+		}
+		e.accessed = false
+		c.hand = c.advance(c.hand)
+	}
+	// Unreachable: after one revolution every bit is clear.
+	victim := c.removeElement(c.order.Front())
+	c.cycles += cycles
+	c.evicted++
+	return victim, cycles, true
+}
+
+// Mixed applies the Clock policy to a bounded window of the list (advancing
+// the same kind of hand, but at most Window steps per eviction); if every
+// page in the window had its accessed bit set, it falls back to FIFO and
+// evicts the oldest page beyond the window. This bounds both the iteration
+// cost and the accessed-bit management of Clock while still avoiding the
+// eviction of a page that was recently used, which is why the paper finds it
+// the best of the three.
+type Mixed struct {
+	base
+	window int
+	hand   *list.Element
+}
+
+// DefaultMixedWindow is the paper's example window (x = 5).
+const DefaultMixedWindow = 5
+
+// NewMixed returns a Mixed policy with the given clock window.
+func NewMixed(cost Cost, window int) *Mixed {
+	if window <= 0 {
+		window = DefaultMixedWindow
+	}
+	return &Mixed{base: newBase(cost), window: window}
+}
+
+// Name implements Policy.
+func (m *Mixed) Name() string { return "mixed" }
+
+// Window returns the clock window size.
+func (m *Mixed) Window() int { return m.window }
+
+// Remove implements Policy, keeping the hand valid when its element goes.
+func (m *Mixed) Remove(p PageID) {
+	if el, ok := m.index[p]; ok && el == m.hand {
+		m.hand = m.advance(m.hand)
+	}
+	m.base.Remove(p)
+}
+
+// advance moves the hand one step, wrapping to the front.
+func (m *Mixed) advance(el *list.Element) *list.Element {
+	if el == nil {
+		return m.order.Front()
+	}
+	next := el.Next()
+	if next == nil {
+		next = m.order.Front()
+	}
+	return next
+}
+
+// Evict implements Policy.
+func (m *Mixed) Evict() (PageID, uint64, bool) {
+	cycles := m.cost.BaseCycles
+	n := m.order.Len()
+	if n == 0 {
+		m.cycles += cycles
+		return 0, cycles, false
+	}
+	if m.hand == nil {
+		m.hand = m.order.Front()
+	}
+	steps := m.window
+	if steps > n {
+		steps = n
+	}
+	for i := 0; i < steps; i++ {
+		cycles += m.cost.IterationCycles + m.cost.AccessedBitCycles
+		e := m.hand.Value.(*entry)
+		if !e.accessed {
+			victimEl := m.hand
+			m.hand = m.advance(m.hand)
+			if m.hand == victimEl {
+				m.hand = nil
+			}
+			victim := m.removeElement(victimEl)
+			m.cycles += cycles
+			m.evicted++
+			return victim, cycles, true
+		}
+		e.accessed = false
+		m.hand = m.advance(m.hand)
+	}
+	// Window exhausted: fall back to FIFO over the rest of the list — evict
+	// the oldest page that the clock window did not just examine (i.e. the
+	// current hand position).
+	cycles += m.cost.IterationCycles
+	victimEl := m.hand
+	if victimEl == nil {
+		victimEl = m.order.Front()
+	}
+	m.hand = m.advance(victimEl)
+	if m.hand == victimEl {
+		m.hand = nil
+	}
+	victim := m.removeElement(victimEl)
+	m.cycles += cycles
+	m.evicted++
+	return victim, cycles, true
+}
+
+// New constructs a policy by name: "fifo", "clock" or "mixed".
+func New(name string, cost Cost) (Policy, error) {
+	switch name {
+	case "fifo":
+		return NewFIFO(cost), nil
+	case "clock":
+		return NewClock(cost), nil
+	case "mixed":
+		return NewMixed(cost, DefaultMixedWindow), nil
+	default:
+		return nil, fmt.Errorf("pagepolicy: unknown policy %q", name)
+	}
+}
+
+// Names lists the available policy names in the paper's order.
+func Names() []string { return []string{"fifo", "clock", "mixed"} }

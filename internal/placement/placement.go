@@ -1,0 +1,259 @@
+// Package placement implements the Nova-style VM scheduler of Section 5.1:
+// a filter phase keeps the hosts able to run the VM, and a weigh phase ranks
+// them according to the placement strategy (stacking or spreading).
+//
+// ZombieStack relaxes the vanilla memory filter: a host is suitable when at
+// least LocalMemoryRule (50%) of the VM's reserved memory is available
+// locally, provided the rack can supply the remainder as remote memory. The
+// 50% figure comes from the paper's empirical study (Table 1): below it, even
+// well-behaved workloads pay unacceptable penalties.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/vm"
+)
+
+// LocalMemoryRule is the minimum fraction of a VM's reserved memory that must
+// be available locally on the chosen host (Section 5.1).
+const LocalMemoryRule = 0.5
+
+// HostID identifies a candidate host.
+type HostID string
+
+// Host is the scheduler's view of one candidate server.
+type Host struct {
+	ID HostID
+	// TotalCPUs and UsedCPUs describe the vCPU capacity.
+	TotalCPUs int
+	UsedCPUs  int
+	// TotalMemory and UsedMemory describe the local RAM, in bytes.
+	TotalMemory int64
+	UsedMemory  int64
+	// PoweredOn reports whether the host is in S0 (a suspended host cannot
+	// receive a VM without being woken first).
+	PoweredOn bool
+}
+
+// FreeCPUs returns the available vCPUs.
+func (h Host) FreeCPUs() int { return h.TotalCPUs - h.UsedCPUs }
+
+// FreeMemory returns the available local memory.
+func (h Host) FreeMemory() int64 { return h.TotalMemory - h.UsedMemory }
+
+// CPUUtilization returns used/total vCPUs (0..1).
+func (h Host) CPUUtilization() float64 {
+	if h.TotalCPUs == 0 {
+		return 0
+	}
+	return float64(h.UsedCPUs) / float64(h.TotalCPUs)
+}
+
+// MemoryUtilization returns used/total memory (0..1).
+func (h Host) MemoryUtilization() float64 {
+	if h.TotalMemory == 0 {
+		return 0
+	}
+	return float64(h.UsedMemory) / float64(h.TotalMemory)
+}
+
+// Strategy selects how suitable hosts are ranked.
+type Strategy int
+
+// Placement strategies.
+const (
+	// Stacking packs VMs onto the fewest hosts (energy-oriented).
+	Stacking Strategy = iota
+	// Spreading balances load across hosts (performance-oriented).
+	Spreading
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == Stacking {
+		return "stacking"
+	}
+	return "spreading"
+}
+
+// Errors returned by the scheduler.
+var (
+	ErrNoSuitableHost = errors.New("placement: no suitable host")
+)
+
+// Request is one placement request.
+type Request struct {
+	VM vm.VM
+	// RemoteMemoryAvailable is the remote memory the rack can currently
+	// provide (from the global memory controller).
+	RemoteMemoryAvailable int64
+	// Strategy ranks the suitable hosts; Stacking by default.
+	Strategy Strategy
+}
+
+// Decision is the scheduler's answer.
+type Decision struct {
+	Host HostID
+	// LocalBytes is the VM memory to back with the host's local RAM.
+	LocalBytes int64
+	// RemoteBytes is the VM memory to back with remote buffers.
+	RemoteBytes int64
+}
+
+// Scheduler filters and weighs hosts.
+type Scheduler struct {
+	// ZombieAware enables the relaxed memory filter (the ZombieStack
+	// behaviour). When false the scheduler behaves like vanilla Nova: the
+	// host must hold the VM's full reservation locally.
+	ZombieAware bool
+	// MinLocalFraction overrides LocalMemoryRule when positive.
+	MinLocalFraction float64
+}
+
+// NewScheduler returns a zombie-aware scheduler using the 50% rule.
+func NewScheduler() *Scheduler {
+	return &Scheduler{ZombieAware: true, MinLocalFraction: LocalMemoryRule}
+}
+
+// NewVanillaScheduler returns a scheduler with the unmodified Nova behaviour.
+func NewVanillaScheduler() *Scheduler {
+	return &Scheduler{ZombieAware: false}
+}
+
+// minLocal returns the effective minimum local fraction.
+func (s *Scheduler) minLocal() float64 {
+	if !s.ZombieAware {
+		return 1.0
+	}
+	if s.MinLocalFraction > 0 && s.MinLocalFraction <= 1 {
+		return s.MinLocalFraction
+	}
+	return LocalMemoryRule
+}
+
+// Filter returns the hosts able to receive the VM, in input order.
+func (s *Scheduler) Filter(hosts []Host, req Request) []Host {
+	minLocalBytes := int64(float64(req.VM.ReservedBytes) * s.minLocal())
+	var out []Host
+	for _, h := range hosts {
+		if !h.PoweredOn {
+			continue
+		}
+		if h.FreeCPUs() < req.VM.VCPUs {
+			continue
+		}
+		free := h.FreeMemory()
+		if free < minLocalBytes {
+			continue
+		}
+		if free < req.VM.ReservedBytes {
+			// The remainder must be available as remote memory.
+			if !s.ZombieAware || req.RemoteMemoryAvailable < req.VM.ReservedBytes-free {
+				continue
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Weigh sorts suitable hosts according to the strategy. Stacking prefers the
+// most-utilized host that still fits (to concentrate load and free servers
+// for Sz); spreading prefers the least-utilized. Ties break on host ID for
+// determinism.
+func (s *Scheduler) Weigh(hosts []Host, strategy Strategy) []Host {
+	out := append([]Host(nil), hosts...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ui := out[i].CPUUtilization() + out[i].MemoryUtilization()
+		uj := out[j].CPUUtilization() + out[j].MemoryUtilization()
+		if ui == uj {
+			return out[i].ID < out[j].ID
+		}
+		if strategy == Stacking {
+			return ui > uj
+		}
+		return ui < uj
+	})
+	return out
+}
+
+// Place runs filter + weigh and returns the placement decision for the best
+// host, including how much of the VM's memory is local versus remote.
+func (s *Scheduler) Place(hosts []Host, req Request) (Decision, error) {
+	if err := req.VM.Validate(); err != nil {
+		return Decision{}, fmt.Errorf("placement: %w", err)
+	}
+	suitable := s.Filter(hosts, req)
+	if len(suitable) == 0 {
+		return Decision{}, ErrNoSuitableHost
+	}
+	ranked := s.Weigh(suitable, req.Strategy)
+	best := ranked[0]
+	local := req.VM.ReservedBytes
+	if best.FreeMemory() < local {
+		local = best.FreeMemory()
+	}
+	return Decision{
+		Host:        best.ID,
+		LocalBytes:  local,
+		RemoteBytes: req.VM.ReservedBytes - local,
+	}, nil
+}
+
+// AdmissionController enforces the rack-level guarantee of Section 4.4: the
+// sum of guaranteed (RAM Ext) remote allocations can never exceed the rack's
+// delegatable memory, so GS_alloc_ext always succeeds for admitted VMs.
+type AdmissionController struct {
+	capacity  int64
+	committed int64
+}
+
+// NewAdmissionController creates a controller for the given delegatable
+// remote memory capacity.
+func NewAdmissionController(capacityBytes int64) *AdmissionController {
+	return &AdmissionController{capacity: capacityBytes}
+}
+
+// Admit reserves remoteBytes of guaranteed remote memory for a VM. It fails
+// when the reservation would overcommit the rack.
+func (a *AdmissionController) Admit(remoteBytes int64) error {
+	if remoteBytes < 0 {
+		return fmt.Errorf("placement: negative remote reservation")
+	}
+	if a.committed+remoteBytes > a.capacity {
+		return fmt.Errorf("placement: admission control rejects %d bytes (committed %d of %d)",
+			remoteBytes, a.committed, a.capacity)
+	}
+	a.committed += remoteBytes
+	return nil
+}
+
+// Release returns a previously admitted reservation.
+func (a *AdmissionController) Release(remoteBytes int64) {
+	a.committed -= remoteBytes
+	if a.committed < 0 {
+		a.committed = 0
+	}
+}
+
+// SetCapacity updates the delegatable capacity (servers joining/leaving Sz).
+func (a *AdmissionController) SetCapacity(capacityBytes int64) {
+	if capacityBytes >= 0 {
+		a.capacity = capacityBytes
+	}
+}
+
+// Committed returns the currently committed guaranteed remote memory.
+func (a *AdmissionController) Committed() int64 { return a.committed }
+
+// Available returns the remaining admittable remote memory.
+func (a *AdmissionController) Available() int64 {
+	v := a.capacity - a.committed
+	if v < 0 {
+		return 0
+	}
+	return v
+}

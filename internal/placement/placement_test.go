@@ -1,0 +1,232 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+func sampleHosts() []Host {
+	return []Host{
+		{ID: "h1", TotalCPUs: 16, UsedCPUs: 8, TotalMemory: 16 << 30, UsedMemory: 12 << 30, PoweredOn: true},
+		{ID: "h2", TotalCPUs: 16, UsedCPUs: 2, TotalMemory: 16 << 30, UsedMemory: 2 << 30, PoweredOn: true},
+		{ID: "h3", TotalCPUs: 16, UsedCPUs: 0, TotalMemory: 16 << 30, UsedMemory: 0, PoweredOn: false},
+	}
+}
+
+func TestHostAccounting(t *testing.T) {
+	h := sampleHosts()[0]
+	if h.FreeCPUs() != 8 || h.FreeMemory() != 4<<30 {
+		t.Errorf("free cpu/mem = %d/%d", h.FreeCPUs(), h.FreeMemory())
+	}
+	if h.CPUUtilization() != 0.5 || h.MemoryUtilization() != 0.75 {
+		t.Errorf("utilization = %v/%v", h.CPUUtilization(), h.MemoryUtilization())
+	}
+	var empty Host
+	if empty.CPUUtilization() != 0 || empty.MemoryUtilization() != 0 {
+		t.Error("empty host utilization should be zero")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Stacking.String() != "stacking" || Spreading.String() != "spreading" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestVanillaFilterRequiresFullMemory(t *testing.T) {
+	s := NewVanillaScheduler()
+	req := Request{VM: vm.New("v", 8<<30, 6<<30), RemoteMemoryAvailable: 64 << 30}
+	suitable := s.Filter(sampleHosts(), req)
+	// Only h2 has 14 GiB free; h1 has 4 GiB; h3 is off.
+	if len(suitable) != 1 || suitable[0].ID != "h2" {
+		t.Fatalf("vanilla filter = %+v", suitable)
+	}
+}
+
+func TestZombieAwareFilterRelaxesMemory(t *testing.T) {
+	s := NewScheduler()
+	req := Request{VM: vm.New("v", 8<<30, 6<<30), RemoteMemoryAvailable: 64 << 30}
+	suitable := s.Filter(sampleHosts(), req)
+	// h1 has 4 GiB free = 50% of 8 GiB: suitable thanks to remote memory.
+	if len(suitable) != 2 {
+		t.Fatalf("zombie-aware filter should accept h1 and h2, got %+v", suitable)
+	}
+	// Without remote memory available, h1 drops out again.
+	req.RemoteMemoryAvailable = 0
+	suitable = s.Filter(sampleHosts(), req)
+	if len(suitable) != 1 || suitable[0].ID != "h2" {
+		t.Fatalf("without remote memory only h2 fits, got %+v", suitable)
+	}
+}
+
+func TestFilterChecksCPUAndPower(t *testing.T) {
+	s := NewScheduler()
+	big := vm.New("big", 1<<30, 1<<30)
+	big.VCPUs = 12
+	req := Request{VM: big, RemoteMemoryAvailable: 1 << 40}
+	suitable := s.Filter(sampleHosts(), req)
+	// h1 has only 8 free vCPUs; h3 is powered off; h2 remains.
+	if len(suitable) != 1 || suitable[0].ID != "h2" {
+		t.Fatalf("filter = %+v", suitable)
+	}
+}
+
+func TestWeighStackingAndSpreading(t *testing.T) {
+	s := NewScheduler()
+	hosts := sampleHosts()[:2]
+	stacked := s.Weigh(hosts, Stacking)
+	if stacked[0].ID != "h1" {
+		t.Errorf("stacking should prefer the busiest host, got %s", stacked[0].ID)
+	}
+	spread := s.Weigh(hosts, Spreading)
+	if spread[0].ID != "h2" {
+		t.Errorf("spreading should prefer the least busy host, got %s", spread[0].ID)
+	}
+	// Ties break deterministically by ID.
+	same := []Host{
+		{ID: "b", TotalCPUs: 4, TotalMemory: 1 << 30, PoweredOn: true},
+		{ID: "a", TotalCPUs: 4, TotalMemory: 1 << 30, PoweredOn: true},
+	}
+	if got := s.Weigh(same, Stacking); got[0].ID != "a" {
+		t.Errorf("tie break should be by ID, got %s", got[0].ID)
+	}
+}
+
+func TestPlaceSplitsLocalAndRemote(t *testing.T) {
+	s := NewScheduler()
+	req := Request{VM: vm.New("v", 8<<30, 6<<30), RemoteMemoryAvailable: 64 << 30, Strategy: Stacking}
+	dec, err := s.Place(sampleHosts(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stacking prefers h1 (most utilized), which only has 4 GiB free, so the
+	// other 4 GiB must be remote.
+	if dec.Host != "h1" {
+		t.Errorf("host = %s, want h1", dec.Host)
+	}
+	if dec.LocalBytes != 4<<30 || dec.RemoteBytes != 4<<30 {
+		t.Errorf("split = %d local / %d remote", dec.LocalBytes, dec.RemoteBytes)
+	}
+	// A host with plenty of free memory keeps the VM fully local.
+	req.Strategy = Spreading
+	dec, err = s.Place(sampleHosts(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Host != "h2" || dec.RemoteBytes != 0 {
+		t.Errorf("spreading decision = %+v", dec)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	s := NewScheduler()
+	if _, err := s.Place(sampleHosts(), Request{VM: vm.VM{}}); err == nil {
+		t.Error("invalid VM should fail")
+	}
+	huge := vm.New("huge", 128<<30, 64<<30)
+	_, err := s.Place(sampleHosts(), Request{VM: huge, RemoteMemoryAvailable: 0})
+	if !errors.Is(err, ErrNoSuitableHost) {
+		t.Errorf("expected ErrNoSuitableHost, got %v", err)
+	}
+}
+
+func TestMinLocalFractionOverride(t *testing.T) {
+	s := NewScheduler()
+	s.MinLocalFraction = 0.3
+	if s.minLocal() != 0.3 {
+		t.Errorf("minLocal = %v", s.minLocal())
+	}
+	s.MinLocalFraction = 0 // falls back to the 50% rule
+	if s.minLocal() != LocalMemoryRule {
+		t.Errorf("minLocal fallback = %v", s.minLocal())
+	}
+	s.MinLocalFraction = 2 // nonsense value ignored
+	if s.minLocal() != LocalMemoryRule {
+		t.Errorf("minLocal with bad override = %v", s.minLocal())
+	}
+	v := NewVanillaScheduler()
+	if v.minLocal() != 1.0 {
+		t.Errorf("vanilla minLocal = %v, want 1", v.minLocal())
+	}
+}
+
+func TestAdmissionController(t *testing.T) {
+	a := NewAdmissionController(10 << 30)
+	if err := a.Admit(6 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(6 << 30); err == nil {
+		t.Fatal("overcommit should be rejected")
+	}
+	if a.Committed() != 6<<30 || a.Available() != 4<<30 {
+		t.Errorf("committed/available = %d/%d", a.Committed(), a.Available())
+	}
+	if err := a.Admit(-1); err == nil {
+		t.Error("negative admission should fail")
+	}
+	a.Release(2 << 30)
+	if a.Committed() != 4<<30 {
+		t.Errorf("committed after release = %d", a.Committed())
+	}
+	a.Release(100 << 30)
+	if a.Committed() != 0 {
+		t.Error("committed should clamp at zero")
+	}
+	a.SetCapacity(1 << 30)
+	if a.Available() != 1<<30 {
+		t.Errorf("available after capacity change = %d", a.Available())
+	}
+	a.SetCapacity(-5) // ignored
+	if a.Available() != 1<<30 {
+		t.Error("negative capacity should be ignored")
+	}
+}
+
+// Property: the placement decision never exceeds the host's free memory and
+// always covers the VM's reservation between local and remote.
+func TestPropertyPlacementCoversReservation(t *testing.T) {
+	s := NewScheduler()
+	f := func(freeMemGiB, vmGiB uint8, remoteGiB uint8) bool {
+		free := int64(freeMemGiB%32) << 30
+		res := int64(1+vmGiB%16) << 30
+		remote := int64(remoteGiB%64) << 30
+		hosts := []Host{{ID: "h", TotalCPUs: 64, TotalMemory: free, PoweredOn: true}}
+		req := Request{VM: vm.New("v", res, res/2), RemoteMemoryAvailable: remote}
+		dec, err := s.Place(hosts, req)
+		if err != nil {
+			return true // no suitable host is a valid outcome
+		}
+		if dec.LocalBytes > free {
+			return false
+		}
+		return dec.LocalBytes+dec.RemoteBytes == res
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: admission control never lets committed memory exceed capacity.
+func TestPropertyAdmissionNeverOvercommits(t *testing.T) {
+	f := func(ops []int16) bool {
+		a := NewAdmissionController(1 << 40)
+		for _, op := range ops {
+			amount := int64(op) << 20
+			if amount >= 0 {
+				_ = a.Admit(amount)
+			} else {
+				a.Release(-amount)
+			}
+			if a.Committed() > 1<<40 || a.Committed() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

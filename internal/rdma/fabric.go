@@ -1,0 +1,350 @@
+// Package rdma simulates a rack-scale RDMA fabric (Infiniband in the paper's
+// prototype: ConnectX-3 adapters behind an SB7800 switch).
+//
+// The simulation is in-process and deterministic. It models the pieces the
+// memory-disaggregation layer depends on:
+//
+//   - Device: an RDMA-capable NIC bound to a host, with registered memory
+//     regions protected by local/remote keys;
+//   - MemoryRegion: a registered buffer that one-sided verbs may target;
+//   - QueuePair: a reliable-connected queue pair between two devices with send
+//     and receive queues and an associated CompletionQueue;
+//   - one-sided READ and WRITE verbs that access remote memory without any
+//     involvement of the remote CPU — the property that makes zombie servers
+//     possible — plus two-sided SEND/RECV used by the RPC layer;
+//   - Fabric: the switch connecting devices, carrying a latency/bandwidth cost
+//     model whose parameters follow FDR Infiniband magnitudes.
+//
+// The remote side of a one-sided verb only requires its Device to be
+// "serving" (powered memory path), which the ACPI layer maps from the Sz
+// state. A remote host whose device is not serving (e.g. S3) fails the verb.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common errors returned by the fabric.
+var (
+	ErrDeviceDown       = errors.New("rdma: device is down")
+	ErrRemoteNotServing = errors.New("rdma: remote memory path is not serving")
+	ErrInvalidKey       = errors.New("rdma: invalid remote key")
+	ErrOutOfBounds      = errors.New("rdma: access outside registered region")
+	ErrQPNotConnected   = errors.New("rdma: queue pair is not connected")
+	ErrNoReceivePosted  = errors.New("rdma: no receive work request posted")
+	ErrRegionExists     = errors.New("rdma: memory region already registered")
+)
+
+// CostModel carries the latency and bandwidth parameters of the fabric. All
+// latencies are in nanoseconds; bandwidth in bytes per second.
+type CostModel struct {
+	// OneSidedLatencyNs is the base latency of an RDMA READ or WRITE
+	// (queue-pair processing + switch hop + PCIe/DMA on the target).
+	OneSidedLatencyNs int64
+	// TwoSidedLatencyNs is the base latency of a SEND/RECV pair, which
+	// additionally involves the remote CPU posting and reaping work requests.
+	TwoSidedLatencyNs int64
+	// SwitchHopNs is added per switch traversal.
+	SwitchHopNs int64
+	// BandwidthBytesPerSec bounds the payload transfer rate.
+	BandwidthBytesPerSec float64
+	// PollCostNs is the CPU cost of one completion-queue poll on the
+	// initiator (the paper's clients poll because inbound RDMA operations are
+	// cheaper than outbound ones).
+	PollCostNs int64
+}
+
+// DefaultCostModel returns FDR-Infiniband-like parameters: ~2 microseconds
+// one-sided latency, ~5 microseconds for an RPC round involving the remote
+// CPU, 56 Gb/s link bandwidth.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		OneSidedLatencyNs:    2_000,
+		TwoSidedLatencyNs:    5_000,
+		SwitchHopNs:          300,
+		BandwidthBytesPerSec: 7e9, // 56 Gb/s
+		PollCostNs:           150,
+	}
+}
+
+// TransferNs returns the simulated time to move size bytes one way, including
+// the base latency and a switch hop.
+func (c CostModel) TransferNs(base int64, size int) int64 {
+	t := base + c.SwitchHopNs
+	if c.BandwidthBytesPerSec > 0 && size > 0 {
+		t += int64(float64(size) / c.BandwidthBytesPerSec * 1e9)
+	}
+	return t
+}
+
+// Stats aggregates fabric traffic counters.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	Sends          uint64
+	BytesRead      uint64
+	BytesWritten   uint64
+	BytesSent      uint64
+	SimulatedNs    int64
+	FailedOps      uint64
+	CompletedPolls uint64
+}
+
+// Fabric is the rack switch: it connects devices and accounts traffic.
+type Fabric struct {
+	mu      sync.Mutex
+	model   CostModel
+	devices map[string]*Device
+	stats   Stats
+	nextKey uint32
+	nextQPN uint32
+}
+
+// NewFabric creates a fabric with the given cost model.
+func NewFabric(model CostModel) *Fabric {
+	return &Fabric{model: model, devices: make(map[string]*Device), nextKey: 1, nextQPN: 1}
+}
+
+// Model returns the fabric cost model.
+func (f *Fabric) Model() CostModel { return f.model }
+
+// Stats returns a snapshot of the traffic counters.
+func (f *Fabric) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Device returns the named device, or nil.
+func (f *Fabric) Device(name string) *Device {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.devices[name]
+}
+
+// Devices returns the number of attached devices.
+func (f *Fabric) Devices() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.devices)
+}
+
+// AttachDevice creates and registers a device (one per host NIC).
+func (f *Fabric) AttachDevice(name string) (*Device, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.devices[name]; ok {
+		return nil, fmt.Errorf("rdma: device %q already attached", name)
+	}
+	d := &Device{
+		name:    name,
+		fabric:  f,
+		serving: true,
+		up:      true,
+		regions: make(map[uint32]*MemoryRegion),
+	}
+	f.devices[name] = d
+	return d, nil
+}
+
+// DetachDevice removes a device from the fabric (host removed from rack).
+func (f *Fabric) DetachDevice(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.devices, name)
+}
+
+func (f *Fabric) allocKey() uint32 {
+	f.nextKey++
+	return f.nextKey
+}
+
+func (f *Fabric) allocQPN() uint32 {
+	f.nextQPN++
+	return f.nextQPN
+}
+
+func (f *Fabric) addTime(ns int64) {
+	f.stats.SimulatedNs += ns
+}
+
+// Device is an RDMA NIC attached to the fabric.
+type Device struct {
+	name   string
+	fabric *Fabric
+
+	// up models the NIC function: posting new work requires an up device.
+	up bool
+	// serving models the memory path: DRAM + memory controller + PCIe to the
+	// NIC. A zombie host has up=false (its driver is suspended with the CPU)
+	// but serving=true, so it can be the TARGET of one-sided verbs while it
+	// cannot INITIATE them.
+	serving bool
+
+	regions map[uint32]*MemoryRegion
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// SetUp marks the NIC able (or unable) to initiate work requests.
+func (d *Device) SetUp(up bool) {
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	d.up = up
+}
+
+// Up reports whether the NIC can initiate work.
+func (d *Device) Up() bool {
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	return d.up
+}
+
+// SetServing marks the device's memory path able (or unable) to serve
+// one-sided operations. The rack manager calls this on Sz enter/exit and S3
+// enter (Sz keeps serving true, S3 sets it false).
+func (d *Device) SetServing(serving bool) {
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	d.serving = serving
+}
+
+// Serving reports whether the memory path serves one-sided operations.
+func (d *Device) Serving() bool {
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	return d.serving
+}
+
+// MemoryRegion is a registered buffer addressable by remote keys.
+type MemoryRegion struct {
+	device *Device
+	lkey   uint32
+	rkey   uint32
+	buf    []byte
+	// remoteWritable / remoteReadable carry the access flags.
+	remoteReadable bool
+	remoteWritable bool
+}
+
+// LKey returns the local key of the region.
+func (m *MemoryRegion) LKey() uint32 { return m.lkey }
+
+// RKey returns the remote key of the region.
+func (m *MemoryRegion) RKey() uint32 { return m.rkey }
+
+// Len returns the region size in bytes.
+func (m *MemoryRegion) Len() int { return len(m.buf) }
+
+// Bytes exposes the underlying buffer for local access (the owning host reads
+// and writes its own memory directly).
+func (m *MemoryRegion) Bytes() []byte { return m.buf }
+
+// AccessFlags describe the remote permissions of a memory region.
+type AccessFlags struct {
+	RemoteRead  bool
+	RemoteWrite bool
+}
+
+// RegisterMemory registers size bytes with the device and returns the region.
+func (d *Device) RegisterMemory(size int, access AccessFlags) (*MemoryRegion, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("rdma: memory region size must be positive, got %d", size)
+	}
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	mr := &MemoryRegion{
+		device:         d,
+		lkey:           d.fabric.allocKey(),
+		rkey:           d.fabric.allocKey(),
+		buf:            make([]byte, size),
+		remoteReadable: access.RemoteRead,
+		remoteWritable: access.RemoteWrite,
+	}
+	d.regions[mr.rkey] = mr
+	return mr, nil
+}
+
+// DeregisterMemory removes a region; subsequent remote access fails.
+func (d *Device) DeregisterMemory(mr *MemoryRegion) {
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	delete(d.regions, mr.rkey)
+}
+
+// Regions returns the number of registered regions.
+func (d *Device) Regions() int {
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	return len(d.regions)
+}
+
+// lookupRegion finds a region by remote key (fabric lock held).
+func (d *Device) lookupRegion(rkey uint32) (*MemoryRegion, bool) {
+	mr, ok := d.regions[rkey]
+	return mr, ok
+}
+
+// WorkCompletion is the result of a posted work request, delivered through a
+// CompletionQueue.
+type WorkCompletion struct {
+	// WRID is the caller-chosen work request identifier.
+	WRID uint64
+	// Op names the verb ("READ", "WRITE", "SEND", "RECV").
+	Op string
+	// Status is nil on success.
+	Status error
+	// ByteLen is the payload size.
+	ByteLen int
+	// LatencyNs is the simulated completion latency.
+	LatencyNs int64
+	// Payload carries received data for RECV completions.
+	Payload []byte
+}
+
+// CompletionQueue collects work completions for polling.
+type CompletionQueue struct {
+	mu      sync.Mutex
+	entries []WorkCompletion
+	polls   uint64
+}
+
+// NewCompletionQueue returns an empty completion queue.
+func NewCompletionQueue() *CompletionQueue { return &CompletionQueue{} }
+
+func (cq *CompletionQueue) push(wc WorkCompletion) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.entries = append(cq.entries, wc)
+}
+
+// Poll removes and returns up to max completions. It models the polling
+// clients of the paper's RPC layer.
+func (cq *CompletionQueue) Poll(max int) []WorkCompletion {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.polls++
+	if max <= 0 || max > len(cq.entries) {
+		max = len(cq.entries)
+	}
+	out := cq.entries[:max]
+	cq.entries = append([]WorkCompletion(nil), cq.entries[max:]...)
+	return out
+}
+
+// Polls returns how many times the queue was polled.
+func (cq *CompletionQueue) Polls() uint64 {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.polls
+}
+
+// Depth returns the number of pending completions.
+func (cq *CompletionQueue) Depth() int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return len(cq.entries)
+}

@@ -1,0 +1,437 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newTestFabric(t *testing.T) (*Fabric, *Device, *Device) {
+	t.Helper()
+	f := NewFabric(DefaultCostModel())
+	a, err := f.AttachDevice("host-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.AttachDevice("host-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, a, b
+}
+
+func connectedQP(t *testing.T, a, b *Device) (*QueuePair, *QueuePair, *CompletionQueue, *CompletionQueue) {
+	t.Helper()
+	cqA := NewCompletionQueue()
+	cqB := NewCompletionQueue()
+	qpA := a.CreateQueuePair(cqA)
+	qpB := b.CreateQueuePair(cqB)
+	if err := Connect(qpA, qpB); err != nil {
+		t.Fatal(err)
+	}
+	return qpA, qpB, cqA, cqB
+}
+
+func TestAttachDetachDevice(t *testing.T) {
+	f := NewFabric(DefaultCostModel())
+	if _, err := f.AttachDevice("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AttachDevice("x"); err == nil {
+		t.Fatal("duplicate device name must be rejected")
+	}
+	if f.Devices() != 1 {
+		t.Fatalf("devices = %d, want 1", f.Devices())
+	}
+	if f.Device("x") == nil {
+		t.Fatal("Device(x) should exist")
+	}
+	f.DetachDevice("x")
+	if f.Device("x") != nil {
+		t.Fatal("device should be gone after detach")
+	}
+}
+
+func TestRegisterMemoryValidation(t *testing.T) {
+	_, a, _ := newTestFabric(t)
+	if _, err := a.RegisterMemory(0, AccessFlags{}); err == nil {
+		t.Fatal("zero-size region must be rejected")
+	}
+	mr, err := a.RegisterMemory(4096, AccessFlags{RemoteRead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Len() != 4096 {
+		t.Errorf("region length = %d, want 4096", mr.Len())
+	}
+	if mr.LKey() == mr.RKey() {
+		t.Error("local and remote keys should differ")
+	}
+	if a.Regions() != 1 {
+		t.Errorf("regions = %d, want 1", a.Regions())
+	}
+	a.DeregisterMemory(mr)
+	if a.Regions() != 0 {
+		t.Errorf("regions after deregister = %d, want 0", a.Regions())
+	}
+}
+
+func TestOneSidedWriteRead(t *testing.T) {
+	f, a, b := newTestFabric(t)
+	qpA, _, cqA, _ := connectedQP(t, a, b)
+	mr, err := b.RegisterMemory(1<<20, AccessFlags{RemoteRead: true, RemoteWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("zombie memory page contents")
+	lat, err := qpA.Write(1, payload, mr.RKey(), 128)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if lat <= 0 {
+		t.Error("write latency should be positive")
+	}
+	// The data must have landed in the remote buffer without any action on b.
+	if !bytes.Equal(mr.Bytes()[128:128+len(payload)], payload) {
+		t.Fatal("remote buffer does not contain written payload")
+	}
+	dst := make([]byte, len(payload))
+	if _, err := qpA.Read(2, dst, mr.RKey(), 128, len(payload)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(dst, payload) {
+		t.Fatal("read back different data")
+	}
+	st := f.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("stats reads/writes = %d/%d, want 1/1", st.Reads, st.Writes)
+	}
+	if st.BytesWritten != uint64(len(payload)) || st.BytesRead != uint64(len(payload)) {
+		t.Errorf("byte counters wrong: %+v", st)
+	}
+	// Completions delivered to the initiator's CQ.
+	wcs := cqA.Poll(10)
+	if len(wcs) != 2 {
+		t.Fatalf("expected 2 completions, got %d", len(wcs))
+	}
+	for _, wc := range wcs {
+		if wc.Status != nil {
+			t.Errorf("completion %s failed: %v", wc.Op, wc.Status)
+		}
+	}
+}
+
+func TestOneSidedVerbsAgainstZombieTarget(t *testing.T) {
+	// The defining behaviour: a zombie host has its NIC initiator function
+	// down (CPU suspended) but its memory path serving. One-sided verbs from
+	// an active host still work; two-sided SENDs do not.
+	_, a, b := newTestFabric(t)
+	qpA, qpB, _, _ := connectedQP(t, a, b)
+	mr, _ := b.RegisterMemory(4096, AccessFlags{RemoteRead: true, RemoteWrite: true})
+
+	// Push b into "zombie": initiator down, memory path serving.
+	b.SetUp(false)
+	b.SetServing(true)
+
+	if _, err := qpA.Write(1, []byte("x"), mr.RKey(), 0); err != nil {
+		t.Fatalf("one-sided write to zombie must work: %v", err)
+	}
+	dst := make([]byte, 1)
+	if _, err := qpA.Read(2, dst, mr.RKey(), 0, 1); err != nil {
+		t.Fatalf("one-sided read from zombie must work: %v", err)
+	}
+	qpB.PostRecv(1, 64)
+	if _, err := qpA.Send(3, []byte("hello")); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("two-sided send to zombie should fail with ErrDeviceDown, got %v", err)
+	}
+	// The zombie cannot initiate anything.
+	if _, err := qpB.Write(4, []byte("y"), mr.RKey(), 0); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("zombie-initiated write should fail, got %v", err)
+	}
+}
+
+func TestOneSidedVerbsAgainstS3Target(t *testing.T) {
+	// An S3 host preserves memory but cannot serve it remotely.
+	_, a, b := newTestFabric(t)
+	qpA, _, _, _ := connectedQP(t, a, b)
+	mr, _ := b.RegisterMemory(4096, AccessFlags{RemoteRead: true, RemoteWrite: true})
+	b.SetUp(false)
+	b.SetServing(false)
+	if _, err := qpA.Write(1, []byte("x"), mr.RKey(), 0); !errors.Is(err, ErrRemoteNotServing) {
+		t.Fatalf("write to S3 host should fail with ErrRemoteNotServing, got %v", err)
+	}
+	f := a.fabric.Stats()
+	if f.FailedOps == 0 {
+		t.Error("failed op should be counted")
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	_, a, b := newTestFabric(t)
+	qpA, _, _, _ := connectedQP(t, a, b)
+	roRegion, _ := b.RegisterMemory(4096, AccessFlags{RemoteRead: true})
+	if _, err := qpA.Write(1, []byte("x"), roRegion.RKey(), 0); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("write to read-only region should fail, got %v", err)
+	}
+	dst := make([]byte, 8)
+	if _, err := qpA.Read(2, dst, 0xdeadbeef, 0, 8); !errors.Is(err, ErrInvalidKey) {
+		t.Fatalf("read with bogus rkey should fail, got %v", err)
+	}
+	rw, _ := b.RegisterMemory(64, AccessFlags{RemoteRead: true, RemoteWrite: true})
+	if _, err := qpA.Read(3, make([]byte, 128), rw.RKey(), 32, 64); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("out-of-bounds read should fail, got %v", err)
+	}
+	if _, err := qpA.Write(4, make([]byte, 65), rw.RKey(), 0); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("out-of-bounds write should fail, got %v", err)
+	}
+	if _, err := qpA.Read(5, make([]byte, 4), rw.RKey(), 0, 8); err == nil {
+		t.Fatal("read longer than destination must fail")
+	}
+}
+
+func TestUnconnectedQueuePair(t *testing.T) {
+	_, a, b := newTestFabric(t)
+	cq := NewCompletionQueue()
+	qp := a.CreateQueuePair(cq)
+	mr, _ := b.RegisterMemory(64, AccessFlags{RemoteRead: true, RemoteWrite: true})
+	if _, err := qp.Write(1, []byte("x"), mr.RKey(), 0); !errors.Is(err, ErrQPNotConnected) {
+		t.Fatalf("unconnected QP write should fail, got %v", err)
+	}
+	if qp.Connected() {
+		t.Error("QP should not report connected")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	_, a, b := newTestFabric(t)
+	qpA, _, _, _ := connectedQP(t, a, b)
+	other := a.CreateQueuePair(NewCompletionQueue())
+	if err := Connect(qpA, other); err == nil {
+		t.Fatal("reconnecting an already-connected QP must fail")
+	}
+	if err := Connect(nil, other); err == nil {
+		t.Fatal("nil QP must be rejected")
+	}
+	f2 := NewFabric(DefaultCostModel())
+	c, _ := f2.AttachDevice("other-fabric")
+	qpC := c.CreateQueuePair(NewCompletionQueue())
+	qpD := a.CreateQueuePair(NewCompletionQueue())
+	if err := Connect(qpD, qpC); err == nil {
+		t.Fatal("cross-fabric connect must fail")
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	_, a, b := newTestFabric(t)
+	qpA, qpB, _, cqB := connectedQP(t, a, b)
+	qpB.PostRecv(77, 128)
+	lat, err := qpA.Send(1, []byte("control message"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if lat <= 0 {
+		t.Error("send latency should be positive")
+	}
+	wcs := cqB.Poll(10)
+	if len(wcs) != 1 {
+		t.Fatalf("receiver should have 1 completion, got %d", len(wcs))
+	}
+	if wcs[0].WRID != 77 || wcs[0].Op != "RECV" {
+		t.Errorf("unexpected completion %+v", wcs[0])
+	}
+	if string(wcs[0].Payload) != "control message" {
+		t.Errorf("payload = %q", wcs[0].Payload)
+	}
+	// Without a posted receive the send fails.
+	if _, err := qpA.Send(2, []byte("again")); !errors.Is(err, ErrNoReceivePosted) {
+		t.Fatalf("send without posted recv should fail, got %v", err)
+	}
+	// Oversized payload fails.
+	qpB.PostRecv(78, 4)
+	if _, err := qpA.Send(3, []byte("way too large for the posted buffer")); err == nil {
+		t.Fatal("oversized send should fail")
+	}
+}
+
+func TestCostModelScalesWithSize(t *testing.T) {
+	m := DefaultCostModel()
+	small := m.TransferNs(m.OneSidedLatencyNs, 64)
+	large := m.TransferNs(m.OneSidedLatencyNs, 4<<20)
+	if large <= small {
+		t.Error("large transfers must take longer than small ones")
+	}
+	// A 4 KiB page over 56 Gb/s should take on the order of a microsecond of
+	// serialization on top of the base latency.
+	page := m.TransferNs(m.OneSidedLatencyNs, 4096)
+	if page < m.OneSidedLatencyNs || page > m.OneSidedLatencyNs+100_000 {
+		t.Errorf("4 KiB transfer latency %d ns looks wrong", page)
+	}
+	// Two-sided costs more than one-sided for the same size.
+	if m.TransferNs(m.TwoSidedLatencyNs, 4096) <= m.TransferNs(m.OneSidedLatencyNs, 4096) {
+		t.Error("two-sided ops must cost more than one-sided ops")
+	}
+}
+
+func TestCompletionQueuePolling(t *testing.T) {
+	cq := NewCompletionQueue()
+	for i := 0; i < 5; i++ {
+		cq.push(WorkCompletion{WRID: uint64(i)})
+	}
+	if cq.Depth() != 5 {
+		t.Fatalf("depth = %d, want 5", cq.Depth())
+	}
+	first := cq.Poll(2)
+	if len(first) != 2 || first[0].WRID != 0 || first[1].WRID != 1 {
+		t.Fatalf("unexpected first poll %+v", first)
+	}
+	rest := cq.Poll(0) // 0 means "all"
+	if len(rest) != 3 {
+		t.Fatalf("unexpected rest %+v", rest)
+	}
+	if cq.Depth() != 0 {
+		t.Error("queue should be drained")
+	}
+	if cq.Polls() != 2 {
+		t.Errorf("polls = %d, want 2", cq.Polls())
+	}
+}
+
+func TestRPCCall(t *testing.T) {
+	f, a, b := newTestFabric(t)
+	srv := NewRPCServer("global-mem-ctr", a)
+	type allocReq struct {
+		MemSize int `json:"memSize"`
+	}
+	type allocResp struct {
+		Buffers []int `json:"buffers"`
+	}
+	srv.Handle("GS_alloc_ext", func(args []byte) ([]byte, error) {
+		return []byte(`{"buffers":[1,2,3]}`), nil
+	})
+	srv.Handle("GS_fail", func(args []byte) ([]byte, error) {
+		return nil, fmt.Errorf("no memory available")
+	})
+
+	cli, err := NewRPCClient("server-A", b, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var resp allocResp
+	lat, err := cli.Call("GS_alloc_ext", allocReq{MemSize: 1 << 30}, &resp)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if lat <= 0 {
+		t.Error("rpc latency should be positive")
+	}
+	if len(resp.Buffers) != 3 {
+		t.Errorf("buffers = %v, want 3 entries", resp.Buffers)
+	}
+	if srv.Calls() != 1 || cli.Calls() != 1 {
+		t.Errorf("call counters srv=%d cli=%d, want 1/1", srv.Calls(), cli.Calls())
+	}
+	if cli.MeanLatencyNs() <= 0 {
+		t.Error("mean latency should be positive")
+	}
+
+	// Handler error propagates.
+	if _, err := cli.Call("GS_fail", nil, nil); err == nil {
+		t.Fatal("handler error should propagate")
+	}
+	// Unknown method.
+	if _, err := cli.Call("GS_unknown", nil, nil); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+	// The RPC path uses one-sided writes under the hood.
+	if f.Stats().Writes < 2 {
+		t.Errorf("expected at least 2 one-sided writes, got %d", f.Stats().Writes)
+	}
+}
+
+func TestRPCClientValidation(t *testing.T) {
+	_, a, _ := newTestFabric(t)
+	srv := NewRPCServer("ctr", a)
+	if _, err := NewRPCClient("c", nil, srv); err == nil {
+		t.Fatal("nil device must be rejected")
+	}
+	f2 := NewFabric(DefaultCostModel())
+	other, _ := f2.AttachDevice("elsewhere")
+	if _, err := NewRPCClient("c", other, srv); err == nil {
+		t.Fatal("cross-fabric client must be rejected")
+	}
+}
+
+func TestRPCToSuspendedServerFails(t *testing.T) {
+	// If the controller host is fully suspended (not serving), clients cannot
+	// even deliver requests; the secondary controller must take over.
+	_, a, b := newTestFabric(t)
+	srv := NewRPCServer("ctr", a)
+	srv.Handle("ping", func([]byte) ([]byte, error) { return []byte(`"pong"`), nil })
+	cli, err := NewRPCClient("c", b, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetServing(false)
+	a.SetUp(false)
+	if _, err := cli.Call("ping", nil, nil); err == nil {
+		t.Fatal("rpc to a dead controller should fail")
+	}
+}
+
+// Property: data written through the fabric is always read back identically,
+// for arbitrary payloads and offsets within bounds.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	f := NewFabric(DefaultCostModel())
+	a, _ := f.AttachDevice("a")
+	b, _ := f.AttachDevice("b")
+	cq := NewCompletionQueue()
+	qp := a.CreateQueuePair(cq)
+	qpB := b.CreateQueuePair(NewCompletionQueue())
+	if err := Connect(qp, qpB); err != nil {
+		t.Fatal(err)
+	}
+	const regionSize = 1 << 16
+	mr, _ := b.RegisterMemory(regionSize, AccessFlags{RemoteRead: true, RemoteWrite: true})
+
+	prop := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		offset := int(off) % (regionSize - len(data))
+		if offset < 0 {
+			offset = 0
+		}
+		if _, err := qp.Write(1, data, mr.RKey(), offset); err != nil {
+			return false
+		}
+		back := make([]byte, len(data))
+		if _, err := qp.Read(2, back, mr.RKey(), offset, len(data)); err != nil {
+			return false
+		}
+		return bytes.Equal(data, back)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the simulated transfer time is monotonically non-decreasing in
+// payload size.
+func TestPropertyTransferMonotonic(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.TransferNs(m.OneSidedLatencyNs, x) <= m.TransferNs(m.OneSidedLatencyNs, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package swapdev models the swap device technologies compared in the
+// paper's Table 2: a remote-RAM swap device served over RDMA (the Explicit SD
+// function), a local fast swap device (SSD), a local slow swap device (HDD),
+// and the asynchronous local-storage mirror used for fault tolerance.
+//
+// A swap device stores 4 KiB pages identified by a slot number and reports
+// the simulated latency of every operation. The latencies follow commonly
+// reported device magnitudes; what matters to Table 2 is their ordering:
+// remote RAM over Infiniband << local SSD << local HDD.
+package swapdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the swap granularity.
+const PageSize = 4096
+
+// Common errors.
+var (
+	ErrSlotOutOfRange = errors.New("swapdev: slot out of range")
+	ErrEmptySlot      = errors.New("swapdev: slot holds no page")
+	ErrDeviceFull     = errors.New("swapdev: device is full")
+)
+
+// Kind identifies a swap device technology.
+type Kind int
+
+// Swap device technologies of Table 2.
+const (
+	RemoteRAM  Kind = iota // Explicit SD backed by a zombie server's RAM
+	LocalSSD               // local fast swap device (the paper's Samsung SSD)
+	LocalHDD               // local slow swap device (the paper's Seagate HDD)
+	NullDevice             // accepts pages and loses them (testing aid)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case RemoteRAM:
+		return "remote-ram"
+	case LocalSSD:
+		return "local-ssd"
+	case LocalHDD:
+		return "local-hdd"
+	case NullDevice:
+		return "null"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Latency describes a device's per-page swap-out (write) and swap-in (read)
+// latencies in nanoseconds, including transfer of one 4 KiB page.
+type Latency struct {
+	WriteNs int64
+	ReadNs  int64
+}
+
+// LatencyOf returns the canonical latency of a device kind:
+//
+//   - remote RAM over FDR Infiniband: a one-sided verb plus the page
+//     serialization, a handful of microseconds;
+//   - SSD: tens of microseconds for a 4 KiB random access;
+//   - HDD: milliseconds (seek + rotation).
+func LatencyOf(k Kind) Latency {
+	switch k {
+	case RemoteRAM:
+		return Latency{WriteNs: 3_000, ReadNs: 3_500}
+	case LocalSSD:
+		return Latency{WriteNs: 60_000, ReadNs: 90_000}
+	case LocalHDD:
+		return Latency{WriteNs: 4_000_000, ReadNs: 8_000_000}
+	default:
+		return Latency{}
+	}
+}
+
+// Device is a fixed-capacity page store with simulated latencies.
+type Device interface {
+	// Kind returns the device technology.
+	Kind() Kind
+	// Slots returns the device capacity in pages.
+	Slots() int
+	// SwapOut stores a page into the slot and returns the simulated latency.
+	SwapOut(slot int, page []byte) (int64, error)
+	// SwapIn loads the page stored in the slot into dst.
+	SwapIn(slot int, dst []byte) (int64, error)
+	// Free marks the slot empty.
+	Free(slot int)
+	// Stats returns the device counters.
+	Stats() Stats
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	SwapOuts     uint64
+	SwapIns      uint64
+	BytesWritten uint64
+	BytesRead    uint64
+	TotalNs      int64
+}
+
+// memDevice is the common implementation: an in-memory page store with a
+// latency profile. RemoteRAM, LocalSSD, LocalHDD and NullDevice all use it;
+// only the latency (and whether data is retained) differ.
+type memDevice struct {
+	mu      sync.Mutex
+	kind    Kind
+	lat     Latency
+	pages   [][]byte
+	present []bool
+	stats   Stats
+	retain  bool
+}
+
+// New creates a swap device of the given kind with the given capacity in
+// pages, using the canonical latency for the kind.
+func New(kind Kind, slots int) (Device, error) {
+	return NewWithLatency(kind, slots, LatencyOf(kind))
+}
+
+// NewWithLatency creates a swap device with an explicit latency profile
+// (used by the ablation benches).
+func NewWithLatency(kind Kind, slots int, lat Latency) (Device, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("swapdev: capacity must be positive, got %d", slots)
+	}
+	return &memDevice{
+		kind:    kind,
+		lat:     lat,
+		pages:   make([][]byte, slots),
+		present: make([]bool, slots),
+		retain:  kind != NullDevice,
+	}, nil
+}
+
+func (d *memDevice) Kind() Kind { return d.kind }
+
+func (d *memDevice) Slots() int { return len(d.pages) }
+
+func (d *memDevice) SwapOut(slot int, page []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if slot < 0 || slot >= len(d.pages) {
+		return 0, ErrSlotOutOfRange
+	}
+	if len(page) > PageSize {
+		return 0, fmt.Errorf("swapdev: page of %d bytes exceeds %d", len(page), PageSize)
+	}
+	if d.retain {
+		buf := make([]byte, len(page))
+		copy(buf, page)
+		d.pages[slot] = buf
+		d.present[slot] = true
+	}
+	d.stats.SwapOuts++
+	d.stats.BytesWritten += uint64(len(page))
+	d.stats.TotalNs += d.lat.WriteNs
+	return d.lat.WriteNs, nil
+}
+
+func (d *memDevice) SwapIn(slot int, dst []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if slot < 0 || slot >= len(d.pages) {
+		return 0, ErrSlotOutOfRange
+	}
+	if !d.present[slot] {
+		return 0, ErrEmptySlot
+	}
+	n := copy(dst, d.pages[slot])
+	d.stats.SwapIns++
+	d.stats.BytesRead += uint64(n)
+	d.stats.TotalNs += d.lat.ReadNs
+	return d.lat.ReadNs, nil
+}
+
+func (d *memDevice) Free(slot int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if slot >= 0 && slot < len(d.pages) {
+		d.pages[slot] = nil
+		d.present[slot] = false
+	}
+}
+
+func (d *memDevice) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Mirror is the asynchronous local-storage mirror of Section 4.3 (footnote
+// 3): every write to a remote buffer is also written to local storage so the
+// data survives a remote server reclaim or crash. Because it is asynchronous
+// it adds no latency to the foreground path; it only counts the background
+// traffic it would generate.
+type Mirror struct {
+	mu      sync.Mutex
+	backing Device
+	writes  uint64
+	dropped uint64
+	next    int
+	slotOf  map[uint64]int
+}
+
+// NewMirror creates a mirror on top of a backing (local) device.
+func NewMirror(backing Device) *Mirror {
+	return &Mirror{backing: backing, slotOf: make(map[uint64]int)}
+}
+
+// WriteAsync records a mirror write for the page key. It returns immediately;
+// the simulated latency is not charged to the caller.
+func (m *Mirror) WriteAsync(key uint64, page []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	slot, ok := m.slotOf[key]
+	if !ok {
+		if m.next >= m.backing.Slots() {
+			m.dropped++
+			return
+		}
+		slot = m.next
+		m.next++
+		m.slotOf[key] = slot
+	}
+	if _, err := m.backing.SwapOut(slot, page); err != nil {
+		m.dropped++
+		return
+	}
+	m.writes++
+}
+
+// Recover reads a mirrored page back (the slow path used when the remote copy
+// was reclaimed). It returns the simulated latency of the local read.
+func (m *Mirror) Recover(key uint64, dst []byte) (int64, error) {
+	m.mu.Lock()
+	slot, ok := m.slotOf[key]
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("swapdev: page %d was never mirrored", key)
+	}
+	return m.backing.SwapIn(slot, dst)
+}
+
+// Writes returns the number of successful mirror writes.
+func (m *Mirror) Writes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writes
+}
+
+// Dropped returns the number of mirror writes that could not be stored.
+func (m *Mirror) Dropped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}

@@ -1,0 +1,179 @@
+package swapdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyOrdering(t *testing.T) {
+	// The whole point of Table 2: remote RAM < SSD < HDD.
+	rram := LatencyOf(RemoteRAM)
+	ssd := LatencyOf(LocalSSD)
+	hdd := LatencyOf(LocalHDD)
+	if !(rram.ReadNs < ssd.ReadNs && ssd.ReadNs < hdd.ReadNs) {
+		t.Errorf("read latency ordering violated: %v %v %v", rram.ReadNs, ssd.ReadNs, hdd.ReadNs)
+	}
+	if !(rram.WriteNs < ssd.WriteNs && ssd.WriteNs < hdd.WriteNs) {
+		t.Errorf("write latency ordering violated: %v %v %v", rram.WriteNs, ssd.WriteNs, hdd.WriteNs)
+	}
+	// Remote RAM should be at least an order of magnitude faster than SSD.
+	if rram.ReadNs*10 > ssd.ReadNs {
+		t.Error("remote RAM should be >= 10x faster than SSD")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{RemoteRAM, LocalSSD, LocalHDD, NullDevice} {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(RemoteRAM, 0); err == nil {
+		t.Error("zero capacity should be rejected")
+	}
+	d, err := New(RemoteRAM, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Slots() != 8 || d.Kind() != RemoteRAM {
+		t.Errorf("device %v/%d", d.Kind(), d.Slots())
+	}
+}
+
+func TestSwapOutInRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{RemoteRAM, LocalSSD, LocalHDD} {
+		d, _ := New(kind, 4)
+		page := bytes.Repeat([]byte{0x5A}, PageSize)
+		wlat, err := d.SwapOut(2, page)
+		if err != nil {
+			t.Fatalf("%v SwapOut: %v", kind, err)
+		}
+		if wlat != LatencyOf(kind).WriteNs {
+			t.Errorf("%v write latency = %d, want %d", kind, wlat, LatencyOf(kind).WriteNs)
+		}
+		dst := make([]byte, PageSize)
+		rlat, err := d.SwapIn(2, dst)
+		if err != nil {
+			t.Fatalf("%v SwapIn: %v", kind, err)
+		}
+		if rlat != LatencyOf(kind).ReadNs {
+			t.Errorf("%v read latency = %d", kind, rlat)
+		}
+		if !bytes.Equal(page, dst) {
+			t.Fatalf("%v corrupted the page", kind)
+		}
+		st := d.Stats()
+		if st.SwapOuts != 1 || st.SwapIns != 1 {
+			t.Errorf("%v stats = %+v", kind, st)
+		}
+		if st.TotalNs != wlat+rlat {
+			t.Errorf("%v total ns = %d, want %d", kind, st.TotalNs, wlat+rlat)
+		}
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	d, _ := New(LocalSSD, 2)
+	if _, err := d.SwapOut(5, nil); !errors.Is(err, ErrSlotOutOfRange) {
+		t.Errorf("out-of-range swap-out: %v", err)
+	}
+	if _, err := d.SwapIn(-1, nil); !errors.Is(err, ErrSlotOutOfRange) {
+		t.Errorf("out-of-range swap-in: %v", err)
+	}
+	if _, err := d.SwapIn(0, make([]byte, PageSize)); !errors.Is(err, ErrEmptySlot) {
+		t.Errorf("empty slot swap-in: %v", err)
+	}
+	if _, err := d.SwapOut(0, make([]byte, PageSize+1)); err == nil {
+		t.Error("oversized page should be rejected")
+	}
+	// Free empties the slot.
+	if _, err := d.SwapOut(0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	d.Free(0)
+	if _, err := d.SwapIn(0, make([]byte, PageSize)); !errors.Is(err, ErrEmptySlot) {
+		t.Error("freed slot should be empty")
+	}
+	d.Free(99) // out of range: no-op
+}
+
+func TestNullDeviceLosesData(t *testing.T) {
+	d, _ := New(NullDevice, 2)
+	if _, err := d.SwapOut(0, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SwapIn(0, make([]byte, 8)); !errors.Is(err, ErrEmptySlot) {
+		t.Error("null device should not retain pages")
+	}
+}
+
+func TestMirror(t *testing.T) {
+	backing, _ := New(LocalSSD, 4)
+	m := NewMirror(backing)
+	page := bytes.Repeat([]byte{7}, PageSize)
+	m.WriteAsync(42, page)
+	m.WriteAsync(42, page) // update in place, same slot
+	m.WriteAsync(43, page)
+	if m.Writes() != 3 {
+		t.Errorf("writes = %d, want 3", m.Writes())
+	}
+	dst := make([]byte, PageSize)
+	lat, err := m.Recover(42, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Error("recovery should report the local device latency")
+	}
+	if !bytes.Equal(dst, page) {
+		t.Error("recovered page corrupted")
+	}
+	if _, err := m.Recover(99, dst); err == nil {
+		t.Error("recovering a never-mirrored page should fail")
+	}
+}
+
+func TestMirrorOverflow(t *testing.T) {
+	backing, _ := New(LocalSSD, 2)
+	m := NewMirror(backing)
+	for k := uint64(0); k < 5; k++ {
+		m.WriteAsync(k, []byte("x"))
+	}
+	if m.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", m.Dropped())
+	}
+	if m.Writes() != 2 {
+		t.Errorf("writes = %d, want 2", m.Writes())
+	}
+}
+
+// Property: whatever is swapped out is read back bit-identical on retaining
+// devices, for any slot within range.
+func TestPropertyRoundTrip(t *testing.T) {
+	d, _ := New(RemoteRAM, 16)
+	f := func(slot uint8, data []byte) bool {
+		s := int(slot) % 16
+		if len(data) > PageSize {
+			data = data[:PageSize]
+		}
+		if _, err := d.SwapOut(s, data); err != nil {
+			return false
+		}
+		dst := make([]byte, len(data))
+		if _, err := d.SwapIn(s, dst); err != nil {
+			return false
+		}
+		return bytes.Equal(data, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

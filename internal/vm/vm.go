@@ -1,0 +1,98 @@
+// Package vm defines virtual machine descriptors: the reserved memory, the
+// working set size, the vCPU count and the page-granularity helpers the
+// hypervisor and the workload generators share.
+package vm
+
+import "fmt"
+
+// DefaultPageSize is the guest page size (4 KiB, as in the paper's
+// micro-benchmark where each array entry represents a 4 KiB page).
+const DefaultPageSize = 4096
+
+// VM describes a virtual machine.
+type VM struct {
+	// ID is the VM's name.
+	ID string
+	// ReservedBytes is the memory reserved for the VM at creation
+	// (VMMemSize in Section 4.5).
+	ReservedBytes int64
+	// WSSBytes is the VM's working set size.
+	WSSBytes int64
+	// VCPUs is the number of virtual processors (the paper's VMs use 8).
+	VCPUs int
+	// PageSize is the guest page size; DefaultPageSize when zero.
+	PageSize int
+}
+
+// New returns a VM with the given reservation and working set, 8 vCPUs and
+// the default page size.
+func New(id string, reservedBytes, wssBytes int64) VM {
+	return VM{ID: id, ReservedBytes: reservedBytes, WSSBytes: wssBytes, VCPUs: 8, PageSize: DefaultPageSize}
+}
+
+// Validate checks the descriptor for consistency.
+func (v VM) Validate() error {
+	if v.ID == "" {
+		return fmt.Errorf("vm: needs an ID")
+	}
+	if v.ReservedBytes <= 0 {
+		return fmt.Errorf("vm %s: reserved memory must be positive", v.ID)
+	}
+	if v.WSSBytes < 0 || v.WSSBytes > v.ReservedBytes {
+		return fmt.Errorf("vm %s: working set %d outside [0,%d]", v.ID, v.WSSBytes, v.ReservedBytes)
+	}
+	if v.VCPUs <= 0 {
+		return fmt.Errorf("vm %s: needs at least one vCPU", v.ID)
+	}
+	if v.PageSize != 0 && v.PageSize&(v.PageSize-1) != 0 {
+		return fmt.Errorf("vm %s: page size %d is not a power of two", v.ID, v.PageSize)
+	}
+	return nil
+}
+
+// EffectivePageSize returns the page size, defaulting to DefaultPageSize.
+func (v VM) EffectivePageSize() int {
+	if v.PageSize > 0 {
+		return v.PageSize
+	}
+	return DefaultPageSize
+}
+
+// ReservedPages returns the number of guest pages covering the reservation.
+func (v VM) ReservedPages() int {
+	ps := int64(v.EffectivePageSize())
+	return int((v.ReservedBytes + ps - 1) / ps)
+}
+
+// WSSPages returns the number of guest pages covering the working set.
+func (v VM) WSSPages() int {
+	ps := int64(v.EffectivePageSize())
+	return int((v.WSSBytes + ps - 1) / ps)
+}
+
+// WSSRatio returns WSS / reserved memory (0..1).
+func (v VM) WSSRatio() float64 {
+	if v.ReservedBytes == 0 {
+		return 0
+	}
+	return float64(v.WSSBytes) / float64(v.ReservedBytes)
+}
+
+// LocalPagesFor returns how many of the VM's reserved pages fit in localBytes
+// of host memory (capped at the reservation).
+func (v VM) LocalPagesFor(localBytes int64) int {
+	if localBytes <= 0 {
+		return 0
+	}
+	ps := int64(v.EffectivePageSize())
+	n := int(localBytes / ps)
+	if max := v.ReservedPages(); n > max {
+		n = max
+	}
+	return n
+}
+
+// String renders a compact description.
+func (v VM) String() string {
+	return fmt.Sprintf("%s(mem=%dMiB wss=%dMiB vcpus=%d)", v.ID, v.ReservedBytes>>20, v.WSSBytes>>20, v.VCPUs)
+}

@@ -1,0 +1,101 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndValidate(t *testing.T) {
+	v := New("v1", 7<<30, 6<<30)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.VCPUs != 8 {
+		t.Errorf("default vCPUs = %d, want 8 (the paper's configuration)", v.VCPUs)
+	}
+	if v.EffectivePageSize() != DefaultPageSize {
+		t.Errorf("page size = %d, want %d", v.EffectivePageSize(), DefaultPageSize)
+	}
+}
+
+func TestValidateRejectsBadVMs(t *testing.T) {
+	bad := []VM{
+		{},
+		{ID: "x", ReservedBytes: 0},
+		{ID: "x", ReservedBytes: 100, WSSBytes: 200, VCPUs: 1},
+		{ID: "x", ReservedBytes: 100, WSSBytes: 50, VCPUs: 0},
+		{ID: "x", ReservedBytes: 100, WSSBytes: 50, VCPUs: 1, PageSize: 3000},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d should be invalid: %+v", i, v)
+		}
+	}
+}
+
+func TestPageMath(t *testing.T) {
+	v := New("v", 7<<30, 6<<30)
+	if got := v.ReservedPages(); got != (7<<30)/4096 {
+		t.Errorf("ReservedPages = %d", got)
+	}
+	if got := v.WSSPages(); got != (6<<30)/4096 {
+		t.Errorf("WSSPages = %d", got)
+	}
+	if got := v.WSSRatio(); got < 0.85 || got > 0.86 {
+		t.Errorf("WSSRatio = %v, want ~6/7", got)
+	}
+	// Rounding up for non-multiple sizes.
+	odd := New("odd", 4097, 4097)
+	if odd.ReservedPages() != 2 {
+		t.Errorf("ReservedPages(4097) = %d, want 2", odd.ReservedPages())
+	}
+}
+
+func TestLocalPagesFor(t *testing.T) {
+	v := New("v", 1<<20, 1<<20) // 256 pages
+	if got := v.LocalPagesFor(0); got != 0 {
+		t.Errorf("LocalPagesFor(0) = %d", got)
+	}
+	if got := v.LocalPagesFor(512 << 10); got != 128 {
+		t.Errorf("LocalPagesFor(half) = %d, want 128", got)
+	}
+	if got := v.LocalPagesFor(8 << 20); got != 256 {
+		t.Errorf("LocalPagesFor(more than reserved) = %d, want capped at 256", got)
+	}
+	if got := v.LocalPagesFor(-5); got != 0 {
+		t.Errorf("LocalPagesFor(negative) = %d, want 0", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New("web", 2<<30, 1<<30)
+	s := v.String()
+	if !strings.Contains(s, "web") || !strings.Contains(s, "2048") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: local pages never exceed reserved pages and grow monotonically
+// with the local byte budget.
+func TestPropertyLocalPagesMonotonic(t *testing.T) {
+	v := New("v", 64<<20, 32<<20)
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		px, py := v.LocalPagesFor(x), v.LocalPagesFor(y)
+		return px <= py && py <= v.ReservedPages()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWSSRatioZeroReservation(t *testing.T) {
+	var v VM
+	if v.WSSRatio() != 0 {
+		t.Error("zero reservation should yield zero ratio")
+	}
+}

@@ -1,0 +1,195 @@
+// Package zombieland is a library-level reproduction of "Welcome to
+// Zombieland: Practical and Energy-efficient Memory Disaggregation in a
+// Datacenter" (Nitu et al., EuroSys 2018).
+//
+// The paper disaggregates the CPU/memory couple at the power-supply-domain
+// level: a new ACPI sleep state, Sz ("zombie"), suspends a server like S3
+// while keeping its DRAM and RDMA NIC path in active idle, so the memory of a
+// suspended server stays remotely accessible. On top of Sz the paper builds a
+// rack-level remote memory system (a global memory controller, per-server
+// remote memory manager agents, hypervisor-managed RAM extension and explicit
+// remote swap devices) and ZombieStack, an OpenStack-based cloud layer
+// (zombie-aware placement, consolidation and migration).
+//
+// This package is the public facade. It re-exports the building blocks from
+// the internal packages and provides the experiment runners that regenerate
+// every table and figure of the paper's evaluation:
+//
+//   - Rack: a simulated rack wired exactly like the paper's Figure 7
+//     (ACPI platforms with Sz, an RDMA fabric, controllers, agents, paging);
+//   - VM, Workloads, replacement policies: the pieces of the rack-level
+//     experiments (Figure 8, Tables 1 and 2, Figure 9);
+//   - EnergyModel: the per-state power model, the Sz estimation of Equation 1
+//     and the rack-architecture comparison (Figures 1-4, Table 3);
+//   - Datacenter simulation: trace generation plus the Neat / Oasis /
+//     ZombieStack comparison of Figure 10.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every experiment.
+package zombieland
+
+import (
+	"repro/internal/acpi"
+	"repro/internal/consolidation"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/hypervisor"
+	"repro/internal/migration"
+	"repro/internal/pagepolicy"
+	"repro/internal/placement"
+	"repro/internal/swapdev"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Rack is a simulated rack of general-purpose servers with the zombie
+// technology (Figure 7). Create one with NewRack.
+type Rack = core.Rack
+
+// RackConfig parameterises NewRack.
+type RackConfig = core.Config
+
+// Server is one server of a Rack.
+type Server = core.Server
+
+// GuestVM is a VM placed on a Rack.
+type GuestVM = core.GuestVM
+
+// CreateVMOptions tunes Rack.CreateVM.
+type CreateVMOptions = core.CreateVMOptions
+
+// VM describes a virtual machine (reserved memory, working set, vCPUs).
+type VM = vm.VM
+
+// SleepState is an ACPI global sleep state (S0..S5 plus Sz).
+type SleepState = acpi.SleepState
+
+// The ACPI sleep states, including the paper's zombie state Sz.
+const (
+	S0 = acpi.S0
+	S3 = acpi.S3
+	S4 = acpi.S4
+	S5 = acpi.S5
+	Sz = acpi.Sz
+)
+
+// BoardSpec describes a server board (sockets, memory, split power domains).
+type BoardSpec = acpi.BoardSpec
+
+// MachineProfile is a per-machine power model (Table 3).
+type MachineProfile = energy.MachineProfile
+
+// Workload identifies one of the paper's evaluated workloads.
+type Workload = workload.Kind
+
+// The evaluated workloads.
+const (
+	MicroBench    = workload.MicroBench
+	DataCaching   = workload.DataCaching
+	Elasticsearch = workload.Elasticsearch
+	SparkSQL      = workload.SparkSQL
+)
+
+// SwapDeviceKind identifies a swap technology of Table 2.
+type SwapDeviceKind = swapdev.Kind
+
+// The swap technologies compared in Table 2.
+const (
+	RemoteRAMSwap = swapdev.RemoteRAM
+	LocalSSDSwap  = swapdev.LocalSSD
+	LocalHDDSwap  = swapdev.LocalHDD
+)
+
+// PagingStats carries the paging counters of a VM (faults, policy cost,
+// simulated time).
+type PagingStats = hypervisor.Stats
+
+// Trace is a datacenter task trace (Google-cluster-like).
+type Trace = trace.Trace
+
+// ConsolidationPolicy plans fleet-level consolidation (Neat, Oasis,
+// ZombieStack).
+type ConsolidationPolicy = consolidation.Policy
+
+// MigrationResult describes one VM migration.
+type MigrationResult = migration.Result
+
+// ConsolidationReport describes one pass of the rack-level consolidation
+// loop (Rack.ConsolidateOnce).
+type ConsolidationReport = core.ConsolidationReport
+
+// RemoteSwapDevice is a guest-visible swap device backed by remote memory
+// buffers (the Explicit SD function), created with Rack.CreateSwapDevice.
+type RemoteSwapDevice = core.RemoteSwapDevice
+
+// NewRack builds a rack of servers wired with the zombie technology.
+func NewRack(cfg RackConfig) (*Rack, error) { return core.NewRack(cfg) }
+
+// NewVM returns a VM descriptor with the paper's defaults (8 vCPUs, 4 KiB
+// pages).
+func NewVM(id string, reservedBytes, wssBytes int64) VM {
+	return vm.New(id, reservedBytes, wssBytes)
+}
+
+// DefaultBoardSpec returns a board comparable to the paper's testbed machines
+// with split CPU/memory power domains (Sz capable).
+func DefaultBoardSpec() BoardSpec { return acpi.DefaultBoardSpec() }
+
+// HPProfile returns the HP machine power profile of Table 3.
+func HPProfile() *MachineProfile { return energy.HPProfile() }
+
+// DellProfile returns the Dell machine power profile of Table 3.
+func DellProfile() *MachineProfile { return energy.DellProfile() }
+
+// MachineProfiles returns both testbed profiles with their Sz estimates.
+func MachineProfiles() []*MachineProfile { return energy.Profiles() }
+
+// PolicyNames lists the page replacement policies of Figure 8.
+func PolicyNames() []string { return pagepolicy.Names() }
+
+// Workloads lists the evaluated workloads in the paper's order.
+func Workloads() []Workload { return workload.AllKinds() }
+
+// LocalFractions lists the local-memory fractions of Tables 1 and 2.
+func LocalFractions() []float64 { return workload.LocalFractions() }
+
+// PaperVM returns the VM used by the paper's rack-level experiments
+// (7 GiB reserved, 6 GiB working set, 8 vCPUs).
+func PaperVM() VM { return workload.PaperVM() }
+
+// GenerateTrace builds a synthetic Google-like trace. Set modified to true
+// for the paper's memory-heavy variant (memory demand doubled).
+func GenerateTrace(modified bool, machines, tasks int, horizonSec int64, seed int64) (*Trace, error) {
+	cfg := trace.DefaultConfig()
+	if modified {
+		cfg = trace.ModifiedConfig()
+	}
+	if machines > 0 {
+		cfg.Machines = machines
+	}
+	if tasks > 0 {
+		cfg.Tasks = tasks
+	}
+	if horizonSec > 0 {
+		cfg.HorizonSec = horizonSec
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return trace.Generate(cfg)
+}
+
+// ConsolidationPolicies returns the Figure 10 contenders: Neat, Oasis and
+// ZombieStack.
+func ConsolidationPolicies() []ConsolidationPolicy {
+	return []ConsolidationPolicy{
+		consolidation.NewNeat(),
+		consolidation.NewOasis(),
+		consolidation.NewZombieStack(),
+	}
+}
+
+// LocalMemoryRule is the minimum fraction of a VM's memory that ZombieStack
+// keeps local (the 50% rule of Section 5.1).
+const LocalMemoryRule = placement.LocalMemoryRule

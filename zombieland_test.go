@@ -1,0 +1,118 @@
+package zombieland
+
+import (
+	"testing"
+
+	"repro/internal/acpi"
+)
+
+// testRackConfig returns a small, fast rack configuration for the public API
+// tests.
+func testRackConfig(servers int) RackConfig {
+	board := DefaultBoardSpec()
+	board.MemoryBytes = 1 << 30
+	return RackConfig{
+		Servers:           servers,
+		Board:             board,
+		BufferSize:        16 << 20,
+		HostReservedBytes: 128 << 20,
+	}
+}
+
+func TestPublicRackLifecycle(t *testing.T) {
+	rack, err := NewRack(testRackConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rack.Servers()) != 3 {
+		t.Fatalf("servers = %v", rack.Servers())
+	}
+	// Push one server to the zombie state and place a VM that needs its
+	// memory.
+	if err := rack.PushToZombie("server-02"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rack.Server("server-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.State() != Sz {
+		t.Fatalf("state = %v, want Sz", srv.State())
+	}
+	guest, err := rack.CreateVM(NewVM("app", 3<<29, 1<<30), CreateVMOptions{SimPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guest.RemoteBytes == 0 {
+		t.Error("the VM should use remote memory from the zombie")
+	}
+	stats, err := rack.RunWorkload("app", SparkSQL, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accesses == 0 {
+		t.Error("workload should have run")
+	}
+	rack.AdvanceClock(60e9)
+	if rack.TotalEnergyJoules() <= 0 {
+		t.Error("energy accounting should be live")
+	}
+	if err := rack.DestroyVM("app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rack.Wake("server-02"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicConstantsAndHelpers(t *testing.T) {
+	if Sz != acpi.Sz || S0 != acpi.S0 {
+		t.Error("sleep state re-exports broken")
+	}
+	if LocalMemoryRule != 0.5 {
+		t.Errorf("LocalMemoryRule = %v, want 0.5", LocalMemoryRule)
+	}
+	if len(Workloads()) != 4 || len(PolicyNames()) != 3 {
+		t.Error("workload/policy listings wrong")
+	}
+	if len(LocalFractions()) != 5 {
+		t.Error("local fractions wrong")
+	}
+	v := PaperVM()
+	if v.ReservedBytes != 7<<30 {
+		t.Error("paper VM wrong")
+	}
+	if len(MachineProfiles()) != 2 {
+		t.Error("machine profiles wrong")
+	}
+	if HPProfile().Name != "HP" || DellProfile().Name != "Dell" {
+		t.Error("profile names wrong")
+	}
+	if len(ConsolidationPolicies()) != 3 {
+		t.Error("consolidation policies wrong")
+	}
+	board := DefaultBoardSpec()
+	if !board.SplitPowerDomains {
+		t.Error("default board should be Sz capable")
+	}
+}
+
+func TestGenerateTraceVariants(t *testing.T) {
+	orig, err := GenerateTrace(false, 50, 400, 3600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := GenerateTrace(true, 50, 400, 3600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := orig.ComputeStats()
+	sm := mod.ComputeStats()
+	if sm.MemToCPURatio <= so.MemToCPURatio*1.5 {
+		t.Errorf("modified trace should be memory-heavier: %.2f vs %.2f", sm.MemToCPURatio, so.MemToCPURatio)
+	}
+	// Defaults kick in for zero arguments.
+	if _, err := GenerateTrace(false, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
