@@ -2,8 +2,8 @@ package zombieland
 
 // This file is the benchmark harness: one benchmark per table and figure of
 // the paper's evaluation (the experiment functions in experiments.go do the
-// work), plus ablation benchmarks for the design choices called out in
-// DESIGN.md and micro-benchmarks of the hot paths (RDMA verbs, policy
+// work), plus ablation benchmarks for the repository's main design
+// choices and micro-benchmarks of the hot paths (RDMA verbs, policy
 // eviction, the page-fault handler).
 //
 // Key result values are attached to every benchmark as custom metrics
@@ -11,6 +11,7 @@ package zombieland
 // reports; the cmd/ tools print the same results as formatted tables.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/consolidation"
@@ -167,6 +168,93 @@ func BenchmarkFig10DatacenterEnergy(b *testing.B) {
 	b.ReportMetric(neat, "neat-saving-%")
 	b.ReportMetric(oasis, "oasis-saving-%")
 	b.ReportMetric(zombie, "zombiestack-saving-%")
+}
+
+// ----------------------------------------------------- dcsim engine benches
+
+// dcsimBenchTrace generates the trace shared by the engine benchmarks: a
+// short consolidation period gives the engine many epochs to shard.
+func dcsimBenchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	tr, err := trace.Generate(trace.GeneratorConfig{
+		Name: "bench", Machines: 200, HorizonSec: 24 * 3600, Tasks: 3000,
+		MemoryToCPURatio: 3, MeanUtilization: 0.35, IdleFraction: 0.25, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// dcsimBenchConfig is the simulation the sequential/parallel pair runs.
+func dcsimBenchConfig(tr *trace.Trace, workers int) dcsim.Config {
+	return dcsim.Config{
+		Trace:                  tr,
+		Policy:                 consolidation.NewZombieStack(),
+		Machine:                energy.HPProfile(),
+		ServerSpec:             consolidation.DefaultServerSpec(),
+		ConsolidationPeriodSec: 30,
+		Workers:                workers,
+	}
+}
+
+// BenchmarkDCSimSequential is the single-threaded baseline of the simulation
+// engine.
+func BenchmarkDCSimSequential(b *testing.B) {
+	tr := dcsimBenchTrace(b)
+	cfg := dcsimBenchConfig(tr, 0)
+	b.ResetTimer()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		res, err := dcsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = res.SavingPercent
+	}
+	b.ReportMetric(saving, "saving-%")
+}
+
+// BenchmarkDCSimParallel shards the same simulation's per-epoch accounting
+// across GOMAXPROCS workers; on multi-core it demonstrates the engine's
+// speedup over BenchmarkDCSimSequential while producing bit-identical
+// results (TestParallelMatchesSequential asserts the identity).
+func BenchmarkDCSimParallel(b *testing.B) {
+	tr := dcsimBenchTrace(b)
+	cfg := dcsimBenchConfig(tr, runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		res, err := dcsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = res.SavingPercent
+	}
+	b.ReportMetric(saving, "saving-%")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkDCSimSweep measures the scenario-sweep harness on the default
+// Figure 10 grid (scaled down to benchmark size).
+func BenchmarkDCSimSweep(b *testing.B) {
+	cfg := dcsim.DefaultSweepConfig()
+	for i := range cfg.TraceConfigs {
+		cfg.TraceConfigs[i].Machines = 80
+		cfg.TraceConfigs[i].Tasks = 800
+		cfg.TraceConfigs[i].HorizonSec = 6 * 3600
+	}
+	cfg.SweepWorkers = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	var runs int
+	for i := 0; i < b.N; i++ {
+		res, err := dcsim.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs = len(res.Runs)
+	}
+	b.ReportMetric(float64(runs), "scenarios")
 }
 
 // ---------------------------------------------------------------- Ablations

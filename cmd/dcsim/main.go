@@ -6,14 +6,29 @@
 //
 //	dcsim                         # default fleet (120 machines, 1500 tasks)
 //	dcsim -machines 500 -tasks 6000 -horizon 86400
+//	dcsim -parallel -workers 8    # shard epoch accounting over 8 goroutines
+//	dcsim -sweep                  # scenario sweep: policies × machines ×
+//	                              #   trace scales × consolidation periods
+//	dcsim -sweep -scales 0.5,1,2 -periods 300,900 -workers 8
+//
+// The parallel engine is bit-identical to the sequential one; -parallel only
+// changes how the work is scheduled. -sweep replaces the single Figure 10
+// comparison with a concurrent grid of scenarios aggregated per policy.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	zombieland "repro"
+	"repro/internal/consolidation"
+	"repro/internal/dcsim"
+	"repro/internal/energy"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -21,18 +36,140 @@ func main() {
 	tasks := flag.Int("tasks", 1500, "number of tasks in the generated trace")
 	horizon := flag.Int64("horizon", 12*3600, "trace horizon in seconds")
 	seed := flag.Int64("seed", 42, "trace generation seed")
+	parallel := flag.Bool("parallel", false, "shard per-epoch accounting across a worker pool (same results, more cores)")
+	sweep := flag.Bool("sweep", false, "run a scenario sweep grid instead of the single Figure 10 comparison")
+	workers := flag.Int("workers", 0, "worker goroutines; setting it implies -parallel (default with -parallel/-sweep: GOMAXPROCS)")
+	scales := flag.String("scales", "1", "comma-separated trace scale factors for -sweep (scale the fleet and task count)")
+	periods := flag.String("periods", "300", "comma-separated consolidation periods in seconds for -sweep")
 	flag.Parse()
 
-	res, err := zombieland.Figure10(zombieland.Fig10Config{
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "dcsim: -workers must be non-negative (got %d)\n", *workers)
+		os.Exit(1)
+	}
+	w := *workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+
+	if *sweep {
+		if err := runSweep(*machines, *tasks, *horizon, *seed, w, *scales, *periods); err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := zombieland.Fig10Config{
 		Machines:   *machines,
 		Tasks:      *tasks,
 		HorizonSec: *horizon,
 		Seed:       *seed,
-	})
+	}
+	if *parallel || *workers > 0 {
+		cfg.Workers = w
+	}
+	res, err := zombieland.Figure10(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
 	}
 	fmt.Println(res.Render())
 	fmt.Println("Energy saving is relative to a fleet that keeps every server in S0 (no consolidation).")
+}
+
+// runSweep builds the scenario grid {policy} × {machine} × {trace variant ×
+// scale} × {period} and prints the per-run table plus the per-policy summary.
+func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string) error {
+	scales, err := parseFloats(scalesCSV)
+	if err != nil {
+		return fmt.Errorf("-scales: %w", err)
+	}
+	periodList, err := parseInts(periodsCSV)
+	if err != nil {
+		return fmt.Errorf("-periods: %w", err)
+	}
+
+	var traceCfgs []trace.GeneratorConfig
+	for _, scale := range scales {
+		if scale <= 0 {
+			return fmt.Errorf("-scales: scale %v must be positive", scale)
+		}
+		if int(float64(machines)*scale) < 1 || int(float64(tasks)*scale) < 1 {
+			return fmt.Errorf("-scales: scale %v shrinks the fleet below 1 machine or 1 task", scale)
+		}
+		for _, modified := range []bool{false, true} {
+			tc := trace.DefaultConfig()
+			if modified {
+				tc = trace.ModifiedConfig()
+			}
+			tc.Machines = int(float64(machines) * scale)
+			tc.Tasks = int(float64(tasks) * scale)
+			tc.HorizonSec = horizon
+			tc.Seed = seed
+			if scale != 1 {
+				tc.Name = fmt.Sprintf("%s-x%g", tc.Name, scale)
+			}
+			traceCfgs = append(traceCfgs, tc)
+		}
+	}
+
+	policies := consolidation.Contenders()
+	machineProfiles := energy.Profiles()
+	// The sweep pool alone saturates the CPU when the grid is at least as
+	// wide as the pool; only shard epochs inside each run when the grid is
+	// too small to occupy every worker.
+	cells := len(policies) * len(machineProfiles) * len(traceCfgs) * len(periodList)
+	engineWorkers := 0
+	if cells < workers {
+		engineWorkers = (workers + cells - 1) / cells
+	}
+	cfg := dcsim.SweepConfig{
+		Policies:      policies,
+		Machines:      machineProfiles,
+		TraceConfigs:  traceCfgs,
+		PeriodsSec:    periodList,
+		ServerSpec:    consolidation.DefaultServerSpec(),
+		SweepWorkers:  workers,
+		EngineWorkers: engineWorkers,
+	}
+	res, err := dcsim.Sweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	fmt.Println(res.RenderSummary())
+	fmt.Printf("%d scenarios, %d sweep workers. Energy saving is relative to a no-consolidation fleet.\n",
+		len(res.Runs), workers)
+	return nil
+}
+
+// parseList parses a comma-separated list, skipping empty fields.
+func parseList[T any](csv string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, field := range strings.Split(csv, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := parse(field)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(csv string) ([]float64, error) {
+	return parseList(csv, func(s string) (float64, error) { return strconv.ParseFloat(s, 64) })
+}
+
+// parseInts parses a comma-separated int64 list.
+func parseInts(csv string) ([]int64, error) {
+	return parseList(csv, func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) })
 }

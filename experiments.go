@@ -410,6 +410,10 @@ type Fig10Config struct {
 	Tasks      int
 	HorizonSec int64
 	Seed       int64
+	// Workers shards each simulation's per-epoch accounting across that many
+	// goroutines (see dcsim.Config.Workers); results are identical to a
+	// sequential run.
+	Workers int
 }
 
 // DefaultFig10Config returns a configuration sized to run in seconds while
@@ -423,7 +427,9 @@ func DefaultFig10Config() Fig10Config {
 // modified Google-like traces for both machine profiles.
 func Figure10(cfg Fig10Config) (Fig10Result, error) {
 	if cfg.Machines <= 0 {
+		workers := cfg.Workers
 		cfg = DefaultFig10Config()
+		cfg.Workers = workers
 	}
 	var res Fig10Result
 	for _, modified := range []bool{false, true} {
@@ -439,7 +445,7 @@ func Figure10(cfg Fig10Config) (Fig10Result, error) {
 		if err != nil {
 			return Fig10Result{}, err
 		}
-		cmp, err := dcsim.Compare(tr, energy.Profiles(), consolidation.DefaultServerSpec())
+		cmp, err := dcsim.CompareWorkers(tr, energy.Profiles(), consolidation.DefaultServerSpec(), cfg.Workers)
 		if err != nil {
 			return Fig10Result{}, err
 		}

@@ -1,0 +1,22 @@
+// Package acpi models the ACPI global sleep states of a server platform,
+// extended with the paper's new zombie (Sz) state.
+//
+// The package provides:
+//
+//   - the global sleep states S0..S5 plus Sz and their semantics
+//     (which device classes remain powered, whether memory stays remotely
+//     accessible, transition latencies);
+//   - device power states D0..D3 and per-device power-domain membership;
+//   - a Platform type describing a server board as a set of devices attached
+//     to power rails, with PM1A/PM1B-style sleep control registers;
+//   - an OSPM transition engine that reproduces the suspend execution path of
+//     the paper's Figure 6 ("echo zom > /sys/power/state"), including the
+//     keep-alive device set that distinguishes Sz from S3;
+//   - a Firmware model responsible for chipset (re)initialisation on boot and
+//     on every Sz enter/exit.
+//
+// The paper has no Sz-capable hardware either; it reasons about Sz through a
+// model. This package is that model, made explicit and testable, so that the
+// rack-level memory disaggregation layers can ask questions such as "is this
+// server's memory reachable right now?" and "how long does an Sz exit take?".
+package acpi

@@ -351,6 +351,12 @@ func AllPolicies() []Policy {
 	return []Policy{NoConsolidation{}, NewNeat(), NewOasis(), NewZombieStack()}
 }
 
+// Contenders returns the three policies Figure 10 compares (Neat, Oasis,
+// ZombieStack), without the no-consolidation baseline.
+func Contenders() []Policy {
+	return []Policy{NewNeat(), NewOasis(), NewZombieStack()}
+}
+
 // PolicyByName returns the named policy.
 func PolicyByName(name string) (Policy, error) {
 	for _, p := range AllPolicies() {

@@ -4,6 +4,18 @@
 // using the per-state power model of internal/energy. The output is the
 // energy saving relative to the no-consolidation baseline, which is what
 // Figure 10 reports for Neat, Oasis and ZombieStack on HP and Dell servers.
+//
+// The simulation decomposes into independent consolidation epochs, so the
+// engine can shard the per-epoch accounting (placement evaluation and energy
+// integration) across a pool of workers: set Config.Workers above 1 and the
+// epochs are split into contiguous shards, simulated concurrently, and merged
+// back in epoch order. The merge performs exactly the same floating-point
+// additions in exactly the same order as the sequential path, so a parallel
+// run is bit-identical to a sequential one (see parallel.go).
+//
+// On top of single runs, sweep.go provides a scenario-sweep harness that runs
+// a grid of {policy, machine profile, trace, consolidation period} scenarios
+// concurrently and aggregates the results with internal/metrics.
 package dcsim
 
 import (
@@ -20,7 +32,9 @@ import (
 type Config struct {
 	// Trace is the workload to replay.
 	Trace *trace.Trace
-	// Policy is the consolidation policy under test.
+	// Policy is the consolidation policy under test. Plan must be safe for
+	// concurrent use (the bundled policies are stateless) when Workers > 1 or
+	// when the config is part of a Sweep.
 	Policy consolidation.Policy
 	// Machine is the power profile of every server in the fleet.
 	Machine *energy.MachineProfile
@@ -32,6 +46,9 @@ type Config struct {
 	// OasisMemoryServerFraction is the relative power of an Oasis memory
 	// server (0.4 per the paper) — only used when the policy plans them.
 	OasisMemoryServerFraction float64
+	// Workers shards the per-epoch accounting across that many goroutines.
+	// 0 or 1 selects the sequential engine. Results are identical either way.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -54,6 +71,9 @@ func (c *Config) Validate() error {
 	if c.ServerSpec.Cores <= 0 || c.ServerSpec.MemGiB <= 0 {
 		return fmt.Errorf("dcsim: server spec needs positive capacity")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("dcsim: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
@@ -72,6 +92,8 @@ type Result struct {
 	Policy  string
 	Machine string
 	Trace   string
+	// PeriodSec is the consolidation period the run used.
+	PeriodSec int64
 	// EnergyJoules is the fleet energy over the trace horizon.
 	EnergyJoules float64
 	// BaselineJoules is the no-consolidation fleet energy over the same
@@ -92,69 +114,146 @@ type Result struct {
 	Epochs int
 }
 
-// Run executes the simulation.
+// epochSpan bounds one consolidation period within the trace horizon.
+type epochSpan struct {
+	start, end int64
+}
+
+// epochSpans splits the horizon into consolidation periods.
+func epochSpans(horizonSec, periodSec int64) []epochSpan {
+	spans := make([]epochSpan, 0, int(horizonSec/periodSec)+1)
+	for start := int64(0); start < horizonSec; start += periodSec {
+		end := start + periodSec
+		if end > horizonSec {
+			end = horizonSec
+		}
+		spans = append(spans, epochSpan{start: start, end: end})
+	}
+	return spans
+}
+
+// epochStats is one epoch's contribution to the run integrals. Every field is
+// the exact term the sequential loop would have added, so merging a slice of
+// epochStats in epoch order reproduces the sequential accumulation bit for
+// bit.
+type epochStats struct {
+	energyJ   float64
+	baselineJ float64
+	activeDt  float64
+	zombieDt  float64
+	sleepDt   float64
+	utilDt    float64
+	dt        float64
+}
+
+// sortedByStart returns the trace tasks ordered by start time. The slice is
+// shared read-only by every replayer of a run.
+func sortedByStart(tr *trace.Trace) []trace.Task {
+	byStart := append([]trace.Task(nil), tr.Tasks...)
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].StartSec < byStart[j].StartSec })
+	return byStart
+}
+
+// replayer walks consolidation epochs in order, maintaining the set of tasks
+// running in each epoch. A fresh replayer may start at any epoch: admission
+// only depends on the epoch end and retirement only on the epoch start, so
+// the population it derives for an epoch is independent of where the walk
+// began.
+type replayer struct {
+	byStart []trace.Task
+	next    int
+	running map[int]trace.Task
+}
+
+// newReplayer walks the shared start-ordered task slice from the beginning.
+func newReplayer(byStart []trace.Task) *replayer {
+	return &replayer{byStart: byStart, running: make(map[int]trace.Task)}
+}
+
+// population admits tasks starting before the epoch end, retires finished
+// ones, and returns the epoch's VM population sorted by ID.
+func (r *replayer) population(span epochSpan) []consolidation.VMDemand {
+	for r.next < len(r.byStart) && r.byStart[r.next].StartSec < span.end {
+		r.running[r.byStart[r.next].ID] = r.byStart[r.next]
+		r.next++
+	}
+	for id, t := range r.running {
+		if t.EndSec <= span.start {
+			delete(r.running, id)
+		}
+	}
+	vms := make([]consolidation.VMDemand, 0, len(r.running))
+	for _, t := range r.running {
+		vms = append(vms, consolidation.VMDemand{
+			ID:           fmt.Sprintf("task-%d", t.ID),
+			BookedCPU:    t.BookedCPU,
+			BookedMemGiB: t.BookedMemGiB,
+			UsedCPU:      t.UsedCPU,
+			UsedMemGiB:   t.UsedMemGiB,
+		})
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+	return vms
+}
+
+// simulateEpoch evaluates the policy on one epoch's population and integrates
+// the fleet power over the epoch.
+func simulateEpoch(cfg *Config, vms []consolidation.VMDemand, span epochSpan) epochStats {
+	plan := cfg.Policy.Plan(vms, cfg.ServerSpec, cfg.Trace.Machines)
+	dt := float64(span.end - span.start)
+	return epochStats{
+		energyJ:   fleetPower(*cfg, plan) * dt,
+		baselineJ: baselinePower(*cfg, vms, cfg.Trace.Machines) * dt,
+		activeDt:  float64(plan.ActiveHosts) * dt,
+		zombieDt:  float64(plan.ZombieHosts) * dt,
+		sleepDt:   float64(plan.SleepHosts) * dt,
+		utilDt:    plan.ActiveCPUUtilization * dt,
+		dt:        dt,
+	}
+}
+
+// Run executes the simulation, sequentially or sharded across
+// Config.Workers goroutines; the result is identical either way.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	cfg.applyDefaults()
-	tr := cfg.Trace
-	total := tr.Machines
-	period := cfg.ConsolidationPeriodSec
+	spans := epochSpans(cfg.Trace.HorizonSec, cfg.ConsolidationPeriodSec)
+	byStart := sortedByStart(cfg.Trace)
 
-	// Index task start/end events by epoch for efficient replay.
-	running := make(map[int]trace.Task)
-	byStart := append([]trace.Task(nil), tr.Tasks...)
-	sort.Slice(byStart, func(i, j int) bool { return byStart[i].StartSec < byStart[j].StartSec })
-	next := 0
+	stats := make([]epochStats, len(spans))
+	if cfg.Workers > 1 && len(spans) > 1 {
+		simulateShards(&cfg, byStart, spans, stats, cfg.Workers)
+	} else {
+		rep := newReplayer(byStart)
+		for i, span := range spans {
+			stats[i] = simulateEpoch(&cfg, rep.population(span), span)
+		}
+	}
+	return mergeEpochStats(cfg, stats), nil
+}
 
-	res := Result{Policy: cfg.Policy.Name(), Machine: cfg.Machine.Name, Trace: tr.Name}
+// mergeEpochStats folds per-epoch contributions into a Result in epoch order,
+// performing the same additions in the same order as a sequential run.
+func mergeEpochStats(cfg Config, stats []epochStats) Result {
+	res := Result{
+		Policy:    cfg.Policy.Name(),
+		Machine:   cfg.Machine.Name,
+		Trace:     cfg.Trace.Name,
+		PeriodSec: cfg.ConsolidationPeriodSec,
+	}
 	var horizonSec float64
-
-	for epochStart := int64(0); epochStart < tr.HorizonSec; epochStart += period {
-		epochEnd := epochStart + period
-		if epochEnd > tr.HorizonSec {
-			epochEnd = tr.HorizonSec
-		}
-		// Admit tasks starting before the epoch end, retire finished ones.
-		for next < len(byStart) && byStart[next].StartSec < epochEnd {
-			running[byStart[next].ID] = byStart[next]
-			next++
-		}
-		for id, t := range running {
-			if t.EndSec <= epochStart {
-				delete(running, id)
-			}
-		}
-
-		// Build the VM population of this epoch.
-		vms := make([]consolidation.VMDemand, 0, len(running))
-		for _, t := range running {
-			vms = append(vms, consolidation.VMDemand{
-				ID:           fmt.Sprintf("task-%d", t.ID),
-				BookedCPU:    t.BookedCPU,
-				BookedMemGiB: t.BookedMemGiB,
-				UsedCPU:      t.UsedCPU,
-				UsedMemGiB:   t.UsedMemGiB,
-			})
-		}
-		sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
-
-		plan := cfg.Policy.Plan(vms, cfg.ServerSpec, total)
-		dt := float64(epochEnd - epochStart)
-		horizonSec += dt
-
-		// Integrate the fleet power over the epoch.
-		res.EnergyJoules += fleetPower(cfg, plan) * dt
-		res.BaselineJoules += baselinePower(cfg, vms, total) * dt
-
-		res.MeanActiveHosts += float64(plan.ActiveHosts) * dt
-		res.MeanZombieHosts += float64(plan.ZombieHosts) * dt
-		res.MeanSleepHosts += float64(plan.SleepHosts) * dt
-		res.MeanActiveUtilization += plan.ActiveCPUUtilization * dt
+	for _, s := range stats {
+		res.EnergyJoules += s.energyJ
+		res.BaselineJoules += s.baselineJ
+		res.MeanActiveHosts += s.activeDt
+		res.MeanZombieHosts += s.zombieDt
+		res.MeanSleepHosts += s.sleepDt
+		res.MeanActiveUtilization += s.utilDt
+		horizonSec += s.dt
 		res.Epochs++
 	}
-
 	if horizonSec > 0 {
 		res.MeanActiveHosts /= horizonSec
 		res.MeanZombieHosts /= horizonSec
@@ -164,7 +263,7 @@ func Run(cfg Config) (Result, error) {
 	if res.BaselineJoules > 0 {
 		res.SavingPercent = 100 * (1 - res.EnergyJoules/res.BaselineJoules)
 	}
-	return res, nil
+	return res
 }
 
 // fleetPower returns the fleet's power (watts) under a consolidation plan.
@@ -202,12 +301,18 @@ type Comparison struct {
 }
 
 // Compare runs Neat, Oasis and ZombieStack (plus the baseline used for the
-// saving computation) on the trace for each machine profile.
+// saving computation) on the trace for each machine profile, sequentially.
 func Compare(tr *trace.Trace, machines []*energy.MachineProfile, spec consolidation.ServerSpec) (Comparison, error) {
+	return CompareWorkers(tr, machines, spec, 0)
+}
+
+// CompareWorkers is Compare with each run's per-epoch accounting sharded
+// across the given number of workers (0 or 1 keeps the sequential engine).
+func CompareWorkers(tr *trace.Trace, machines []*energy.MachineProfile, spec consolidation.ServerSpec, workers int) (Comparison, error) {
 	cmp := Comparison{Trace: tr.Name}
 	for _, m := range machines {
-		for _, pol := range []consolidation.Policy{consolidation.NewNeat(), consolidation.NewOasis(), consolidation.NewZombieStack()} {
-			res, err := Run(Config{Trace: tr, Policy: pol, Machine: m, ServerSpec: spec})
+		for _, pol := range consolidation.Contenders() {
+			res, err := Run(Config{Trace: tr, Policy: pol, Machine: m, ServerSpec: spec, Workers: workers})
 			if err != nil {
 				return Comparison{}, err
 			}

@@ -1,0 +1,63 @@
+// The parallel engine: consolidation epochs are split into contiguous shards
+// and simulated by a pool of workers, each with its own trace replayer. Every
+// worker writes the per-epoch contributions of its shard into a disjoint part
+// of a shared slice, and the caller merges the slice in epoch order, so the
+// accumulation order — and therefore every floating-point result — matches
+// the sequential engine exactly: independent workers, deterministic merge.
+
+package dcsim
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// shard is a half-open range [lo, hi) of epoch indices.
+type shard struct {
+	lo, hi int
+}
+
+// shardEpochs splits n epochs into at most workers contiguous, near-equal
+// shards covering [0, n) exactly.
+func shardEpochs(n, workers int) []shard {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := make([]shard, 0, workers)
+	base, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		shards = append(shards, shard{lo: lo, hi: lo + size})
+		lo += size
+	}
+	return shards
+}
+
+// simulateShards fills stats[i] for every epoch i, one goroutine per shard.
+// Each shard replays the trace from its own start — a fresh replayer
+// converges to the same running-task set the sequential walk would hold at
+// that epoch — so no cross-shard state is shared and no locks are needed:
+// the start-ordered task slice is read-only and the goroutines write
+// disjoint ranges of stats.
+func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats []epochStats, workers int) {
+	var wg sync.WaitGroup
+	for _, sh := range shardEpochs(len(spans), workers) {
+		wg.Add(1)
+		go func(sh shard) {
+			defer wg.Done()
+			rep := newReplayer(byStart)
+			for i := sh.lo; i < sh.hi; i++ {
+				stats[i] = simulateEpoch(cfg, rep.population(spans[i]), spans[i])
+			}
+		}(sh)
+	}
+	wg.Wait()
+}

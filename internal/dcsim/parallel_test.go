@@ -1,0 +1,184 @@
+package dcsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/consolidation"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+// engineTestTrace generates a small but non-trivial trace (many epochs,
+// overlapping tasks) for the engine tests.
+func engineTestTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.GeneratorConfig{
+		Name: "engine-test", Machines: 60, HorizonSec: 6 * 3600, Tasks: 500,
+		MemoryToCPURatio: 3, MeanUtilization: 0.35, IdleFraction: 0.25, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestParallelMatchesSequential is the bit-identity guarantee: sharding the
+// per-epoch accounting across workers must not change a single output field,
+// for every policy on every machine profile.
+func TestParallelMatchesSequential(t *testing.T) {
+	tr := engineTestTrace(t)
+	for _, m := range energy.Profiles() {
+		for _, pol := range consolidation.AllPolicies() {
+			cfg := Config{
+				Trace:      tr,
+				Policy:     pol,
+				Machine:    m,
+				ServerSpec: consolidation.DefaultServerSpec(),
+			}
+			seq, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", m.Name, pol.Name(), err)
+			}
+			for _, workers := range []int{2, 4, 7, 64} {
+				cfg.Workers = workers
+				par, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", m.Name, pol.Name(), workers, err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("%s/%s workers=%d: parallel result diverges\nseq: %+v\npar: %+v",
+						m.Name, pol.Name(), workers, seq, par)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEnergySavingExact pins the headline metric explicitly: the
+// EnergySaving outputs of a workers=4 run and a sequential run are identical,
+// not merely close.
+func TestParallelEnergySavingExact(t *testing.T) {
+	tr := engineTestTrace(t)
+	cfg := Config{
+		Trace:      tr,
+		Policy:     consolidation.NewZombieStack(),
+		Machine:    energy.HPProfile(),
+		ServerSpec: consolidation.DefaultServerSpec(),
+	}
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.SavingPercent != par.SavingPercent {
+		t.Fatalf("SavingPercent diverges: sequential %v, parallel %v", seq.SavingPercent, par.SavingPercent)
+	}
+	if seq.EnergyJoules != par.EnergyJoules || seq.BaselineJoules != par.BaselineJoules {
+		t.Fatalf("energy integrals diverge: sequential %+v, parallel %+v", seq, par)
+	}
+}
+
+// TestShardEpochs checks the shard plan covers [0, n) exactly with balanced,
+// contiguous ranges.
+func TestShardEpochs(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{1, 1}, {1, 8}, {5, 2}, {7, 3}, {8, 8}, {100, 7}, {3, 0},
+	}
+	for _, c := range cases {
+		shards := shardEpochs(c.n, c.workers)
+		lo := 0
+		for _, sh := range shards {
+			if sh.lo != lo {
+				t.Fatalf("n=%d workers=%d: gap or overlap at %d (shard starts at %d)", c.n, c.workers, lo, sh.lo)
+			}
+			if sh.hi <= sh.lo {
+				t.Fatalf("n=%d workers=%d: empty shard %+v", c.n, c.workers, sh)
+			}
+			lo = sh.hi
+		}
+		if lo != c.n {
+			t.Fatalf("n=%d workers=%d: shards end at %d, want %d", c.n, c.workers, lo, c.n)
+		}
+		for _, sh := range shards {
+			if size := sh.hi - sh.lo; size > c.n/max(1, min(c.workers, c.n))+1 {
+				t.Fatalf("n=%d workers=%d: unbalanced shard %+v", c.n, c.workers, sh)
+			}
+		}
+	}
+}
+
+// TestReplayerMidStreamStart checks the property the parallel engine rests
+// on: a replayer started at an arbitrary epoch derives the same population as
+// one that walked every epoch before it.
+func TestReplayerMidStreamStart(t *testing.T) {
+	tr := engineTestTrace(t)
+	spans := epochSpans(tr.HorizonSec, 300)
+	byStart := sortedByStart(tr)
+	walked := newReplayer(byStart)
+	var full [][]consolidation.VMDemand
+	for _, span := range spans {
+		full = append(full, walked.population(span))
+	}
+	for _, start := range []int{1, len(spans) / 2, len(spans) - 1} {
+		fresh := newReplayer(byStart)
+		got := fresh.population(spans[start])
+		if !reflect.DeepEqual(full[start], got) {
+			t.Fatalf("epoch %d: fresh replayer sees %d VMs, sequential walk saw %d",
+				start, len(got), len(full[start]))
+		}
+	}
+}
+
+// TestParallelFreshProfileRaceFree runs the parallel engine with a freshly
+// constructed machine profile (no precomputed Sz entry): the shard goroutines
+// all evaluate the Sz power fraction, which must not mutate the shared
+// profile (caught by -race if it does).
+func TestParallelFreshProfileRaceFree(t *testing.T) {
+	cfg := Config{
+		Trace:      engineTestTrace(t),
+		Policy:     consolidation.NewZombieStack(),
+		Machine:    energy.HPProfile(),
+		ServerSpec: consolidation.DefaultServerSpec(),
+		Workers:    8,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsNegativeWorkers checks validation of the new knob.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	cfg := Config{
+		Trace:      engineTestTrace(t),
+		Policy:     consolidation.NewNeat(),
+		Machine:    energy.HPProfile(),
+		ServerSpec: consolidation.DefaultServerSpec(),
+		Workers:    -1,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected an error for negative workers")
+	}
+}
+
+// TestCompareWorkersMatchesCompare checks the comparison wrapper is engine
+// agnostic too.
+func TestCompareWorkersMatchesCompare(t *testing.T) {
+	tr := engineTestTrace(t)
+	spec := consolidation.DefaultServerSpec()
+	seq, err := Compare(tr, energy.Profiles(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompareWorkers(tr, energy.Profiles(), spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("CompareWorkers diverges from Compare:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

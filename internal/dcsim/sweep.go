@@ -1,0 +1,224 @@
+// The scenario-sweep harness: a grid of {consolidation policy, machine power
+// profile, trace, consolidation period} scenarios is executed concurrently by
+// a pool of sweep workers (each scenario may itself shard its epochs, see
+// parallel.go). Results land in grid order regardless of scheduling, so a
+// sweep is deterministic, and the aggregation helpers summarise the grid with
+// internal/metrics.
+
+package dcsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/consolidation"
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// SweepConfig describes a scenario grid: the cross product of Policies,
+// Machines, TraceConfigs and PeriodsSec.
+type SweepConfig struct {
+	// Policies are the consolidation policies to compare. Plan must be safe
+	// for concurrent use (the bundled policies are stateless).
+	Policies []consolidation.Policy
+	// Machines are the per-machine power profiles to sweep.
+	Machines []*energy.MachineProfile
+	// TraceConfigs generate the workload of each scenario column (e.g. the
+	// original and memory-heavy Google-like traces at several scales). Each
+	// config is generated exactly once and shared read-only by the runs.
+	TraceConfigs []trace.GeneratorConfig
+	// PeriodsSec are the consolidation periods to sweep.
+	PeriodsSec []int64
+	// ServerSpec is the capacity of every server in every scenario.
+	ServerSpec consolidation.ServerSpec
+	// SweepWorkers bounds how many scenarios run concurrently; 1 by default.
+	SweepWorkers int
+	// EngineWorkers is the per-run epoch-shard worker count (Config.Workers).
+	EngineWorkers int
+}
+
+// DefaultSweepConfig returns the Figure 10 grid: the three contender policies
+// on both testbed machines, on the original and memory-heavy traces, at the
+// paper's 300 s consolidation period.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Policies:     consolidation.Contenders(),
+		Machines:     energy.Profiles(),
+		TraceConfigs: []trace.GeneratorConfig{trace.DefaultConfig(), trace.ModifiedConfig()},
+		PeriodsSec:   []int64{300},
+		ServerSpec:   consolidation.DefaultServerSpec(),
+	}
+}
+
+// validate checks the grid is non-empty in every dimension.
+func (c *SweepConfig) validate() error {
+	switch {
+	case len(c.Policies) == 0:
+		return fmt.Errorf("dcsim: sweep needs at least one policy")
+	case len(c.Machines) == 0:
+		return fmt.Errorf("dcsim: sweep needs at least one machine profile")
+	case len(c.TraceConfigs) == 0:
+		return fmt.Errorf("dcsim: sweep needs at least one trace config")
+	case len(c.PeriodsSec) == 0:
+		return fmt.Errorf("dcsim: sweep needs at least one consolidation period")
+	}
+	for _, p := range c.PeriodsSec {
+		if p <= 0 {
+			return fmt.Errorf("dcsim: sweep period %d must be positive", p)
+		}
+	}
+	return nil
+}
+
+// SweepResult holds every run of a sweep, in grid order (traces outermost,
+// then machines, then policies, then periods).
+type SweepResult struct {
+	Runs []Result
+}
+
+// Sweep generates each trace once, then runs the scenario grid concurrently
+// on SweepWorkers goroutines. The returned runs are in grid order and
+// independent of scheduling; with the same config a sweep is fully
+// deterministic.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	traces := make([]*trace.Trace, len(cfg.TraceConfigs))
+	for i, tc := range cfg.TraceConfigs {
+		tr, err := trace.Generate(tc)
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: sweep trace %q: %w", tc.Name, err)
+		}
+		traces[i] = tr
+	}
+
+	// A zero-value spec gets the default; a partially-set spec is passed
+	// through so Run's validation rejects it instead of silently simulating
+	// different hardware than the caller asked for.
+	spec := cfg.ServerSpec
+	if spec == (consolidation.ServerSpec{}) {
+		spec = consolidation.DefaultServerSpec()
+	}
+	var cells []Config
+	for _, tr := range traces {
+		for _, m := range cfg.Machines {
+			for _, pol := range cfg.Policies {
+				for _, period := range cfg.PeriodsSec {
+					cells = append(cells, Config{
+						Trace:                  tr,
+						Policy:                 pol,
+						Machine:                m,
+						ServerSpec:             spec,
+						ConsolidationPeriodSec: period,
+						Workers:                cfg.EngineWorkers,
+					})
+				}
+			}
+		}
+	}
+
+	workers := cfg.SweepWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	res := &SweepResult{Runs: make([]Result, len(cells))}
+	errs := make([]error, len(cells))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res.Runs[i], errs[i] = Run(cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Saving returns the energy saving of one grid cell.
+func (r *SweepResult) Saving(traceName, machine, policy string, periodSec int64) (float64, bool) {
+	for _, run := range r.Runs {
+		if run.Trace == traceName && run.Machine == machine && run.Policy == policy && run.PeriodSec == periodSec {
+			return run.SavingPercent, true
+		}
+	}
+	return 0, false
+}
+
+// SavingsByPolicy groups the grid's energy savings per policy, in run order.
+func (r *SweepResult) SavingsByPolicy() map[string][]float64 {
+	by := make(map[string][]float64)
+	for _, run := range r.Runs {
+		by[run.Policy] = append(by[run.Policy], run.SavingPercent)
+	}
+	return by
+}
+
+// SummaryByPolicy reduces each policy's savings across the whole grid to
+// descriptive statistics (metrics.Summarize).
+func (r *SweepResult) SummaryByPolicy() map[string]metrics.Summary {
+	sums := make(map[string]metrics.Summary)
+	for pol, savings := range r.SavingsByPolicy() {
+		sums[pol] = metrics.Summarize(savings)
+	}
+	return sums
+}
+
+// Render formats the full grid as an aligned table, one row per run.
+func (r *SweepResult) Render() string {
+	t := metrics.NewTable("Scenario sweep — % energy saving per run",
+		"trace", "machine", "policy", "period-s", "saving-%", "active", "zombie", "sleep")
+	for _, run := range r.Runs {
+		t.AddRow(run.Trace, run.Machine, run.Policy,
+			metrics.FormatFloat(float64(run.PeriodSec)),
+			metrics.FormatFloat(run.SavingPercent),
+			metrics.FormatFloat(run.MeanActiveHosts),
+			metrics.FormatFloat(run.MeanZombieHosts),
+			metrics.FormatFloat(run.MeanSleepHosts))
+	}
+	return t.String()
+}
+
+// RenderSummary formats the per-policy aggregation of the grid. Policies
+// appear in first-run order so the output is deterministic.
+func (r *SweepResult) RenderSummary() string {
+	sums := r.SummaryByPolicy()
+	var order []string
+	seen := make(map[string]bool)
+	for _, run := range r.Runs {
+		if !seen[run.Policy] {
+			seen[run.Policy] = true
+			order = append(order, run.Policy)
+		}
+	}
+	t := metrics.NewTable("Scenario sweep — % energy saving per policy across the grid",
+		"policy", "runs", "mean", "min", "max", "p50")
+	for _, pol := range order {
+		s := sums[pol]
+		t.AddRow(pol,
+			metrics.FormatFloat(float64(s.Count)),
+			metrics.FormatFloat(s.Mean),
+			metrics.FormatFloat(s.Min),
+			metrics.FormatFloat(s.Max),
+			metrics.FormatFloat(s.P50))
+	}
+	return t.String()
+}

@@ -1,0 +1,165 @@
+package dcsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/consolidation"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+// smallSweepConfig returns a fast grid covering every policy × machine
+// combination on two traces and two consolidation periods.
+func smallSweepConfig() SweepConfig {
+	orig := trace.DefaultConfig()
+	orig.Machines, orig.Tasks, orig.HorizonSec = 40, 300, 4*3600
+	mod := trace.ModifiedConfig()
+	mod.Machines, mod.Tasks, mod.HorizonSec = 40, 300, 4*3600
+	return SweepConfig{
+		Policies:     consolidation.AllPolicies(),
+		Machines:     energy.Profiles(),
+		TraceConfigs: []trace.GeneratorConfig{orig, mod},
+		PeriodsSec:   []int64{300, 900},
+		ServerSpec:   consolidation.DefaultServerSpec(),
+		SweepWorkers: 4,
+	}
+}
+
+// TestSweepCoversFullGrid runs the grid and checks every policy × machine ×
+// trace × period combination is present exactly once, in grid order.
+func TestSweepCoversFullGrid(t *testing.T) {
+	cfg := smallSweepConfig()
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.Policies) * len(cfg.Machines) * len(cfg.TraceConfigs) * len(cfg.PeriodsSec)
+	if len(res.Runs) != want {
+		t.Fatalf("sweep produced %d runs, want %d", len(res.Runs), want)
+	}
+	i := 0
+	for _, tc := range cfg.TraceConfigs {
+		for _, m := range cfg.Machines {
+			for _, pol := range cfg.Policies {
+				for _, period := range cfg.PeriodsSec {
+					run := res.Runs[i]
+					if run.Trace != tc.Name || run.Machine != m.Name || run.Policy != pol.Name() || run.PeriodSec != period {
+						t.Fatalf("run %d out of grid order: got {%s %s %s %d}, want {%s %s %s %d}",
+							i, run.Trace, run.Machine, run.Policy, run.PeriodSec,
+							tc.Name, m.Name, pol.Name(), period)
+					}
+					if s, ok := res.Saving(tc.Name, m.Name, pol.Name(), period); !ok || s != run.SavingPercent {
+						t.Fatalf("Saving lookup failed for run %d", i)
+					}
+					i++
+				}
+			}
+		}
+	}
+}
+
+// TestSweepDeterministic checks two identical sweeps (with different worker
+// counts) produce identical results.
+func TestSweepDeterministic(t *testing.T) {
+	cfg := smallSweepConfig()
+	a, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SweepWorkers = 1
+	cfg.EngineWorkers = 3
+	b, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sweep results depend on worker scheduling")
+	}
+}
+
+// TestSweepMatchesDirectRuns cross-checks a few grid cells against direct
+// dcsim.Run invocations.
+func TestSweepMatchesDirectRuns(t *testing.T) {
+	cfg := smallSweepConfig()
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Generate(cfg.TraceConfigs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range cfg.Policies {
+		direct, err := Run(Config{
+			Trace: tr, Policy: pol, Machine: cfg.Machines[0],
+			ServerSpec: cfg.ServerSpec, ConsolidationPeriodSec: cfg.PeriodsSec[0],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := res.Saving(tr.Name, cfg.Machines[0].Name, pol.Name(), cfg.PeriodsSec[0])
+		if !ok {
+			t.Fatalf("missing sweep cell for %s", pol.Name())
+		}
+		if got != direct.SavingPercent {
+			t.Fatalf("%s: sweep cell %v != direct run %v", pol.Name(), got, direct.SavingPercent)
+		}
+	}
+}
+
+// TestSweepAggregation checks the metrics aggregation and rendering.
+func TestSweepAggregation(t *testing.T) {
+	cfg := smallSweepConfig()
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := res.SummaryByPolicy()
+	perPolicy := len(cfg.Machines) * len(cfg.TraceConfigs) * len(cfg.PeriodsSec)
+	for _, pol := range cfg.Policies {
+		s, ok := sums[pol.Name()]
+		if !ok {
+			t.Fatalf("no summary for policy %s", pol.Name())
+		}
+		if s.Count != perPolicy {
+			t.Fatalf("policy %s summarises %d runs, want %d", pol.Name(), s.Count, perPolicy)
+		}
+		if s.Min > s.Mean || s.Mean > s.Max {
+			t.Fatalf("policy %s: inconsistent summary %+v", pol.Name(), s)
+		}
+	}
+	grid := res.Render()
+	if strings.Count(grid, "\n") < len(res.Runs) {
+		t.Fatalf("grid render too short:\n%s", grid)
+	}
+	summary := res.RenderSummary()
+	for _, pol := range cfg.Policies {
+		if !strings.Contains(summary, pol.Name()) {
+			t.Fatalf("summary render misses policy %s:\n%s", pol.Name(), summary)
+		}
+	}
+}
+
+// TestSweepValidation checks empty grid dimensions are rejected.
+func TestSweepValidation(t *testing.T) {
+	base := smallSweepConfig()
+	mutations := []func(*SweepConfig){
+		func(c *SweepConfig) { c.Policies = nil },
+		func(c *SweepConfig) { c.Machines = nil },
+		func(c *SweepConfig) { c.TraceConfigs = nil },
+		func(c *SweepConfig) { c.PeriodsSec = nil },
+		func(c *SweepConfig) { c.PeriodsSec = []int64{0} },
+		// A partially-set server spec must be rejected, not silently replaced
+		// with the default.
+		func(c *SweepConfig) { c.ServerSpec = consolidation.ServerSpec{Cores: 128} },
+	}
+	for i, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Sweep(cfg); err == nil {
+			t.Fatalf("mutation %d: expected a validation error", i)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package energy
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/acpi"
+)
+
+// TestPowerFractionConcurrentSz evaluates the lazily-estimated Sz state from
+// many goroutines on a freshly built profile (no precomputed SzEstimated
+// entry): PowerFraction must stay read-only, or -race fails this test. The
+// parallel datacenter simulator relies on this.
+func TestPowerFractionConcurrentSz(t *testing.T) {
+	for _, m := range []*MachineProfile{HPProfile(), DellProfile()} {
+		want := m.szEstimate()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 100; j++ {
+					if got := m.PowerFraction(acpi.Sz, 0); got != want {
+						t.Errorf("%s: concurrent PowerFraction(Sz) = %v, want %v", m.Name, got, want)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

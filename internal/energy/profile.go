@@ -1,22 +1,3 @@
-// Package energy models the power and energy behaviour of servers and racks
-// as the paper does in its evaluation (Section 6.6) and motivation (Section 2).
-//
-// It provides:
-//
-//   - MachineProfile: per-machine power fractions measured in the paper's
-//     Table 3 (HP Compaq Elite 8300 and Dell Precision Tower 5810) for S0/S3/S4
-//     with and without the Infiniband card, plus the Sz estimate of Equation 1;
-//   - the energy-vs-utilization curve of Figure 1 (actual vs ideal
-//     energy-proportional behaviour);
-//   - the rack-architecture comparison of Figure 4 (server-centric, ideal
-//     disaggregation, micro-servers, zombie);
-//   - the motivation trends of Figures 2 and 3 (AWS memory:CPU demand ratio and
-//     server-generation memory:CPU supply ratio);
-//   - an Accumulator that integrates power over simulated time per ACPI state,
-//     used by the datacenter simulator to produce Figure 10.
-//
-// All power figures are expressed as fractions of Emax, the energy consumed by
-// the machine at full utilization, exactly as the paper reports them.
 package energy
 
 import (
@@ -133,11 +114,17 @@ func (m *MachineProfile) Fraction(c Config) (float64, bool) {
 // i.e. the Infiniband activity cost, plus the wake-on-LAN circuitry cost, plus
 // the S3 platform floor. The result is stored under SzEstimated and returned.
 func (m *MachineProfile) EstimateSz() float64 {
-	ibActivity := m.Measured[S0WithIBOn] - m.Measured[S0WithIBOff]
-	wolCircuitry := m.Measured[S3WithIB] - m.Measured[S3WithoutIB]
-	sz := ibActivity + wolCircuitry + m.Measured[S3WithoutIB]
+	sz := m.szEstimate()
 	m.Measured[SzEstimated] = sz
 	return sz
+}
+
+// szEstimate computes Equation 1 without storing the result, so read paths
+// (PowerFraction) stay free of side effects and safe for concurrent use.
+func (m *MachineProfile) szEstimate() float64 {
+	ibActivity := m.Measured[S0WithIBOn] - m.Measured[S0WithIBOff]
+	wolCircuitry := m.Measured[S3WithIB] - m.Measured[S3WithoutIB]
+	return ibActivity + wolCircuitry + m.Measured[S3WithoutIB]
 }
 
 // Validate checks that the profile is self-consistent: all fractions within
@@ -176,6 +163,8 @@ func (m *MachineProfile) Validate() error {
 // ACPI state at the given CPU utilization (0..1). Only S0 depends on
 // utilization; sleeping states use the Table 3 / Equation 1 fractions. Servers
 // in sleep states keep their wake NIC powered, hence the *WithIB variants.
+// PowerFraction never mutates the profile, so it is safe for concurrent use
+// (the parallel datacenter simulator evaluates it from many goroutines).
 func (m *MachineProfile) PowerFraction(state acpi.SleepState, utilization float64) float64 {
 	if utilization < 0 {
 		utilization = 0
@@ -197,7 +186,7 @@ func (m *MachineProfile) PowerFraction(state acpi.SleepState, utilization float6
 		if v, ok := m.Measured[SzEstimated]; ok {
 			return v
 		}
-		return m.EstimateSz()
+		return m.szEstimate()
 	case acpi.S4:
 		return m.Measured[S4WithIB]
 	case acpi.S5:

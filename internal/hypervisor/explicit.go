@@ -17,8 +17,7 @@ import (
 // and swaps overflow pages to the configured swap device, charging the device
 // latency for every swap-in and swap-out. The AggressivenessFactor multiplies
 // the swap traffic to capture the guest-visible behaviour difference; it
-// defaults to the paper's observation and is documented as a calibration knob
-// in DESIGN.md.
+// defaults to the paper's observation and is exposed as a calibration knob.
 type ExplicitSD struct {
 	pages       int
 	localFrames int

@@ -1,15 +1,3 @@
-// Package hypervisor models the modified KVM memory virtualization of
-// Section 4.5: VMs are given pseudo-physical frames, the hypervisor manages
-// their association with machine frames, and when local machine memory is
-// scarce it demotes cold pages to remote memory buffers (the RAM Ext
-// function). The package also models the Explicit SD alternative, where the
-// guest itself swaps to a memory-backed swap device.
-//
-// The simulation is page-accurate: every guest access goes through the page
-// tables, page faults run the replacement policy, and demoted pages move
-// through a RemoteStore whose latency model is provided by the caller
-// (normally the RDMA-backed store in internal/core, or a pure latency model
-// for large parameter sweeps).
 package hypervisor
 
 import (

@@ -13,7 +13,7 @@
 // to each application's measured sensitivity to remote memory (Table 1). The
 // relevant property for every experiment is the fraction of accesses that
 // fall outside a given local-memory fraction, which is exactly what the
-// profile encodes. See DESIGN.md for the substitution rationale.
+// profile encodes.
 package workload
 
 import (

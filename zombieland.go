@@ -24,8 +24,8 @@
 //   - Datacenter simulation: trace generation plus the Neat / Oasis /
 //     ZombieStack comparison of Figure 10.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every experiment.
+// See README.md for the architecture map of the internal packages and the
+// quickstart of the command-line tools.
 package zombieland
 
 import (
