@@ -235,6 +235,30 @@ func BenchmarkDCSimParallel(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
+// BenchmarkDCSimTransitions measures the event-driven engine: the same
+// simulation as BenchmarkDCSimSequential but charging every ACPI transition,
+// migration drain and remote-memory fault. The reported saving is the
+// faithful (costed) Figure 10 number; the delta against the steady-state
+// benchmark's metric is the optimism of the uncosted bound.
+func BenchmarkDCSimTransitions(b *testing.B) {
+	tr := dcsimBenchTrace(b)
+	cfg := dcsimBenchConfig(tr, 0)
+	cfg.TransitionCosts = true
+	b.ResetTimer()
+	var res dcsim.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = dcsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SavingPercent, "saving-%")
+	b.ReportMetric(res.TransitionJoules/1e3, "transition-kJ")
+	b.ReportMetric(float64(res.StateTransitions), "transitions")
+	b.ReportMetric(float64(res.Migrations), "migrations")
+}
+
 // BenchmarkDCSimSweep measures the scenario-sweep harness on the default
 // Figure 10 grid (scaled down to benchmark size).
 func BenchmarkDCSimSweep(b *testing.B) {

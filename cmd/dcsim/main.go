@@ -7,13 +7,20 @@
 //	dcsim                         # default fleet (120 machines, 1500 tasks)
 //	dcsim -machines 500 -tasks 6000 -horizon 86400
 //	dcsim -parallel -workers 8    # shard epoch accounting over 8 goroutines
+//	dcsim -transitions on         # charge ACPI/migration/remote-memory costs
+//	dcsim -transitions both       # print Figure 10 with and without them
 //	dcsim -sweep                  # scenario sweep: policies × machines ×
-//	                              #   trace scales × consolidation periods
+//	                              #   trace scales × consolidation periods ×
+//	                              #   transition-cost axis
 //	dcsim -sweep -scales 0.5,1,2 -periods 300,900 -workers 8
 //
 // The parallel engine is bit-identical to the sequential one; -parallel only
-// changes how the work is scheduled. -sweep replaces the single Figure 10
-// comparison with a concurrent grid of scenarios aggregated per policy.
+// changes how the work is scheduled. -transitions selects the accounting
+// model: "off" integrates steady-state epoch power only (the optimistic
+// Figure 10 bound), "on" additionally charges every suspend/wake transition,
+// migration drain and remote-memory fault, and "both" reports the two side by
+// side. -sweep replaces the single Figure 10 comparison with a concurrent
+// grid of scenarios aggregated per policy.
 package main
 
 import (
@@ -41,10 +48,16 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines; setting it implies -parallel (default with -parallel/-sweep: GOMAXPROCS)")
 	scales := flag.String("scales", "1", "comma-separated trace scale factors for -sweep (scale the fleet and task count)")
 	periods := flag.String("periods", "300", "comma-separated consolidation periods in seconds for -sweep")
+	transitions := flag.String("transitions", "off", "transition-cost accounting: off (steady state), on, or both")
 	flag.Parse()
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "dcsim: -workers must be non-negative (got %d)\n", *workers)
+		os.Exit(1)
+	}
+	transitionAxis, err := parseTransitionAxis(*transitions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
 	}
 	w := *workers
@@ -53,7 +66,7 @@ func main() {
 	}
 
 	if *sweep {
-		if err := runSweep(*machines, *tasks, *horizon, *seed, w, *scales, *periods); err != nil {
+		if err := runSweep(*machines, *tasks, *horizon, *seed, w, *scales, *periods, transitionAxis); err != nil {
 			fmt.Fprintln(os.Stderr, "dcsim:", err)
 			os.Exit(1)
 		}
@@ -69,18 +82,36 @@ func main() {
 	if *parallel || *workers > 0 {
 		cfg.Workers = w
 	}
-	res, err := zombieland.Figure10(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dcsim:", err)
-		os.Exit(1)
+	for _, costed := range transitionAxis {
+		cfg.TransitionCosts = costed
+		res, err := zombieland.Figure10(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
 	}
-	fmt.Println(res.Render())
 	fmt.Println("Energy saving is relative to a fleet that keeps every server in S0 (no consolidation).")
 }
 
+// parseTransitionAxis maps the -transitions flag onto the runs to perform.
+func parseTransitionAxis(mode string) ([]bool, error) {
+	switch mode {
+	case "off":
+		return []bool{false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	default:
+		return nil, fmt.Errorf("-transitions must be off, on or both (got %q)", mode)
+	}
+}
+
 // runSweep builds the scenario grid {policy} × {machine} × {trace variant ×
-// scale} × {period} and prints the per-run table plus the per-policy summary.
-func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string) error {
+// scale} × {period} × {transition axis} and prints the per-run table plus the
+// per-policy summary.
+func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string, transitionAxis []bool) error {
 	scales, err := parseFloats(scalesCSV)
 	if err != nil {
 		return fmt.Errorf("-scales: %w", err)
@@ -119,19 +150,20 @@ func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, 
 	// The sweep pool alone saturates the CPU when the grid is at least as
 	// wide as the pool; only shard epochs inside each run when the grid is
 	// too small to occupy every worker.
-	cells := len(policies) * len(machineProfiles) * len(traceCfgs) * len(periodList)
+	cells := len(policies) * len(machineProfiles) * len(traceCfgs) * len(periodList) * len(transitionAxis)
 	engineWorkers := 0
 	if cells < workers {
 		engineWorkers = (workers + cells - 1) / cells
 	}
 	cfg := dcsim.SweepConfig{
-		Policies:      policies,
-		Machines:      machineProfiles,
-		TraceConfigs:  traceCfgs,
-		PeriodsSec:    periodList,
-		ServerSpec:    consolidation.DefaultServerSpec(),
-		SweepWorkers:  workers,
-		EngineWorkers: engineWorkers,
+		Policies:        policies,
+		Machines:        machineProfiles,
+		TraceConfigs:    traceCfgs,
+		PeriodsSec:      periodList,
+		TransitionCosts: transitionAxis,
+		ServerSpec:      consolidation.DefaultServerSpec(),
+		SweepWorkers:    workers,
+		EngineWorkers:   engineWorkers,
 	}
 	res, err := dcsim.Sweep(cfg)
 	if err != nil {

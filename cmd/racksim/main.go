@@ -14,12 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	zombieland "repro"
 )
 
+// validExperiments lists the accepted -exp values in presentation order.
+var validExperiments = []string{"fig8", "table1", "table2", "fig9", "all"}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig8, table1, table2, fig9, all")
+	exp := flag.String("exp", "all", "experiment to run: "+strings.Join(validExperiments, ", "))
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -30,6 +34,11 @@ func main() {
 }
 
 func run(exp string, seed int64) error {
+	// Reject typos before running anything, so a mistyped experiment name
+	// cannot silently print nothing.
+	if !validExperiment(exp) {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(validExperiments, ", "))
+	}
 	show := func(name string) bool { return exp == "all" || exp == name }
 
 	if show("fig8") {
@@ -61,10 +70,15 @@ func run(exp string, seed int64) error {
 		}
 		fmt.Println(res.Render())
 	}
-	switch exp {
-	case "all", "fig8", "table1", "table2", "fig9":
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+	return nil
+}
+
+// validExperiment reports whether the name is a known experiment.
+func validExperiment(name string) bool {
+	for _, v := range validExperiments {
+		if name == v {
+			return true
+		}
 	}
+	return false
 }

@@ -6,6 +6,10 @@
 // Run with:
 //
 //	go run ./examples/consolidation
+//
+// A compiled, output-asserted copy of this walk-through lives in the root
+// package's examples_test.go (Example_consolidation), so CI pins its
+// behaviour.
 package main
 
 import (

@@ -6,6 +6,9 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// A compiled, output-asserted copy of this walk-through lives in the root
+// package's examples_test.go (Example_quickstart), so CI pins its behaviour.
 package main
 
 import (

@@ -402,6 +402,8 @@ type Fig10Cell struct {
 // Fig10Result is the datacenter-scale energy comparison of Figure 10.
 type Fig10Result struct {
 	Cells []Fig10Cell
+	// TransitionCosts reports whether the runs charged transition events.
+	TransitionCosts bool
 }
 
 // Fig10Config bounds the size of the Figure 10 simulation.
@@ -414,6 +416,11 @@ type Fig10Config struct {
 	// goroutines (see dcsim.Config.Workers); results are identical to a
 	// sequential run.
 	Workers int
+	// TransitionCosts charges the ACPI suspend/wake, migration-drain and
+	// remote-memory churn events of every consolidation epoch (see
+	// dcsim.Config.TransitionCosts). Off reproduces the paper's optimistic
+	// steady-state bound; on reports the faithful costed savings.
+	TransitionCosts bool
 }
 
 // DefaultFig10Config returns a configuration sized to run in seconds while
@@ -427,11 +434,12 @@ func DefaultFig10Config() Fig10Config {
 // modified Google-like traces for both machine profiles.
 func Figure10(cfg Fig10Config) (Fig10Result, error) {
 	if cfg.Machines <= 0 {
-		workers := cfg.Workers
+		workers, transitions := cfg.Workers, cfg.TransitionCosts
 		cfg = DefaultFig10Config()
 		cfg.Workers = workers
+		cfg.TransitionCosts = transitions
 	}
-	var res Fig10Result
+	res := Fig10Result{TransitionCosts: cfg.TransitionCosts}
 	for _, modified := range []bool{false, true} {
 		genCfg := trace.DefaultConfig()
 		if modified {
@@ -445,7 +453,8 @@ func Figure10(cfg Fig10Config) (Fig10Result, error) {
 		if err != nil {
 			return Fig10Result{}, err
 		}
-		cmp, err := dcsim.CompareWorkers(tr, energy.Profiles(), consolidation.DefaultServerSpec(), cfg.Workers)
+		cmp, err := dcsim.CompareOpts(tr, energy.Profiles(), consolidation.DefaultServerSpec(),
+			dcsim.CompareOptions{Workers: cfg.Workers, TransitionCosts: cfg.TransitionCosts})
 		if err != nil {
 			return Fig10Result{}, err
 		}
@@ -473,9 +482,13 @@ func (r Fig10Result) Saving(traceName, machine, policy string) (float64, bool) {
 
 // Render formats the two panels of Figure 10.
 func (r Fig10Result) Render() string {
+	model := "steady state"
+	if r.TransitionCosts {
+		model = "with transition costs"
+	}
 	out := ""
 	for _, traceName := range []string{"google-like", "google-like-modified"} {
-		t := metrics.NewTable("Figure 10 — % energy saving ("+traceName+")", "machine", "neat", "oasis", "zombiestack")
+		t := metrics.NewTable("Figure 10 — % energy saving ("+traceName+", "+model+")", "machine", "neat", "oasis", "zombiestack")
 		for _, m := range []string{"HP", "Dell"} {
 			row := []string{m}
 			for _, p := range []string{"neat", "oasis", "zombiestack"} {

@@ -137,6 +137,25 @@ func AllStates() []SleepState {
 	return []SleepState{S0, S1, S2, S3, Sz, S4, S5}
 }
 
+// TransitionNs returns the simulated latency of moving a platform from one
+// global state to another. A suspend (S0 -> s) costs the state's enter
+// latency, a wake (s -> S0) its exit latency, and a transition between two
+// sleep states costs a full wake plus a re-suspend: ACPI has no lateral path
+// between sleep states, the platform always resumes to S0 in between (the
+// rule Platform.CanEnter enforces).
+func TransitionNs(from, to SleepState) int64 {
+	if from == to {
+		return 0
+	}
+	if from == S0 {
+		return Latency(to).Enter
+	}
+	if to == S0 {
+		return Latency(from).Exit
+	}
+	return Latency(from).Exit + Latency(to).Enter
+}
+
 // DeviceState is an ACPI device power state (D-state).
 type DeviceState int
 

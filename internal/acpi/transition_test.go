@@ -1,0 +1,30 @@
+package acpi
+
+import "testing"
+
+func TestTransitionNs(t *testing.T) {
+	if got := TransitionNs(S0, S0); got != 0 {
+		t.Errorf("S0->S0 = %d, want 0", got)
+	}
+	if got, want := TransitionNs(S0, S3), Latency(S3).Enter; got != want {
+		t.Errorf("S0->S3 = %d, want enter latency %d", got, want)
+	}
+	if got, want := TransitionNs(Sz, S0), Latency(Sz).Exit; got != want {
+		t.Errorf("Sz->S0 = %d, want exit latency %d", got, want)
+	}
+	// No lateral path between sleep states: wake plus re-suspend.
+	if got, want := TransitionNs(S3, Sz), Latency(S3).Exit+Latency(Sz).Enter; got != want {
+		t.Errorf("S3->Sz = %d, want %d", got, want)
+	}
+	// Every transition between distinct states costs simulated time.
+	for _, from := range AllStates() {
+		for _, to := range AllStates() {
+			if from == to {
+				continue
+			}
+			if TransitionNs(from, to) <= 0 {
+				t.Errorf("%s->%s: non-positive latency %d", from, to, TransitionNs(from, to))
+			}
+		}
+	}
+}

@@ -1,22 +1,3 @@
-// Package consolidation implements the VM consolidation systems compared in
-// the paper's Section 6.6.2 (Figure 10):
-//
-//   - Neat: the OpenStack Neat consolidation loop (underload/overload
-//     detection, VM selection, placement, suspend freed hosts). Vanilla Neat
-//     only places a VM on a server that holds ALL the resources the VM booked,
-//     so memory-heavy fleets strand CPU.
-//   - Oasis: energy-oriented consolidation in which idle VMs are partially
-//     migrated (only their working set moves) and their remaining memory is
-//     relocated to a dedicated low-power memory server consuming about 40% of
-//     a regular server, letting the original host suspend.
-//   - ZombieStack: the paper's system. Placement only requires a fraction of
-//     the VM's memory locally (the rest is remote), freed servers are pushed
-//     into the Sz zombie state so their memory keeps serving the rack, and
-//     zombies with the fewest allocated buffers are woken first.
-//
-// Two views are provided: a fleet-level planner (Policy) used by the
-// datacenter simulator to reproduce Figure 10, and the step-wise Neat loop
-// (PlanSteps) used at rack level.
 package consolidation
 
 import (

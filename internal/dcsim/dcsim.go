@@ -1,21 +1,3 @@
-// Package dcsim is the large-scale datacenter simulator of Section 6.6.2: it
-// replays a (Google-like) task trace against a server fleet, runs a
-// consolidation policy at a fixed period, and integrates the fleet's energy
-// using the per-state power model of internal/energy. The output is the
-// energy saving relative to the no-consolidation baseline, which is what
-// Figure 10 reports for Neat, Oasis and ZombieStack on HP and Dell servers.
-//
-// The simulation decomposes into independent consolidation epochs, so the
-// engine can shard the per-epoch accounting (placement evaluation and energy
-// integration) across a pool of workers: set Config.Workers above 1 and the
-// epochs are split into contiguous shards, simulated concurrently, and merged
-// back in epoch order. The merge performs exactly the same floating-point
-// additions in exactly the same order as the sequential path, so a parallel
-// run is bit-identical to a sequential one (see parallel.go).
-//
-// On top of single runs, sweep.go provides a scenario-sweep harness that runs
-// a grid of {policy, machine profile, trace, consolidation period} scenarios
-// concurrently and aggregates the results with internal/metrics.
 package dcsim
 
 import (
@@ -49,6 +31,15 @@ type Config struct {
 	// Workers shards the per-epoch accounting across that many goroutines.
 	// 0 or 1 selects the sequential engine. Results are identical either way.
 	Workers int
+	// TransitionCosts turns the steady-state integration into the
+	// event-driven accounting: every epoch additionally charges the ACPI
+	// suspend/wake transitions, migration drains and remote-memory churn
+	// implied by the change of plan (see transitions.go). Off by default,
+	// which reproduces the optimistic Figure 10 bound.
+	TransitionCosts bool
+	// Transitions overrides the transition cost parameters; nil selects
+	// DefaultTransitionModel. Ignored unless TransitionCosts is set.
+	Transitions *TransitionModel
 }
 
 // Validate checks the configuration.
@@ -74,6 +65,11 @@ func (c *Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("dcsim: negative worker count %d", c.Workers)
 	}
+	if c.Transitions != nil {
+		if err := c.Transitions.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -84,6 +80,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.OasisMemoryServerFraction <= 0 {
 		c.OasisMemoryServerFraction = 0.4
+	}
+	if c.TransitionCosts && c.Transitions == nil {
+		c.Transitions = DefaultTransitionModel()
 	}
 }
 
@@ -112,6 +111,20 @@ type Result struct {
 	MeanActiveUtilization float64
 	// Epochs is the number of consolidation periods simulated.
 	Epochs int
+	// TransitionCosts reports whether the run charged transition events.
+	TransitionCosts bool
+	// TransitionJoules is the energy charged to transition events (ACPI
+	// suspends/wakes, migration drains, remote-memory churn). It is included
+	// in EnergyJoules but not in BaselineJoules — the baseline fleet never
+	// transitions — so enabling transition costs can only lower the saving.
+	TransitionJoules float64
+	// StateTransitions is the number of ACPI state changes performed.
+	StateTransitions int
+	// Migrations is the number of VM migrations performed to drain freed
+	// hosts.
+	Migrations int
+	// MigrationSeconds is the total host time spent draining VMs.
+	MigrationSeconds float64
 }
 
 // epochSpan bounds one consolidation period within the trace horizon.
@@ -137,13 +150,17 @@ func epochSpans(horizonSec, periodSec int64) []epochSpan {
 // epochStats in epoch order reproduces the sequential accumulation bit for
 // bit.
 type epochStats struct {
-	energyJ   float64
-	baselineJ float64
-	activeDt  float64
-	zombieDt  float64
-	sleepDt   float64
-	utilDt    float64
-	dt        float64
+	energyJ      float64
+	baselineJ    float64
+	activeDt     float64
+	zombieDt     float64
+	sleepDt      float64
+	utilDt       float64
+	dt           float64
+	transitionJ  float64
+	transitions  int
+	migrations   int
+	migrationSec float64
 }
 
 // sortedByStart returns the trace tasks ordered by start time. The slice is
@@ -196,12 +213,15 @@ func (r *replayer) population(span epochSpan) []consolidation.VMDemand {
 	return vms
 }
 
-// simulateEpoch evaluates the policy on one epoch's population and integrates
-// the fleet power over the epoch.
-func simulateEpoch(cfg *Config, vms []consolidation.VMDemand, span epochSpan) epochStats {
+// simulateEpoch evaluates the policy on one epoch's population, integrates
+// the fleet power over the epoch and, when transition costs are enabled,
+// charges the events implied by moving from prev's posture to this epoch's.
+// It returns the epoch's plan so the caller can thread it into the next
+// epoch's delta.
+func simulateEpoch(cfg *Config, vms []consolidation.VMDemand, span epochSpan, prev consolidation.FleetPlan) (epochStats, consolidation.FleetPlan) {
 	plan := cfg.Policy.Plan(vms, cfg.ServerSpec, cfg.Trace.Machines)
 	dt := float64(span.end - span.start)
-	return epochStats{
+	stats := epochStats{
 		energyJ:   fleetPower(*cfg, plan) * dt,
 		baselineJ: baselinePower(*cfg, vms, cfg.Trace.Machines) * dt,
 		activeDt:  float64(plan.ActiveHosts) * dt,
@@ -210,6 +230,22 @@ func simulateEpoch(cfg *Config, vms []consolidation.VMDemand, span epochSpan) ep
 		utilDt:    plan.ActiveCPUUtilization * dt,
 		dt:        dt,
 	}
+	if cfg.TransitionCosts {
+		c := cfg.Transitions.epochCost(cfg, prev, plan, vms, dt)
+		stats.energyJ += c.joules
+		stats.transitionJ = c.joules
+		stats.transitions = c.transitions
+		stats.migrations = c.migrations
+		stats.migrationSec = c.migrationSec
+	}
+	return stats, plan
+}
+
+// initialPlan is the fleet posture before the first epoch: all servers awake
+// in S0, so the first epoch pays for consolidating the fleet out of the
+// baseline posture.
+func initialPlan(cfg *Config) consolidation.FleetPlan {
+	return consolidation.InitialPlan(cfg.Trace.Machines)
 }
 
 // Run executes the simulation, sequentially or sharded across
@@ -227,8 +263,9 @@ func Run(cfg Config) (Result, error) {
 		simulateShards(&cfg, byStart, spans, stats, cfg.Workers)
 	} else {
 		rep := newReplayer(byStart)
+		prev := initialPlan(&cfg)
 		for i, span := range spans {
-			stats[i] = simulateEpoch(&cfg, rep.population(span), span)
+			stats[i], prev = simulateEpoch(&cfg, rep.population(span), span, prev)
 		}
 	}
 	return mergeEpochStats(cfg, stats), nil
@@ -238,10 +275,11 @@ func Run(cfg Config) (Result, error) {
 // performing the same additions in the same order as a sequential run.
 func mergeEpochStats(cfg Config, stats []epochStats) Result {
 	res := Result{
-		Policy:    cfg.Policy.Name(),
-		Machine:   cfg.Machine.Name,
-		Trace:     cfg.Trace.Name,
-		PeriodSec: cfg.ConsolidationPeriodSec,
+		Policy:          cfg.Policy.Name(),
+		Machine:         cfg.Machine.Name,
+		Trace:           cfg.Trace.Name,
+		PeriodSec:       cfg.ConsolidationPeriodSec,
+		TransitionCosts: cfg.TransitionCosts,
 	}
 	var horizonSec float64
 	for _, s := range stats {
@@ -251,6 +289,10 @@ func mergeEpochStats(cfg Config, stats []epochStats) Result {
 		res.MeanZombieHosts += s.zombieDt
 		res.MeanSleepHosts += s.sleepDt
 		res.MeanActiveUtilization += s.utilDt
+		res.TransitionJoules += s.transitionJ
+		res.StateTransitions += s.transitions
+		res.Migrations += s.migrations
+		res.MigrationSeconds += s.migrationSec
 		horizonSec += s.dt
 		res.Epochs++
 	}
@@ -309,10 +351,27 @@ func Compare(tr *trace.Trace, machines []*energy.MachineProfile, spec consolidat
 // CompareWorkers is Compare with each run's per-epoch accounting sharded
 // across the given number of workers (0 or 1 keeps the sequential engine).
 func CompareWorkers(tr *trace.Trace, machines []*energy.MachineProfile, spec consolidation.ServerSpec, workers int) (Comparison, error) {
+	return CompareOpts(tr, machines, spec, CompareOptions{Workers: workers})
+}
+
+// CompareOptions bundles the engine knobs of a comparison run.
+type CompareOptions struct {
+	// Workers shards each run's per-epoch accounting (Config.Workers).
+	Workers int
+	// TransitionCosts enables the event-driven transition accounting.
+	TransitionCosts bool
+}
+
+// CompareOpts runs the Figure 10 contenders on the trace for each machine
+// profile with the given engine options.
+func CompareOpts(tr *trace.Trace, machines []*energy.MachineProfile, spec consolidation.ServerSpec, opts CompareOptions) (Comparison, error) {
 	cmp := Comparison{Trace: tr.Name}
 	for _, m := range machines {
 		for _, pol := range consolidation.Contenders() {
-			res, err := Run(Config{Trace: tr, Policy: pol, Machine: m, ServerSpec: spec, Workers: workers})
+			res, err := Run(Config{
+				Trace: tr, Policy: pol, Machine: m, ServerSpec: spec,
+				Workers: opts.Workers, TransitionCosts: opts.TransitionCosts,
+			})
 			if err != nil {
 				return Comparison{}, err
 			}

@@ -1,0 +1,34 @@
+// Package dcsim is the large-scale datacenter simulator of Section 6.6.2: it
+// replays a (Google-like) task trace against a server fleet, runs a
+// consolidation policy at a fixed period, and integrates the fleet's energy
+// using the per-state power model of internal/energy. The output is the
+// energy saving relative to the no-consolidation baseline, which is what
+// Figure 10 reports for Neat, Oasis and ZombieStack on HP and Dell servers.
+//
+// Two accounting models are available. The steady-state model integrates each
+// epoch as if the fleet had always been in the epoch plan's posture — the
+// optimistic bound. With Config.TransitionCosts the engine becomes
+// event-driven: every epoch's change of plan is translated into transition
+// events — ACPI suspends and wakes priced by the internal/acpi latency table
+// through energy.TransitionJoules, VM migration drains priced by the
+// internal/migration protocols, and remote-memory faults priced by the
+// internal/rdma cost model — and those events are charged against the epoch
+// energy ledger (see transitions.go). The baseline fleet never transitions,
+// so enabling transition costs can only lower the reported saving.
+//
+// The simulation decomposes into independent consolidation epochs, so the
+// engine can shard the per-epoch accounting (placement evaluation, energy
+// integration and transition pricing) across a pool of workers: set
+// Config.Workers above 1 and the epochs are split into contiguous shards,
+// simulated concurrently, and merged back in epoch order. Transition events
+// depend only on the previous and current epoch plans, both pure functions of
+// their epoch populations, so a shard derives its predecessor plan with a
+// one-epoch lookback and the merge performs exactly the same floating-point
+// additions in exactly the same order as the sequential path: a parallel run
+// is bit-identical to a sequential one (see parallel.go).
+//
+// On top of single runs, sweep.go provides a scenario-sweep harness that runs
+// a grid of {policy, machine profile, trace, consolidation period,
+// transition-cost on/off} scenarios concurrently and aggregates the results
+// with internal/metrics.
+package dcsim

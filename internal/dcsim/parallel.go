@@ -47,6 +47,14 @@ func shardEpochs(n, workers int) []shard {
 // that epoch — so no cross-shard state is shared and no locks are needed:
 // the start-ordered task slice is read-only and the goroutines write
 // disjoint ranges of stats.
+//
+// With transition costs enabled, each epoch additionally depends on the
+// PREVIOUS epoch's plan. That plan is itself a pure function of the previous
+// epoch's population, so a shard that does not start at epoch 0 derives it
+// with a one-epoch lookback: it replays the population of the epoch just
+// before its range and evaluates the policy on it — exactly the evaluation
+// the neighbouring shard performs for that epoch — and shard independence
+// (and therefore bit-identity with the sequential engine) is preserved.
 func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats []epochStats, workers int) {
 	var wg sync.WaitGroup
 	for _, sh := range shardEpochs(len(spans), workers) {
@@ -54,8 +62,13 @@ func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats 
 		go func(sh shard) {
 			defer wg.Done()
 			rep := newReplayer(byStart)
+			prev := initialPlan(cfg)
+			if cfg.TransitionCosts && sh.lo > 0 {
+				lookback := spans[sh.lo-1]
+				prev = cfg.Policy.Plan(rep.population(lookback), cfg.ServerSpec, cfg.Trace.Machines)
+			}
 			for i := sh.lo; i < sh.hi; i++ {
-				stats[i] = simulateEpoch(cfg, rep.population(spans[i]), spans[i])
+				stats[i], prev = simulateEpoch(cfg, rep.population(spans[i]), spans[i], prev)
 			}
 		}(sh)
 	}

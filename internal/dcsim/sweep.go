@@ -31,6 +31,11 @@ type SweepConfig struct {
 	TraceConfigs []trace.GeneratorConfig
 	// PeriodsSec are the consolidation periods to sweep.
 	PeriodsSec []int64
+	// TransitionCosts is the transition-cost axis: each entry runs the grid
+	// with the event-driven accounting on or off, so Figure 10 can be
+	// reported as both the optimistic steady-state bound and the faithful
+	// costed reproduction. Empty means {false} (steady state only).
+	TransitionCosts []bool
 	// ServerSpec is the capacity of every server in every scenario.
 	ServerSpec consolidation.ServerSpec
 	// SweepWorkers bounds how many scenarios run concurrently; 1 by default.
@@ -41,14 +46,16 @@ type SweepConfig struct {
 
 // DefaultSweepConfig returns the Figure 10 grid: the three contender policies
 // on both testbed machines, on the original and memory-heavy traces, at the
-// paper's 300 s consolidation period.
+// paper's 300 s consolidation period, reported both without and with
+// transition costs.
 func DefaultSweepConfig() SweepConfig {
 	return SweepConfig{
-		Policies:     consolidation.Contenders(),
-		Machines:     energy.Profiles(),
-		TraceConfigs: []trace.GeneratorConfig{trace.DefaultConfig(), trace.ModifiedConfig()},
-		PeriodsSec:   []int64{300},
-		ServerSpec:   consolidation.DefaultServerSpec(),
+		Policies:        consolidation.Contenders(),
+		Machines:        energy.Profiles(),
+		TraceConfigs:    []trace.GeneratorConfig{trace.DefaultConfig(), trace.ModifiedConfig()},
+		PeriodsSec:      []int64{300},
+		TransitionCosts: []bool{false, true},
+		ServerSpec:      consolidation.DefaultServerSpec(),
 	}
 }
 
@@ -73,7 +80,8 @@ func (c *SweepConfig) validate() error {
 }
 
 // SweepResult holds every run of a sweep, in grid order (traces outermost,
-// then machines, then policies, then periods).
+// then machines, then policies, then periods, then the transition-cost axis
+// innermost).
 type SweepResult struct {
 	Runs []Result
 }
@@ -102,19 +110,26 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	if spec == (consolidation.ServerSpec{}) {
 		spec = consolidation.DefaultServerSpec()
 	}
+	transitionAxis := cfg.TransitionCosts
+	if len(transitionAxis) == 0 {
+		transitionAxis = []bool{false}
+	}
 	var cells []Config
 	for _, tr := range traces {
 		for _, m := range cfg.Machines {
 			for _, pol := range cfg.Policies {
 				for _, period := range cfg.PeriodsSec {
-					cells = append(cells, Config{
-						Trace:                  tr,
-						Policy:                 pol,
-						Machine:                m,
-						ServerSpec:             spec,
-						ConsolidationPeriodSec: period,
-						Workers:                cfg.EngineWorkers,
-					})
+					for _, transitions := range transitionAxis {
+						cells = append(cells, Config{
+							Trace:                  tr,
+							Policy:                 pol,
+							Machine:                m,
+							ServerSpec:             spec,
+							ConsolidationPeriodSec: period,
+							Workers:                cfg.EngineWorkers,
+							TransitionCosts:        transitions,
+						})
+					}
 				}
 			}
 		}
@@ -153,10 +168,28 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	return res, nil
 }
 
-// Saving returns the energy saving of one grid cell.
+// Saving returns the energy saving of one grid cell. When the sweep ran the
+// transition-cost axis both ways, the steady-state (costs off) run wins — use
+// SavingCosted for the other branch; a sweep that ran with transition costs
+// only returns its costed cell.
 func (r *SweepResult) Saving(traceName, machine, policy string, periodSec int64) (float64, bool) {
+	if s, ok := r.savingWhere(traceName, machine, policy, periodSec, false); ok {
+		return s, true
+	}
+	return r.savingWhere(traceName, machine, policy, periodSec, true)
+}
+
+// SavingCosted returns the energy saving of one grid cell simulated with
+// transition costs enabled.
+func (r *SweepResult) SavingCosted(traceName, machine, policy string, periodSec int64) (float64, bool) {
+	return r.savingWhere(traceName, machine, policy, periodSec, true)
+}
+
+// savingWhere looks up one grid cell on every axis.
+func (r *SweepResult) savingWhere(traceName, machine, policy string, periodSec int64, transitions bool) (float64, bool) {
 	for _, run := range r.Runs {
-		if run.Trace == traceName && run.Machine == machine && run.Policy == policy && run.PeriodSec == periodSec {
+		if run.Trace == traceName && run.Machine == machine && run.Policy == policy &&
+			run.PeriodSec == periodSec && run.TransitionCosts == transitions {
 			return run.SavingPercent, true
 		}
 	}
@@ -164,12 +197,39 @@ func (r *SweepResult) Saving(traceName, machine, policy string, periodSec int64)
 }
 
 // SavingsByPolicy groups the grid's energy savings per policy, in run order.
+// When the sweep ran the transition-cost axis both ways, the two accounting
+// models are kept apart ("neat (steady)" vs "neat (costed)") so a blended
+// statistic — neither the optimistic bound nor the costed reproduction — is
+// never reported.
 func (r *SweepResult) SavingsByPolicy() map[string][]float64 {
 	by := make(map[string][]float64)
 	for _, run := range r.Runs {
-		by[run.Policy] = append(by[run.Policy], run.SavingPercent)
+		by[r.policyKey(run)] = append(by[r.policyKey(run)], run.SavingPercent)
 	}
 	return by
+}
+
+// policyKey labels a run's aggregation group: the policy name, qualified by
+// the accounting model when the sweep contains both branches.
+func (r *SweepResult) policyKey(run Result) string {
+	if !r.mixedTransitionAxis() {
+		return run.Policy
+	}
+	return run.Policy + " (" + transitionLabel(run.TransitionCosts) + ")"
+}
+
+// mixedTransitionAxis reports whether the sweep holds both steady-state and
+// costed runs.
+func (r *SweepResult) mixedTransitionAxis() bool {
+	var steady, costed bool
+	for _, run := range r.Runs {
+		if run.TransitionCosts {
+			costed = true
+		} else {
+			steady = true
+		}
+	}
+	return steady && costed
 }
 
 // SummaryByPolicy reduces each policy's savings across the whole grid to
@@ -185,16 +245,25 @@ func (r *SweepResult) SummaryByPolicy() map[string]metrics.Summary {
 // Render formats the full grid as an aligned table, one row per run.
 func (r *SweepResult) Render() string {
 	t := metrics.NewTable("Scenario sweep — % energy saving per run",
-		"trace", "machine", "policy", "period-s", "saving-%", "active", "zombie", "sleep")
+		"trace", "machine", "policy", "period-s", "transitions", "saving-%", "active", "zombie", "sleep")
 	for _, run := range r.Runs {
 		t.AddRow(run.Trace, run.Machine, run.Policy,
 			metrics.FormatFloat(float64(run.PeriodSec)),
+			transitionLabel(run.TransitionCosts),
 			metrics.FormatFloat(run.SavingPercent),
 			metrics.FormatFloat(run.MeanActiveHosts),
 			metrics.FormatFloat(run.MeanZombieHosts),
 			metrics.FormatFloat(run.MeanSleepHosts))
 	}
 	return t.String()
+}
+
+// transitionLabel names one branch of the transition-cost axis.
+func transitionLabel(on bool) string {
+	if on {
+		return "costed"
+	}
+	return "steady"
 }
 
 // RenderSummary formats the per-policy aggregation of the grid. Policies
@@ -204,9 +273,9 @@ func (r *SweepResult) RenderSummary() string {
 	var order []string
 	seen := make(map[string]bool)
 	for _, run := range r.Runs {
-		if !seen[run.Policy] {
-			seen[run.Policy] = true
-			order = append(order, run.Policy)
+		if key := r.policyKey(run); !seen[key] {
+			seen[key] = true
+			order = append(order, key)
 		}
 	}
 	t := metrics.NewTable("Scenario sweep — % energy saving per policy across the grid",

@@ -1,0 +1,165 @@
+// The transition-cost model: the steady-state engine integrates each epoch as
+// if the fleet had always been in the plan's posture, which is exactly the
+// optimistic bound the paper's Figure 10 discussion warns about. This file
+// charges the events that move the fleet between postures:
+//
+//   - ACPI transitions (S0 <-> S3, S0 <-> Sz, memory-server starts/stops)
+//     derived from consecutive plans via consolidation.Delta, priced with the
+//     acpi latency table through energy.TransitionJoules;
+//   - migration drains: a host released by the new plan keeps burning S0 idle
+//     power while its VMs migrate away, with per-VM durations from
+//     internal/migration (the ZombieStack protocol for the zombiestack
+//     policy, vanilla pre-copy otherwise — the Figure 9 comparison);
+//   - remote-memory churn: active hosts fault on zombie-hosted pages; each
+//     fault is a one-sided 4 KiB RDMA READ priced by the internal/rdma cost
+//     model, and the faulting host stalls at its operating power.
+//
+// Every cost is a pure function of (previous plan, current plan, current VM
+// population), all of which any epoch shard can derive independently, so the
+// parallel engine stays bit-identical to the sequential one.
+
+package dcsim
+
+import (
+	"fmt"
+
+	"repro/internal/acpi"
+	"repro/internal/consolidation"
+	"repro/internal/migration"
+	"repro/internal/rdma"
+	"repro/internal/vm"
+)
+
+// TransitionModel parameterises the per-epoch transition costs.
+type TransitionModel struct {
+	// Vanilla is the pre-copy migration protocol used to drain hosts under
+	// the neat and oasis policies.
+	Vanilla *migration.Vanilla
+	// Zombie is the ZombieStack migration protocol (hot local pages only,
+	// remote buffers re-pointed) used under the zombiestack policy.
+	Zombie *migration.ZombieStack
+	// LocalMemoryFraction is the share of a VM's memory kept local under the
+	// zombiestack policy (the 50% placement rule), fed to Zombie.Migrate.
+	LocalMemoryFraction float64
+	// Fabric prices the remote-memory page faults.
+	Fabric rdma.CostModel
+	// RemoteFaultsPerGiBPerSec is the rate at which active hosts fault on
+	// remotely-served memory, per GiB of remote memory.
+	RemoteFaultsPerGiBPerSec float64
+	// RemotePageBytes is the payload of one remote fault (guest page size).
+	RemotePageBytes int
+}
+
+// DefaultTransitionModel returns the model with the paper's parameters: the
+// Figure 9 migration protocols, the FDR-Infiniband fabric constants, the 50%
+// local-memory rule and a moderate remote-fault rate.
+func DefaultTransitionModel() *TransitionModel {
+	return &TransitionModel{
+		Vanilla:                  migration.NewVanilla(),
+		Zombie:                   migration.NewZombieStack(),
+		LocalMemoryFraction:      0.5,
+		Fabric:                   rdma.DefaultCostModel(),
+		RemoteFaultsPerGiBPerSec: 50,
+		RemotePageBytes:          vm.DefaultPageSize,
+	}
+}
+
+// validate checks the model's parameters.
+func (tm *TransitionModel) validate() error {
+	switch {
+	case tm.Vanilla == nil || tm.Zombie == nil:
+		return fmt.Errorf("dcsim: transition model needs both migration protocols")
+	case tm.LocalMemoryFraction <= 0 || tm.LocalMemoryFraction > 1:
+		return fmt.Errorf("dcsim: transition model local memory fraction %v outside (0,1]", tm.LocalMemoryFraction)
+	case tm.RemoteFaultsPerGiBPerSec < 0:
+		return fmt.Errorf("dcsim: negative remote fault rate %v", tm.RemoteFaultsPerGiBPerSec)
+	case tm.RemotePageBytes <= 0:
+		return fmt.Errorf("dcsim: transition model needs a positive remote page size")
+	}
+	return nil
+}
+
+// transitionCost is one epoch's transition bill.
+type transitionCost struct {
+	joules       float64
+	transitions  int
+	migrations   int
+	migrationSec float64
+}
+
+// epochCost prices the transition from the previous epoch's plan to the
+// current one. dt is the epoch length in seconds; the migration drain of a
+// freed host is capped at the epoch so a host can never be charged for
+// draining longer than the epoch it drains in.
+func (tm *TransitionModel) epochCost(cfg *Config, prev, plan consolidation.FleetPlan, vms []consolidation.VMDemand, dt float64) transitionCost {
+	m := cfg.Machine
+	d := consolidation.Delta(prev, plan, len(vms))
+	var c transitionCost
+	c.transitions = d.Transitions()
+
+	// ACPI transitions. Memory servers are sleeping machines woken into the
+	// Oasis low-power serving mode, so a start prices as an S3 wake and a
+	// stop as a suspend back to S3.
+	c.joules += float64(d.SleepEnters) * m.TransitionJoules(acpi.S0, acpi.S3)
+	c.joules += float64(d.SleepExits) * m.TransitionJoules(acpi.S3, acpi.S0)
+	c.joules += float64(d.ZombieEnters) * m.TransitionJoules(acpi.S0, acpi.Sz)
+	c.joules += float64(d.ZombieExits) * m.TransitionJoules(acpi.Sz, acpi.S0)
+	c.joules += float64(d.MemoryServerStarts) * m.TransitionJoules(acpi.S3, acpi.S0)
+	c.joules += float64(d.MemoryServerStops) * m.TransitionJoules(acpi.S0, acpi.S3)
+
+	// Migration drain: the freed hosts stay in S0 at idle power while their
+	// VMs leave, in parallel across hosts, serially within a host.
+	if d.Migrations > 0 && d.FreedHosts > 0 {
+		if perMigSec := tm.migrationSeconds(cfg.Policy.Name(), vms); perMigSec > 0 {
+			perHost := perMigSec * float64(d.Migrations) / float64(d.FreedHosts)
+			if perHost > dt {
+				perHost = dt
+			}
+			c.migrations = d.Migrations
+			c.migrationSec = perHost * float64(d.FreedHosts)
+			c.joules += c.migrationSec * m.PowerWatts(acpi.S0, 0)
+		}
+	}
+
+	// Remote-memory churn: faults on zombie- or memory-server-hosted pages
+	// stall the faulting active host at its operating power for the fabric
+	// round trip of one page.
+	if plan.RemoteMemoryGiB > 0 && tm.RemoteFaultsPerGiBPerSec > 0 {
+		faults := tm.RemoteFaultsPerGiBPerSec * plan.RemoteMemoryGiB * dt
+		perFaultSec := float64(tm.Fabric.TransferNs(tm.Fabric.OneSidedLatencyNs, tm.RemotePageBytes)) / 1e9
+		c.joules += faults * perFaultSec * m.PowerWatts(acpi.S0, plan.ActiveCPUUtilization)
+	}
+	return c
+}
+
+// migrationSeconds returns the duration of migrating the epoch's mean VM
+// under the policy's protocol, or 0 when the population is empty.
+func (tm *TransitionModel) migrationSeconds(policy string, vms []consolidation.VMDemand) float64 {
+	var bookedGiB, usedGiB float64
+	for _, v := range vms {
+		bookedGiB += v.BookedMemGiB
+		usedGiB += v.UsedMemGiB
+	}
+	if len(vms) == 0 || bookedGiB <= 0 {
+		return 0
+	}
+	wssRatio := usedGiB / bookedGiB
+	if wssRatio > 1 {
+		wssRatio = 1
+	}
+	meanVM := vm.New("epoch-mean", int64(bookedGiB/float64(len(vms))*float64(1<<30)), 0)
+	if meanVM.ReservedBytes <= 0 {
+		return 0
+	}
+	var res migration.Result
+	var err error
+	if policy == "zombiestack" {
+		res, err = tm.Zombie.Migrate(meanVM, wssRatio, tm.LocalMemoryFraction)
+	} else {
+		res, err = tm.Vanilla.Migrate(meanVM, wssRatio)
+	}
+	if err != nil {
+		return 0
+	}
+	return res.DurationSeconds()
+}

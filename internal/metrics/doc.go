@@ -1,0 +1,7 @@
+// Package metrics provides small statistics and table-rendering helpers shared
+// by the benchmark harnesses, the cmd tools and the examples.
+//
+// Everything here is deterministic and allocation-light; the package exists so
+// that experiment output (the rows and series the paper reports) is formatted
+// uniformly across the repository.
+package metrics

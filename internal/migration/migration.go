@@ -1,13 +1,3 @@
-// Package migration models the two live-migration protocols compared in the
-// paper's Section 6.5 (Figure 9):
-//
-//   - the vanilla pre-copy migration, which iteratively copies dirty pages
-//     while the VM keeps running and whose duration is dominated by the fixed
-//     number of copy rounds over the VM's full memory;
-//   - the ZombieStack protocol, which stops the VM, copies only the hot pages
-//     resident in the source host's local memory (about half of the working
-//     set with the 50% placement rule), and leaves the remote part untouched:
-//     only the ownership pointers of the remote buffers are updated.
 package migration
 
 import (

@@ -1,11 +1,3 @@
-// Package pagepolicy implements the page replacement policies compared in the
-// paper's Section 6.2 (Figure 8): FIFO, Clock and Mixed.
-//
-// The policies decide which local page frame to demote to remote memory when
-// local memory becomes scarce. Each policy also accounts the CPU cycles it
-// spends inside the page fault handler (list iteration, accessed-bit
-// management), because that cost is one of the three quantities Figure 8
-// reports.
 package pagepolicy
 
 import (

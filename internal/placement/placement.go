@@ -1,12 +1,3 @@
-// Package placement implements the Nova-style VM scheduler of Section 5.1:
-// a filter phase keeps the hosts able to run the VM, and a weigh phase ranks
-// them according to the placement strategy (stacking or spreading).
-//
-// ZombieStack relaxes the vanilla memory filter: a host is suitable when at
-// least LocalMemoryRule (50%) of the VM's reserved memory is available
-// locally, provided the rack can supply the remainder as remote memory. The
-// 50% figure comes from the paper's empirical study (Table 1): below it, even
-// well-behaved workloads pay unacceptable penalties.
 package placement
 
 import (

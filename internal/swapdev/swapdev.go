@@ -1,12 +1,3 @@
-// Package swapdev models the swap device technologies compared in the
-// paper's Table 2: a remote-RAM swap device served over RDMA (the Explicit SD
-// function), a local fast swap device (SSD), a local slow swap device (HDD),
-// and the asynchronous local-storage mirror used for fault tolerance.
-//
-// A swap device stores 4 KiB pages identified by a slot number and reports
-// the simulated latency of every operation. The latencies follow commonly
-// reported device magnitudes; what matters to Table 2 is their ordering:
-// remote RAM over Infiniband << local SSD << local HDD.
 package swapdev
 
 import (

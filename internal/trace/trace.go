@@ -1,19 +1,3 @@
-// Package trace provides datacenter workload traces for the large-scale
-// evaluation of Section 6.6.2 (Figure 10).
-//
-// The paper replays the public Google cluster traces (12,583 machines, 29
-// days of jobs/tasks with booked and used CPU and memory). Those traces are
-// hundreds of gigabytes and are not redistributable with this repository, so
-// the package provides:
-//
-//   - a deterministic synthetic generator that reproduces the statistical
-//     properties the consolidation results depend on: thousands of tasks with
-//     exponential-ish durations, diurnal arrival rates, booked resources well
-//     above used resources, and an overall average utilization well below 50%;
-//   - the paper's "modified" variant, in which the memory demand is twice the
-//     CPU demand, matching the demand trend of Figure 2;
-//   - CSV encoding/decoding in a compact schema so that users who do have the
-//     real traces can convert and replay them.
 package trace
 
 import (

@@ -1,0 +1,4 @@
+// Package vm defines virtual machine descriptors: the reserved memory, the
+// working set size, the vCPU count and the page-granularity helpers the
+// hypervisor and the workload generators share.
+package vm

@@ -1,6 +1,3 @@
-// Package vm defines virtual machine descriptors: the reserved memory, the
-// working set size, the vCPU count and the page-granularity helpers the
-// hypervisor and the workload generators share.
 package vm
 
 import "fmt"

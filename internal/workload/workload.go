@@ -1,19 +1,3 @@
-// Package workload generates the guest page-access streams used by the
-// paper's evaluation (Section 6.1):
-//
-//   - the micro-benchmark: an application that iterates and performs
-//     read/write operations on the entries of an array, each entry being a
-//     4 KiB page — the worst-case access pattern;
-//   - Data Caching (Memcached driven by a Twitter trace, from CloudSuite);
-//   - Elasticsearch (the NYC-taxi nightly benchmark);
-//   - Spark SQL (BigBench query 23 on a 100 GB data set).
-//
-// The paper runs the real applications; this repository substitutes
-// deterministic synthetic access streams whose locality profiles are fitted
-// to each application's measured sensitivity to remote memory (Table 1). The
-// relevant property for every experiment is the fraction of accesses that
-// fall outside a given local-memory fraction, which is exactly what the
-// profile encodes.
 package workload
 
 import (
