@@ -1,0 +1,251 @@
+// Command benchfleet records the repository's performance trajectory in
+// BENCH_fleet.json: it runs the fleet worker-pool benchmark (the same
+// scenario as BenchmarkFleetWorkloads, via fleet.NewBenchFleet) at pool
+// sizes 1, 2 and 4, plus the dcsim engine benchmarks (sequential, parallel,
+// transition-costed, sweep), and writes every ns/op together with the
+// derived speedups.
+//
+// Methodology: every configuration is measured with a fixed iteration count
+// after a warm-up replay, the configurations are interleaved round-robin
+// over several rounds, and the minimum per-operation time across rounds is
+// recorded — the estimator least sensitive to scheduler noise on shared
+// machines.
+//
+// The CI bench step runs it with -min-speedup 1.5: on a host with at least
+// four CPUs the Workers=4 fleet replay must beat Workers=1 by at least that
+// factor. With fewer CPUs the gate is skipped — goroutines cannot beat
+// wall-clock on one core, and two noisy shared vCPUs cannot express the 4-way
+// parallelism reliably — and the report records gomaxprocs (and
+// parallel_hardware=false on single-core) so the trajectory stays honest
+// about where it was measured.
+//
+// Usage:
+//
+//	benchfleet                       # write BENCH_fleet.json in the cwd
+//	benchfleet -out /tmp/bench.json  # write elsewhere
+//	benchfleet -min-speedup 1.5      # fail below 1.5x (multi-core hosts)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/consolidation"
+	"repro/internal/dcsim"
+	"repro/internal/energy"
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+// rounds is how many times every configuration is re-measured; the minimum
+// across rounds is reported.
+const rounds = 3
+
+// Run is one recorded benchmark: a name, the worker-pool size it used, the
+// fixed per-round iteration count and the minimum per-operation time across
+// rounds.
+type Run struct {
+	Name       string `json:"name"`
+	Workers    int    `json:"workers"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+// Report is the BENCH_fleet.json schema.
+type Report struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// ParallelHardware is false when the host cannot express goroutine
+	// parallelism as wall-clock speedup (GOMAXPROCS=1); speedup gates are
+	// skipped in that case.
+	ParallelHardware bool  `json:"parallel_hardware"`
+	Fleet            []Run `json:"fleet"`
+	// FleetSpeedup4v1 is ns/op(Workers=1) / ns/op(Workers=4) for the fleet
+	// workload replay — the acceptance number of the fleet layer.
+	FleetSpeedup4v1 float64 `json:"fleet_speedup_workers4_vs_1"`
+	DCSim           []Run   `json:"dcsim"`
+	// DCSimSpeedup is ns/op(sequential) / ns/op(parallel) for the epoch
+	// engine at GOMAXPROCS workers.
+	DCSimSpeedup float64 `json:"dcsim_speedup_parallel_vs_sequential"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fleet.json", "path of the JSON trajectory to write")
+	minSpeedup := flag.Float64("min-speedup", 0,
+		"fail unless the Workers=4 fleet bench beats Workers=1 by this factor (0 disables; skipped when GOMAXPROCS=1)")
+	flag.Parse()
+
+	rep, err := collect()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfleet:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfleet:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfleet:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: fleet speedup %.2fx (workers=4 vs 1), dcsim speedup %.2fx (parallel vs sequential)\n",
+		*out, rep.FleetSpeedup4v1, rep.DCSimSpeedup)
+
+	if *minSpeedup > 0 {
+		// The gate compares Workers=4 against Workers=1; below four CPUs the
+		// measurement cannot express the expected parallelism (and on two
+		// noisy shared vCPUs it would flake), so only enforce at >= 4.
+		if rep.GOMAXPROCS < 4 {
+			fmt.Printf("min-speedup %.2fx gate skipped: GOMAXPROCS=%d < 4\n", *minSpeedup, rep.GOMAXPROCS)
+			return
+		}
+		if rep.FleetSpeedup4v1 < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "benchfleet: fleet speedup %.2fx below the %.2fx floor\n",
+				rep.FleetSpeedup4v1, *minSpeedup)
+			os.Exit(1)
+		}
+	}
+}
+
+// measureFleet times one fleet configuration: build, warm up with one full
+// replay (the first pass on a fresh fleet faults every page in), then run a
+// fixed number of steady-state replays.
+func measureFleet(workers, iters int) (int64, error) {
+	f, reqs, err := fleet.NewBenchFleet(fleet.DefaultBenchSpec(workers))
+	if err != nil {
+		return 0, err
+	}
+	replay := func() error {
+		for _, r := range f.RunWorkloads(reqs) {
+			if r.Err != "" {
+				return fmt.Errorf("workload %s: %s", r.VM, r.Err)
+			}
+		}
+		return nil
+	}
+	if err := replay(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := replay(); err != nil {
+			return 0, err
+		}
+	}
+	return int64(time.Since(start)) / int64(iters), nil
+}
+
+func collect() (*Report, error) {
+	rep := &Report{
+		Schema:           "zombieland-bench-fleet/v1",
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		ParallelHardware: runtime.GOMAXPROCS(0) > 1,
+	}
+
+	// Fleet workload replay at the BenchmarkFleetWorkloads pool sizes,
+	// interleaved round-robin; keep the minimum ns/op per pool size.
+	const fleetIters = 20
+	poolSizes := []int{1, 2, 4}
+	best := make(map[int]int64)
+	for round := 0; round < rounds; round++ {
+		for _, workers := range poolSizes {
+			nsPerOp, err := measureFleet(workers, fleetIters)
+			if err != nil {
+				return nil, err
+			}
+			if cur, ok := best[workers]; !ok || nsPerOp < cur {
+				best[workers] = nsPerOp
+			}
+		}
+	}
+	for _, workers := range poolSizes {
+		rep.Fleet = append(rep.Fleet, Run{
+			Name:       "FleetWorkloads",
+			Workers:    workers,
+			Iterations: fleetIters,
+			NsPerOp:    best[workers],
+		})
+	}
+	if best[4] > 0 {
+		rep.FleetSpeedup4v1 = float64(best[1]) / float64(best[4])
+	}
+
+	// The dcsim engine benchmarks: the same trace and configuration as
+	// BenchmarkDCSimSequential / Parallel / Transitions in bench_test.go.
+	tr, err := trace.Generate(trace.GeneratorConfig{
+		Name: "bench", Machines: 200, HorizonSec: 24 * 3600, Tasks: 3000,
+		MemoryToCPURatio: 3, MeanUtilization: 0.35, IdleFraction: 0.25, Seed: 42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	parWorkers := runtime.GOMAXPROCS(0)
+	engineCfg := func(workers int, transitions bool) dcsim.Config {
+		return dcsim.Config{
+			Trace:                  tr,
+			Policy:                 consolidation.NewZombieStack(),
+			Machine:                energy.HPProfile(),
+			ServerSpec:             consolidation.DefaultServerSpec(),
+			ConsolidationPeriodSec: 30,
+			Workers:                workers,
+			TransitionCosts:        transitions,
+		}
+	}
+	sweepCfg := dcsim.DefaultSweepConfig()
+	for i := range sweepCfg.TraceConfigs {
+		sweepCfg.TraceConfigs[i].Machines = 80
+		sweepCfg.TraceConfigs[i].Tasks = 800
+		sweepCfg.TraceConfigs[i].HorizonSec = 6 * 3600
+	}
+	sweepCfg.SweepWorkers = parWorkers
+
+	const dcsimIters = 3
+	engines := []struct {
+		name    string
+		workers int
+		run     func() error
+	}{
+		{"DCSimSequential", 0, func() error { _, err := dcsim.Run(engineCfg(0, false)); return err }},
+		{"DCSimParallel", parWorkers, func() error { _, err := dcsim.Run(engineCfg(parWorkers, false)); return err }},
+		{"DCSimTransitions", 0, func() error { _, err := dcsim.Run(engineCfg(0, true)); return err }},
+		{"DCSimSweep", parWorkers, func() error { _, err := dcsim.Sweep(sweepCfg); return err }},
+	}
+	bestEngine := make(map[string]int64)
+	for round := 0; round < rounds; round++ {
+		for _, e := range engines {
+			if err := e.run(); err != nil { // warm-up
+				return nil, err
+			}
+			start := time.Now()
+			for i := 0; i < dcsimIters; i++ {
+				if err := e.run(); err != nil {
+					return nil, err
+				}
+			}
+			nsPerOp := int64(time.Since(start)) / dcsimIters
+			if cur, ok := bestEngine[e.name]; !ok || nsPerOp < cur {
+				bestEngine[e.name] = nsPerOp
+			}
+		}
+	}
+	for _, e := range engines {
+		rep.DCSim = append(rep.DCSim, Run{
+			Name:       e.name,
+			Workers:    e.workers,
+			Iterations: dcsimIters,
+			NsPerOp:    bestEngine[e.name],
+		})
+	}
+	if bestEngine["DCSimParallel"] > 0 {
+		rep.DCSimSpeedup = float64(bestEngine["DCSimSequential"]) / float64(bestEngine["DCSimParallel"])
+	}
+	return rep, nil
+}

@@ -9,6 +9,7 @@
 //	dcsim -parallel -workers 8    # shard epoch accounting over 8 goroutines
 //	dcsim -transitions on         # charge ACPI/migration/remote-memory costs
 //	dcsim -transitions both       # print Figure 10 with and without them
+//	dcsim -rackmodel              # price epochs via the rack energy ledger
 //	dcsim -sweep                  # scenario sweep: policies × machines ×
 //	                              #   trace scales × consolidation periods ×
 //	                              #   transition-cost axis
@@ -49,6 +50,7 @@ func main() {
 	scales := flag.String("scales", "1", "comma-separated trace scale factors for -sweep (scale the fleet and task count)")
 	periods := flag.String("periods", "300", "comma-separated consolidation periods in seconds for -sweep")
 	transitions := flag.String("transitions", "off", "transition-cost accounting: off (steady state), on, or both")
+	rackmodel := flag.Bool("rackmodel", false, "price steady-state epochs through the rack model's energy ledger instead of the abstract power tables")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -66,7 +68,7 @@ func main() {
 	}
 
 	if *sweep {
-		if err := runSweep(*machines, *tasks, *horizon, *seed, w, *scales, *periods, transitionAxis); err != nil {
+		if err := runSweep(*machines, *tasks, *horizon, *seed, w, *scales, *periods, transitionAxis, *rackmodel); err != nil {
 			fmt.Fprintln(os.Stderr, "dcsim:", err)
 			os.Exit(1)
 		}
@@ -74,10 +76,11 @@ func main() {
 	}
 
 	cfg := zombieland.Fig10Config{
-		Machines:   *machines,
-		Tasks:      *tasks,
-		HorizonSec: *horizon,
-		Seed:       *seed,
+		Machines:    *machines,
+		Tasks:       *tasks,
+		HorizonSec:  *horizon,
+		Seed:        *seed,
+		RackPricing: *rackmodel,
 	}
 	if *parallel || *workers > 0 {
 		cfg.Workers = w
@@ -111,7 +114,7 @@ func parseTransitionAxis(mode string) ([]bool, error) {
 // runSweep builds the scenario grid {policy} × {machine} × {trace variant ×
 // scale} × {period} × {transition axis} and prints the per-run table plus the
 // per-policy summary.
-func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string, transitionAxis []bool) error {
+func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string, transitionAxis []bool, rackmodel bool) error {
 	scales, err := parseFloats(scalesCSV)
 	if err != nil {
 		return fmt.Errorf("-scales: %w", err)
@@ -162,6 +165,7 @@ func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, 
 		PeriodsSec:      periodList,
 		TransitionCosts: transitionAxis,
 		ServerSpec:      consolidation.DefaultServerSpec(),
+		RackPricing:     rackmodel,
 		SweepWorkers:    workers,
 		EngineWorkers:   engineWorkers,
 	}
@@ -171,8 +175,12 @@ func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, 
 	}
 	fmt.Println(res.Render())
 	fmt.Println(res.RenderSummary())
-	fmt.Printf("%d scenarios, %d sweep workers. Energy saving is relative to a no-consolidation fleet.\n",
-		len(res.Runs), workers)
+	pricing := "abstract power tables"
+	if rackmodel {
+		pricing = "rack energy ledger"
+	}
+	fmt.Printf("%d scenarios, %d sweep workers, steady state priced by the %s. Energy saving is relative to a no-consolidation fleet.\n",
+		len(res.Runs), workers, pricing)
 	return nil
 }
 

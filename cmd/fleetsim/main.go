@@ -1,0 +1,180 @@
+// Command fleetsim brings up a multi-rack fleet and runs a cross-rack
+// scenario against it: lender racks push servers into Sz, a batch of VMs is
+// placed across the fleet (dry racks borrow remote memory from peers over
+// the inter-rack fabric), the workload mix replays on the worker pool, and
+// the placement table, borrow ledger, inter-rack traffic and energy report
+// are printed.
+//
+// Usage:
+//
+//	fleetsim                                   # 4 racks x 4 servers
+//	fleetsim -racks 8 -servers 8 -vms 24       # bigger fleet
+//	fleetsim -workers 8                        # wider execution pool
+//	fleetsim -mix spark-sql,data-caching       # workload mix to rotate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	zombieland "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	racks := flag.Int("racks", 4, "number of racks in the fleet")
+	servers := flag.Int("servers", 4, "servers per rack")
+	zombies := flag.Int("zombies", 2, "servers pushed into Sz on every second rack (the lenders)")
+	memGiB := flag.Int("mem-gib", 16, "memory per server in GiB")
+	vms := flag.Int("vms", 6, "VMs to place across the fleet")
+	vmGiB := flag.Float64("vm-gib", 28, "VM reserved memory in GiB")
+	mix := flag.String("mix", "spark-sql,elasticsearch", "comma-separated workload mix rotated across the VMs")
+	workers := flag.Int("workers", 4, "worker-pool size for placement and workload execution")
+	hours := flag.Float64("hours", 1, "simulated hours to account energy over")
+	iterations := flag.Int("iterations", 2, "paging-replay iterations per workload")
+	flag.Parse()
+
+	if err := run(*racks, *servers, *zombies, *memGiB, *vms, *vmGiB, *mix, *workers, *hours, *iterations); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMix(csv string) ([]zombieland.Workload, error) {
+	var kinds []zombieland.Workload
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, k := range zombieland.Workloads() {
+			if k.String() == name {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var valid []string
+			for _, k := range zombieland.Workloads() {
+				valid = append(valid, k.String())
+			}
+			return nil, fmt.Errorf("unknown workload %q in -mix (valid: %s)", name, strings.Join(valid, ", "))
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-mix selects no workloads")
+	}
+	return kinds, nil
+}
+
+func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int) error {
+	if zombies >= servers {
+		return fmt.Errorf("-zombies %d must leave at least one active server per rack (-servers %d)", zombies, servers)
+	}
+	kinds, err := parseMix(mix)
+	if err != nil {
+		return err
+	}
+
+	board := zombieland.DefaultBoardSpec()
+	board.MemoryBytes = uint64(memGiB) << 30
+	f, err := zombieland.NewFleet(zombieland.FleetConfig{
+		Racks:   racks,
+		Rack:    zombieland.RackConfig{Servers: servers, Board: board},
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fleet up: %d racks x %d servers (%d GiB each), worker pool %d.\n\n", racks, servers, memGiB, workers)
+
+	// Every second rack lends: its tail servers go to Sz and feed the
+	// fleet-wide remote memory pool; the other racks stay dry and must
+	// borrow across racks for memory-hungry VMs.
+	for ri := 1; ri < racks; ri += 2 {
+		names := f.Rack(ri).Servers()
+		for z := 0; z < zombies; z++ {
+			if err := f.PushToZombie(ri, names[len(names)-1-z]); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("Lender racks ready: %.1f GiB of remote memory fleet-wide.\n\n",
+		float64(f.FreeRemoteMemory())/float64(1<<30))
+
+	var specs []zombieland.VM
+	for i := 0; i < vms; i++ {
+		specs = append(specs, zombieland.NewVM(fmt.Sprintf("vm-%02d", i),
+			int64(vmGiB*float64(1<<30)), int64(vmGiB*0.75*float64(1<<30))))
+	}
+	placements, err := f.PlaceVMs(specs, zombieland.CreateVMOptions{})
+	if err != nil {
+		return err
+	}
+	pt := metrics.NewTable("Placement", "vm", "rack", "host", "local-gib", "remote-gib", "borrowed-gib", "from")
+	var reqs []zombieland.FleetWorkloadRequest
+	for i, p := range placements {
+		if p.Err != "" {
+			pt.AddRow(p.VM, "-", "-", "-", "-", "-", p.Err)
+			continue
+		}
+		from := p.BorrowedFrom
+		if from == "" {
+			from = "-"
+		}
+		pt.AddRow(p.VM, p.Rack, p.Host,
+			metrics.FormatFloat(float64(p.LocalBytes)/float64(1<<30)),
+			metrics.FormatFloat(float64(p.RemoteBytes)/float64(1<<30)),
+			metrics.FormatFloat(float64(p.BorrowedBytes)/float64(1<<30)),
+			from)
+		reqs = append(reqs, zombieland.FleetWorkloadRequest{
+			VM:         p.VM,
+			Kind:       kinds[i%len(kinds)],
+			Iterations: iterations,
+			Seed:       int64(i + 1),
+		})
+	}
+	fmt.Println(pt.String())
+
+	lt := metrics.NewTable("Cross-rack borrow ledger", "vm", "borrower", "lender", "gib", "buffers")
+	for _, b := range f.BorrowLedger() {
+		lt.AddRow(b.VM, b.Borrower, b.Lender,
+			metrics.FormatFloat(float64(b.Bytes)/float64(1<<30)),
+			metrics.FormatFloat(float64(b.Buffers)))
+	}
+	fmt.Println(lt.String())
+
+	results := f.RunWorkloads(reqs)
+	wt := metrics.NewTable("Workloads (pool-sharded)", "vm", "rack", "workload", "accesses", "major-faults", "remote-ms")
+	for _, res := range results {
+		if res.Err != "" {
+			wt.AddRow(res.VM, res.Rack, res.Kind.String(), "-", "-", res.Err)
+			continue
+		}
+		wt.AddRowf(res.VM, res.Rack, res.Kind.String(),
+			res.Stats.Accesses, res.Stats.MajorFaults, res.Stats.RemoteNs/1e6)
+	}
+	fmt.Println(wt.String())
+
+	ft := metrics.NewTable("Inter-rack RDMA traffic (lender fabrics)", "rack", "ops", "bytes", "premium-ms")
+	for i, st := range f.FabricStats() {
+		if st.InterRackOps == 0 {
+			continue
+		}
+		ft.AddRowf(f.RackNames()[i], st.InterRackOps, st.InterRackBytes, float64(st.InterRackNs)/1e6)
+	}
+	fmt.Println(ft.String())
+
+	f.AdvanceClock(int64(hours * 3600 * 1e9))
+	perRack := metrics.NewTable(fmt.Sprintf("Energy over %.1f simulated hour(s)", hours), "rack", "joules")
+	for i := 0; i < f.Racks(); i++ {
+		perRack.AddRowf(f.RackNames()[i], f.Rack(i).TotalEnergyJoules())
+	}
+	fmt.Println(perRack.String())
+	fmt.Printf("Fleet total: %.0f J across %d racks.\n", f.TotalEnergyJoules(), f.Racks())
+	return nil
+}

@@ -1,0 +1,78 @@
+// The fleet walk-through: federate two racks behind one control plane, make
+// one rack a lender (a server in Sz feeds its memory to the rack pool) while
+// the other stays dry, then place a memory-hungry VM on the dry rack — the
+// fleet borrows the VM's whole remote part from the peer rack, pages over
+// the inter-rack fabric at the hop premium, and records the grant in the
+// borrow ledger. Run with: go run ./examples/fleet
+//
+// The same walk-through is compiled and output-asserted in CI as
+// Example_fleet in examples_test.go.
+package main
+
+import (
+	"fmt"
+
+	zombieland "repro"
+)
+
+func main() {
+	// A fleet of two racks, two servers each, placed and replayed on a
+	// two-goroutine worker pool (any pool size gives identical results).
+	f, err := zombieland.NewFleet(zombieland.FleetConfig{
+		Racks:   2,
+		Rack:    zombieland.RackConfig{Servers: 2},
+		Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fleet racks:", f.RackNames())
+
+	// rack-01 lends: one server goes to Sz, its memory joins the pool.
+	// rack-00 keeps both servers awake and has no remote memory of its own.
+	if err := f.PushToZombie(1, "rack-01/server-01"); err != nil {
+		panic(err)
+	}
+	fmt.Printf("rack-00 free remote: %.1f GiB, rack-01 free remote: %.1f GiB\n",
+		gib(f.Rack(0).FreeRemoteMemory()), gib(f.Rack(1).FreeRemoteMemory()))
+
+	// A VM too big for local memory alone lands on the dry rack-00; the
+	// fleet pre-reserves the remote part on rack-01 through a gateway agent.
+	placements, err := f.PlaceVMs(
+		[]zombieland.VM{zombieland.NewVM("hungry", 28<<30, 24<<30)},
+		zombieland.CreateVMOptions{})
+	if err != nil {
+		panic(err)
+	}
+	p := placements[0]
+	if p.Err != "" {
+		panic(p.Err)
+	}
+	fmt.Printf("VM %s on %s: %.1f GiB local + %.1f GiB remote (%.1f GiB borrowed from %s)\n",
+		p.VM, p.Host, gib(p.LocalBytes), gib(p.RemoteBytes), gib(p.BorrowedBytes), p.BorrowedFrom)
+	for _, b := range f.BorrowLedger() {
+		fmt.Printf("ledger: %s borrowed %.1f GiB (%d buffers) from %s for %s\n",
+			b.Borrower, gib(b.Bytes), b.Buffers, b.Lender, b.VM)
+	}
+
+	// Replaying a workload pages over the borrowed buffers: every one-sided
+	// verb traverses the lender's fabric and pays the inter-rack premium.
+	results := f.RunWorkloads([]zombieland.FleetWorkloadRequest{
+		{VM: "hungry", Kind: zombieland.SparkSQL, Iterations: 2, Seed: 1},
+	})
+	res := results[0]
+	if res.Err != "" {
+		panic(res.Err)
+	}
+	fmt.Printf("workload on %s: %d accesses, %d major faults\n",
+		res.Rack, res.Stats.Accesses, res.Stats.MajorFaults)
+	lender := f.FabricStats()[1]
+	fmt.Printf("lender fabric: %d inter-rack ops, %.1f MiB, %.1f ms premium\n",
+		lender.InterRackOps, float64(lender.InterRackBytes)/float64(1<<20), float64(lender.InterRackNs)/1e6)
+
+	// One simulated hour later the zombie still undercuts the awake servers.
+	f.AdvanceClock(3600 * 1e9)
+	fmt.Printf("fleet energy after 1h: %.0f J across %d racks\n", f.TotalEnergyJoules(), f.Racks())
+}
+
+func gib(b int64) float64 { return float64(b) / float64(1<<30) }

@@ -108,6 +108,71 @@ func Example_consolidation() {
 	// Savings are relative to a fleet with no consolidation (every server stays in S0).
 }
 
+// Example_fleet is examples/fleet as a compiled, asserted test: federate two
+// racks, push a server of rack-01 into Sz (the lender), place a
+// memory-hungry VM on the dry rack-00 — the fleet borrows the whole remote
+// part from rack-01 — then page over the inter-rack fabric at the hop
+// premium and account a simulated hour of energy.
+func Example_fleet() {
+	f, err := zombieland.NewFleet(zombieland.FleetConfig{
+		Racks:   2,
+		Rack:    zombieland.RackConfig{Servers: 2},
+		Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fleet racks:", f.RackNames())
+
+	if err := f.PushToZombie(1, "rack-01/server-01"); err != nil {
+		panic(err)
+	}
+	fmt.Printf("rack-00 free remote: %.1f GiB, rack-01 free remote: %.1f GiB\n",
+		gib(f.Rack(0).FreeRemoteMemory()), gib(f.Rack(1).FreeRemoteMemory()))
+
+	placements, err := f.PlaceVMs(
+		[]zombieland.VM{zombieland.NewVM("hungry", 28<<30, 24<<30)},
+		zombieland.CreateVMOptions{})
+	if err != nil {
+		panic(err)
+	}
+	p := placements[0]
+	if p.Err != "" {
+		panic(p.Err)
+	}
+	fmt.Printf("VM %s on %s: %.1f GiB local + %.1f GiB remote (%.1f GiB borrowed from %s)\n",
+		p.VM, p.Host, gib(p.LocalBytes), gib(p.RemoteBytes), gib(p.BorrowedBytes), p.BorrowedFrom)
+	for _, b := range f.BorrowLedger() {
+		fmt.Printf("ledger: %s borrowed %.1f GiB (%d buffers) from %s for %s\n",
+			b.Borrower, gib(b.Bytes), b.Buffers, b.Lender, b.VM)
+	}
+
+	results := f.RunWorkloads([]zombieland.FleetWorkloadRequest{
+		{VM: "hungry", Kind: zombieland.SparkSQL, Iterations: 2, Seed: 1},
+	})
+	res := results[0]
+	if res.Err != "" {
+		panic(res.Err)
+	}
+	fmt.Printf("workload on %s: %d accesses, %d major faults\n",
+		res.Rack, res.Stats.Accesses, res.Stats.MajorFaults)
+	lender := f.FabricStats()[1]
+	fmt.Printf("lender fabric: %d inter-rack ops, %.1f MiB, %.1f ms premium\n",
+		lender.InterRackOps, float64(lender.InterRackBytes)/float64(1<<20), float64(lender.InterRackNs)/1e6)
+
+	f.AdvanceClock(3600 * 1e9)
+	fmt.Printf("fleet energy after 1h: %.0f J across %d racks\n", f.TotalEnergyJoules(), f.Racks())
+
+	// Output:
+	// fleet racks: [rack-00 rack-01]
+	// rack-00 free remote: 0.0 GiB, rack-01 free remote: 15.0 GiB
+	// VM hungry on rack-00/server-00: 15.0 GiB local + 13.0 GiB remote (13.0 GiB borrowed from rack-01)
+	// ledger: rack-00 borrowed 13.0 GiB (208 buffers) from rack-01 for hungry
+	// workload on rack-00: 32768 accesses, 1435 major faults
+	// lender fabric: 1958 inter-rack ops, 7.6 MiB, 9.8 ms premium
+	// fleet energy after 1h: 937742 J across 2 racks
+}
+
 func gib(b int64) float64 { return float64(b) / float64(1<<30) }
 
 // printTrimmed prints the text with the trailing whitespace of every line and

@@ -74,14 +74,43 @@ type GuestVM struct {
 	// LocalBytes and RemoteBytes describe the placement decision.
 	LocalBytes  int64
 	RemoteBytes int64
-	// buffers are the remote buffers backing the remote part.
-	buffers []*memctl.RemoteBuffer
+	// BorrowedBytes is the part of RemoteBytes served from OUTSIDE the rack
+	// through the RemoteOverflow hook (cross-rack borrowing); BorrowedFrom
+	// names the supplier. Zero / empty when the home rack served everything.
+	BorrowedBytes int64
+	BorrowedFrom  string
+	// buffers are the home-rack remote buffers backing the remote part;
+	// borrowed holds the cross-rack buffers obtained from the overflow.
+	buffers  []*memctl.RemoteBuffer
+	borrowed []*memctl.RemoteBuffer
+}
+
+// BorrowedBuffers returns how many cross-rack buffers back the VM.
+func (g *GuestVM) BorrowedBuffers() int { return len(g.borrowed) }
+
+// RemoteOverflow supplies guaranteed remote memory from outside the rack when
+// the rack's own controller runs dry. The fleet layer implements it with
+// gateway agents registered on peer racks' controllers; the returned handles
+// read and write over the peers' fabrics with the inter-rack premium.
+type RemoteOverflow interface {
+	// AvailableBytes reports how much the outside pool could currently
+	// supply; the scheduler adds it to the rack's own admittable memory.
+	AvailableBytes() int64
+	// AllocExt allocates memSize bytes for the named VM placed on the given
+	// host. It returns the handles plus a label naming the supplier(s).
+	AllocExt(vmID, host string, memSize int64) ([]*memctl.RemoteBuffer, string, error)
+	// Release returns borrowed handles when the VM is destroyed.
+	Release(vmID string, bufs []*memctl.RemoteBuffer) error
 }
 
 // Config parameterises a Rack.
 type Config struct {
 	// Servers is the number of general-purpose servers (at least 1).
 	Servers int
+	// NamePrefix is prepended to every server name ("rack-00/" turns
+	// "server-01" into "rack-00/server-01"), so a fleet of racks has globally
+	// unique server identities without the racks sharing any state.
+	NamePrefix string
 	// Board describes every server's hardware; DefaultBoardSpec if zero.
 	Board acpi.BoardSpec
 	// MachineProfile is the per-server power model; the HP profile if nil.
@@ -108,6 +137,10 @@ type Rack struct {
 
 	servers map[string]*Server
 	vms     map[string]*GuestVM
+
+	// overflow, when set, supplies remote memory the rack itself cannot
+	// (cross-rack borrowing; see RemoteOverflow).
+	overflow RemoteOverflow
 
 	nowNs int64
 }
@@ -160,7 +193,7 @@ func NewRack(cfg Config) (*Rack, error) {
 	}
 
 	for i := 0; i < cfg.Servers; i++ {
-		name := fmt.Sprintf("server-%02d", i)
+		name := fmt.Sprintf("%sserver-%02d", cfg.NamePrefix, i)
 		platform, err := acpi.NewPlatform(cfg.Board)
 		if err != nil {
 			return nil, err
@@ -218,6 +251,39 @@ func (r *Rack) Server(name string) (*Server, error) {
 
 // Controller exposes the global memory controller (for inspection).
 func (r *Rack) Controller() *memctl.GlobalController { return r.controller }
+
+// SetRemoteOverflow plugs an outside remote memory supplier into the rack.
+// Pass nil to detach. The fleet layer installs one per rack; single-rack
+// deployments leave it unset.
+func (r *Rack) SetRemoteOverflow(o RemoteOverflow) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.overflow = o
+}
+
+// ResolveDevice returns the RDMA device of the named server, or nil. The
+// fleet layer uses it to wire gateway agents into a peer rack's fabric.
+func (r *Rack) ResolveDevice(name string) *rdma.Device {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.servers[name]
+	if !ok {
+		return nil
+	}
+	return s.Device
+}
+
+// AdmittableRemoteBytes returns the guaranteed remote memory the rack's own
+// admission controller could still accept (capacity minus commitments).
+func (r *Rack) AdmittableRemoteBytes() int64 {
+	r.syncAdmissionCapacity()
+	return r.admission.Available()
+}
+
+// HostCapacities returns the scheduler's current view of every server, in
+// name order: CPU and local-memory headroom plus the power state. The fleet
+// partitioner plans cross-rack placement against this snapshot.
+func (r *Rack) HostCapacities() []placement.Host { return r.placementHosts() }
 
 // Secondary exposes the secondary controller.
 func (r *Rack) Secondary() *memctl.SecondaryController { return r.secondary }
@@ -372,7 +438,7 @@ func (r *Rack) placementHosts() []placement.Host {
 			ID:          placement.HostID(n),
 			TotalCPUs:   r.cfg.Board.TotalCores(),
 			UsedCPUs:    usedCPU,
-			TotalMemory: int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - lentBytes(s),
+			TotalMemory: int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - r.lentBytes(s),
 			UsedMemory:  usedMem,
 			PoweredOn:   s.Platform.State() == acpi.S0,
 		})
@@ -381,8 +447,12 @@ func (r *Rack) placementHosts() []placement.Host {
 }
 
 // lentBytes returns the memory the server has delegated to the rack.
-func lentBytes(s *Server) int64 {
-	return int64(s.Agent.ServedBuffers()) * memctl.DefaultBufferSize
+func (r *Rack) lentBytes(s *Server) int64 {
+	size := r.cfg.BufferSize
+	if size <= 0 {
+		size = memctl.DefaultBufferSize
+	}
+	return int64(s.Agent.ServedBuffers()) * size
 }
 
 // CreateVMOptions tunes VM creation.
@@ -410,19 +480,21 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 	r.mu.Unlock()
 
 	r.syncAdmissionCapacity()
+	r.mu.Lock()
+	overflow := r.overflow
+	r.mu.Unlock()
+	remoteAvail := r.admission.Available()
+	if overflow != nil {
+		remoteAvail += overflow.AvailableBytes()
+	}
 	hosts := r.placementHosts()
 	decision, err := r.scheduler.Place(hosts, placement.Request{
 		VM:                    spec,
-		RemoteMemoryAvailable: r.admission.Available(),
+		RemoteMemoryAvailable: remoteAvail,
 		Strategy:              opts.Strategy,
 	})
 	if err != nil {
 		return nil, err
-	}
-	if decision.RemoteBytes > 0 {
-		if err := r.admission.Admit(decision.RemoteBytes); err != nil {
-			return nil, err
-		}
 	}
 
 	r.mu.Lock()
@@ -431,14 +503,32 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 
 	guest := &GuestVM{Spec: spec, Host: host.Name, LocalBytes: decision.LocalBytes, RemoteBytes: decision.RemoteBytes}
 
-	// Allocate the remote part through the host's agent.
+	// Allocate the remote part: the home rack first, and — when its own
+	// controller cannot guarantee the allocation — entirely from the overflow
+	// supplier (a peer rack reached over the inter-rack fabric).
 	if decision.RemoteBytes > 0 {
-		buffers, err := host.Agent.RequestExt(decision.RemoteBytes)
-		if err != nil {
-			r.admission.Release(decision.RemoteBytes)
-			return nil, err
+		var homeErr error
+		if homeErr = r.admission.Admit(decision.RemoteBytes); homeErr == nil {
+			buffers, err := host.Agent.RequestExt(decision.RemoteBytes)
+			if err != nil {
+				r.admission.Release(decision.RemoteBytes)
+				homeErr = err
+			} else {
+				guest.buffers = buffers
+			}
 		}
-		guest.buffers = buffers
+		if guest.buffers == nil {
+			if overflow == nil {
+				return nil, homeErr
+			}
+			borrowed, from, err := overflow.AllocExt(spec.ID, host.Name, decision.RemoteBytes)
+			if err != nil {
+				return nil, fmt.Errorf("core: rack dry (%v) and cross-rack borrow failed: %w", homeErr, err)
+			}
+			guest.borrowed = borrowed
+			guest.BorrowedBytes = decision.RemoteBytes
+			guest.BorrowedFrom = from
+		}
 	}
 
 	// Build the paging context. The page count is scaled for tractability;
@@ -462,7 +552,11 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 	}
 	var store hypervisor.RemoteStore
 	if localFrames < totalPages {
-		store = newBufferStore(guest.buffers, totalPages-localFrames)
+		backing := guest.buffers
+		if len(guest.borrowed) > 0 {
+			backing = append(append([]*memctl.RemoteBuffer(nil), guest.buffers...), guest.borrowed...)
+		}
+		store = newBufferStore(backing, totalPages-localFrames)
 	}
 	paging, err := hypervisor.NewRAMExt(hypervisor.Config{
 		Pages:       totalPages,
@@ -474,6 +568,9 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 		if guest.buffers != nil {
 			_ = host.Agent.ReleaseBuffers(guest.buffers)
 			r.admission.Release(decision.RemoteBytes)
+		}
+		if len(guest.borrowed) > 0 && overflow != nil {
+			_ = overflow.Release(spec.ID, guest.borrowed)
 		}
 		return nil, err
 	}
@@ -499,7 +596,8 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 	return guest, nil
 }
 
-// DestroyVM removes a VM and releases its remote memory.
+// DestroyVM removes a VM and releases its remote memory — home-rack buffers
+// to the rack's controller, borrowed ones back through the overflow supplier.
 func (r *Rack) DestroyVM(id string) error {
 	r.mu.Lock()
 	guest, ok := r.vms[id]
@@ -508,6 +606,7 @@ func (r *Rack) DestroyVM(id string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownVM, id)
 	}
 	host := r.servers[guest.Host]
+	overflow := r.overflow
 	delete(r.vms, id)
 	delete(host.vms, id)
 	r.mu.Unlock()
@@ -516,7 +615,15 @@ func (r *Rack) DestroyVM(id string) error {
 		if err := host.Agent.ReleaseBuffers(guest.buffers); err != nil {
 			return err
 		}
-		r.admission.Release(guest.RemoteBytes)
+		r.admission.Release(guest.RemoteBytes - guest.BorrowedBytes)
+	}
+	if len(guest.borrowed) > 0 {
+		if overflow != nil {
+			return overflow.Release(id, guest.borrowed)
+		}
+		// The supplier was detached; hand the buffers straight back to their
+		// owning agents.
+		return memctl.ReleaseHandles(guest.borrowed)
 	}
 	return nil
 }

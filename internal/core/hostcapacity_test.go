@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/acpi"
+)
+
+// TestHostCapacitiesCustomBufferSize pins the lent-memory accounting to the
+// rack's configured buffer size: a server that delegates part of its memory
+// while active must be charged exactly served-buffers × BufferSize, not ×
+// the 64 MiB memctl default. (With the default applied to a 16 MiB rack the
+// charge was 4× too high, driving TotalMemory negative and filtering healthy
+// hosts out of placement.)
+func TestHostCapacitiesCustomBufferSize(t *testing.T) {
+	const bufSize = 16 << 20
+	board := acpi.DefaultBoardSpec()
+	board.MemoryBytes = 1 << 30
+	r, err := NewRack(Config{
+		Servers:           1,
+		Board:             board,
+		BufferSize:        bufSize,
+		HostReservedBytes: 128 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := r.Servers()[0]
+	base := r.HostCapacities()[0].TotalMemory
+
+	s, err := r.Server(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Agent.DelegateWhileActive(512 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("the server should have memory to lend")
+	}
+
+	got := r.HostCapacities()[0].TotalMemory
+	want := base - int64(n)*bufSize
+	if got != want {
+		t.Fatalf("TotalMemory after lending %d buffers = %d, want %d (base %d)", n, got, want, base)
+	}
+	if got < 0 {
+		t.Fatalf("TotalMemory went negative: %d", got)
+	}
+}

@@ -40,7 +40,7 @@ func (r *Rack) MigrateVM(vmID, destName string) (migration.Result, error) {
 
 	// The destination must hold the VM's local part (the hot pages); the
 	// remote part stays where it is.
-	destFree := int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - lentBytes(dest)
+	destFree := int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - r.lentBytes(dest)
 	r.mu.Lock()
 	for _, g := range dest.vms {
 		destFree -= g.LocalBytes
@@ -149,7 +149,7 @@ func (r *Rack) ConsolidateOnce() (ConsolidationReport, error) {
 			})
 		}
 		sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
-		freeLocal := int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - lentBytes(s) - usedLocal
+		freeLocal := int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - r.lentBytes(s) - usedLocal
 		state := s.Platform.State()
 		r.mu.Unlock()
 		loads = append(loads, consolidation.HostLoad{
@@ -229,7 +229,22 @@ func (r *Rack) FailoverController(nowNs int64) (*memctl.GlobalController, error)
 	rebuilt := r.secondary.Rebuild(opts...)
 	r.mu.Lock()
 	r.controller = rebuilt
+	names := make([]string, 0, len(r.servers))
+	for n := range r.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	r.mu.Unlock()
+	// Every agent re-establishes its channel with the promoted controller so
+	// reclaim notifications and scavenging keep working after the take-over.
+	for _, n := range names {
+		r.mu.Lock()
+		agent := r.servers[n].Agent
+		r.mu.Unlock()
+		if err := agent.Retarget(rebuilt); err != nil {
+			return nil, fmt.Errorf("core: fail-over retarget %s: %w", n, err)
+		}
+	}
 	r.syncAdmissionCapacity()
 	return rebuilt, nil
 }

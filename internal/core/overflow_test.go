@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/acpi"
+	"repro/internal/memctl"
+	"repro/internal/vm"
+)
+
+// stubOverflow backs the RemoteOverflow hook with a second, out-of-rack
+// memctl controller, the way the fleet layer does with a peer rack.
+type stubOverflow struct {
+	lender  *memctl.GlobalController
+	gateway *memctl.Agent
+
+	allocs   int
+	released int
+}
+
+func newStubOverflow(t *testing.T, lendBytes int64) *stubOverflow {
+	t.Helper()
+	lender := memctl.NewGlobalController()
+	donor, err := memctl.NewAgent(memctl.AgentConfig{
+		ID: "peer/server-00", Controller: lender, TotalMem: 2 * lendBytes, ReservedMem: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := donor.DelegateWhileActive(2*lendBytes - lendBytes); err != nil {
+		t.Fatal(err)
+	}
+	gateway, err := memctl.NewAgent(memctl.AgentConfig{
+		ID: "gw/test-rack", Controller: lender, TotalMem: 1, ReservedMem: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stubOverflow{lender: lender, gateway: gateway}
+}
+
+func (s *stubOverflow) AvailableBytes() int64 { return s.lender.FreeMemory() }
+
+func (s *stubOverflow) AllocExt(vmID, host string, memSize int64) ([]*memctl.RemoteBuffer, string, error) {
+	bufs, err := s.gateway.RequestExt(memSize)
+	if err != nil {
+		return nil, "", err
+	}
+	s.allocs++
+	return bufs, "stub-peer", nil
+}
+
+func (s *stubOverflow) Release(vmID string, bufs []*memctl.RemoteBuffer) error {
+	s.released += len(bufs)
+	return memctl.ReleaseHandles(bufs)
+}
+
+func TestCreateVMBorrowsFromOverflowWhenRackDry(t *testing.T) {
+	board := acpi.DefaultBoardSpec()
+	board.MemoryBytes = 4 << 30
+	r, err := NewRack(Config{Servers: 2, Board: board})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No zombies: the rack's own controller has nothing to lend.
+	if free := r.FreeRemoteMemory(); free != 0 {
+		t.Fatalf("rack should start dry, has %d", free)
+	}
+
+	spec := vm.New("hungry", 5<<30, 2<<30)
+	if _, err := r.CreateVM(spec, CreateVMOptions{}); err == nil {
+		t.Fatal("a dry rack without an overflow must reject the memory-hungry VM")
+	}
+
+	overflow := newStubOverflow(t, 4<<30)
+	r.SetRemoteOverflow(overflow)
+	guest, err := r.CreateVM(spec, CreateVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guest.RemoteBytes == 0 {
+		t.Fatal("the VM should need remote memory")
+	}
+	if guest.BorrowedBytes != guest.RemoteBytes {
+		t.Fatalf("borrowed %d bytes, want the whole remote part %d", guest.BorrowedBytes, guest.RemoteBytes)
+	}
+	if guest.BorrowedFrom != "stub-peer" {
+		t.Fatalf("BorrowedFrom = %q, want stub-peer", guest.BorrowedFrom)
+	}
+	if guest.BorrowedBuffers() == 0 {
+		t.Fatal("borrowed handles should back the VM")
+	}
+	if overflow.allocs != 1 {
+		t.Fatalf("overflow allocs = %d, want 1", overflow.allocs)
+	}
+
+	borrowed := guest.BorrowedBuffers()
+	if err := r.DestroyVM(spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if overflow.released != borrowed {
+		t.Fatalf("destroy released %d borrowed buffers, want %d", overflow.released, borrowed)
+	}
+	if free := overflow.lender.FreeMemory(); free == 0 {
+		t.Fatal("the lender should get its memory back")
+	}
+}
+
+func TestNamePrefixIsolatesServerNames(t *testing.T) {
+	r, err := NewRack(Config{Servers: 2, NamePrefix: "rack-07/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range r.Servers() {
+		if !strings.HasPrefix(name, "rack-07/server-") {
+			t.Fatalf("server name %q misses the rack prefix", name)
+		}
+	}
+	if r.ResolveDevice("rack-07/server-01") == nil {
+		t.Fatal("ResolveDevice should find a prefixed server")
+	}
+	if r.ResolveDevice("server-01") != nil {
+		t.Fatal("ResolveDevice must not resolve unprefixed names")
+	}
+}
+
+func TestFailoverRetargetsAgents(t *testing.T) {
+	r := testRack(t, 3)
+	if err := r.PushToZombie("server-02"); err != nil {
+		t.Fatal(err)
+	}
+	old := r.Controller()
+	rebuilt, err := r.FailoverController(r.Now() + 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == old {
+		t.Fatal("fail-over should install a new controller")
+	}
+	// The zombie's agent must now talk to the rebuilt controller: waking it
+	// reclaims through the new instance and flips its role there.
+	if err := r.Wake("server-02"); err != nil {
+		t.Fatal(err)
+	}
+	if role, err := rebuilt.Role("server-02"); err != nil || role != memctl.RoleActive {
+		t.Fatalf("rebuilt controller role = %v (err %v), want active", role, err)
+	}
+	if len(rebuilt.Zombies()) != 0 {
+		t.Fatal("no zombies should remain on the rebuilt controller")
+	}
+}

@@ -40,6 +40,16 @@ type Config struct {
 	// Transitions overrides the transition cost parameters; nil selects
 	// DefaultTransitionModel. Ignored unless TransitionCosts is set.
 	Transitions *TransitionModel
+	// RackPricing switches the steady-state epoch pricing from the abstract
+	// per-state power tables to the rack model's energy ledger: every
+	// epoch's posture is applied to a model core.Rack (real ACPI
+	// transitions, Sz included) and integrated through energy.Accumulator,
+	// one server at a time (see rackpricing.go). Oasis memory servers keep
+	// the abstract fractional charge — they have no rack analogue. The
+	// parallel engine remains bit-identical to the sequential one: each
+	// shard prices with its own model rack and the per-epoch charge is a
+	// pure function of the epoch's plan.
+	RackPricing bool
 }
 
 // Validate checks the configuration.
@@ -125,6 +135,9 @@ type Result struct {
 	Migrations int
 	// MigrationSeconds is the total host time spent draining VMs.
 	MigrationSeconds float64
+	// RackPriced reports whether the run integrated epoch energy through
+	// the rack model's energy ledger instead of the abstract power tables.
+	RackPriced bool
 }
 
 // epochSpan bounds one consolidation period within the trace horizon.
@@ -214,21 +227,30 @@ func (r *replayer) population(span epochSpan) []consolidation.VMDemand {
 }
 
 // simulateEpoch evaluates the policy on one epoch's population, integrates
-// the fleet power over the epoch and, when transition costs are enabled,
-// charges the events implied by moving from prev's posture to this epoch's.
-// It returns the epoch's plan so the caller can thread it into the next
-// epoch's delta.
-func simulateEpoch(cfg *Config, vms []consolidation.VMDemand, span epochSpan, prev consolidation.FleetPlan) (epochStats, consolidation.FleetPlan) {
+// the fleet power over the epoch — through the abstract tables, or through
+// the caller's rack pricer when rack pricing is on — and, when transition
+// costs are enabled, charges the events implied by moving from prev's
+// posture to this epoch's. It returns the epoch's plan so the caller can
+// thread it into the next epoch's delta.
+func simulateEpoch(cfg *Config, pricer *rackPricer, vms []consolidation.VMDemand, span epochSpan, prev consolidation.FleetPlan) (epochStats, consolidation.FleetPlan, error) {
 	plan := cfg.Policy.Plan(vms, cfg.ServerSpec, cfg.Trace.Machines)
 	dt := float64(span.end - span.start)
 	stats := epochStats{
-		energyJ:   fleetPower(*cfg, plan) * dt,
-		baselineJ: baselinePower(*cfg, vms, cfg.Trace.Machines) * dt,
-		activeDt:  float64(plan.ActiveHosts) * dt,
-		zombieDt:  float64(plan.ZombieHosts) * dt,
-		sleepDt:   float64(plan.SleepHosts) * dt,
-		utilDt:    plan.ActiveCPUUtilization * dt,
-		dt:        dt,
+		activeDt: float64(plan.ActiveHosts) * dt,
+		zombieDt: float64(plan.ZombieHosts) * dt,
+		sleepDt:  float64(plan.SleepHosts) * dt,
+		utilDt:   plan.ActiveCPUUtilization * dt,
+		dt:       dt,
+	}
+	if pricer != nil {
+		energyJ, baselineJ, err := pricer.priceEpoch(plan, vms, dt)
+		if err != nil {
+			return epochStats{}, plan, err
+		}
+		stats.energyJ, stats.baselineJ = energyJ, baselineJ
+	} else {
+		stats.energyJ = fleetPower(*cfg, plan) * dt
+		stats.baselineJ = baselinePower(*cfg, vms, cfg.Trace.Machines) * dt
 	}
 	if cfg.TransitionCosts {
 		c := cfg.Transitions.epochCost(cfg, prev, plan, vms, dt)
@@ -238,7 +260,7 @@ func simulateEpoch(cfg *Config, vms []consolidation.VMDemand, span epochSpan, pr
 		stats.migrations = c.migrations
 		stats.migrationSec = c.migrationSec
 	}
-	return stats, plan
+	return stats, plan, nil
 }
 
 // initialPlan is the fleet posture before the first epoch: all servers awake
@@ -260,15 +282,33 @@ func Run(cfg Config) (Result, error) {
 
 	stats := make([]epochStats, len(spans))
 	if cfg.Workers > 1 && len(spans) > 1 {
-		simulateShards(&cfg, byStart, spans, stats, cfg.Workers)
+		if err := simulateShards(&cfg, byStart, spans, stats, cfg.Workers); err != nil {
+			return Result{}, err
+		}
 	} else {
+		pricer, err := newPricer(&cfg)
+		if err != nil {
+			return Result{}, err
+		}
 		rep := newReplayer(byStart)
 		prev := initialPlan(&cfg)
 		for i, span := range spans {
-			stats[i], prev = simulateEpoch(&cfg, rep.population(span), span, prev)
+			stats[i], prev, err = simulateEpoch(&cfg, pricer, rep.population(span), span, prev)
+			if err != nil {
+				return Result{}, err
+			}
 		}
 	}
 	return mergeEpochStats(cfg, stats), nil
+}
+
+// newPricer returns a rack pricer when rack pricing is enabled, nil for the
+// abstract tables.
+func newPricer(cfg *Config) (*rackPricer, error) {
+	if !cfg.RackPricing {
+		return nil, nil
+	}
+	return newRackPricer(cfg)
 }
 
 // mergeEpochStats folds per-epoch contributions into a Result in epoch order,
@@ -280,6 +320,7 @@ func mergeEpochStats(cfg Config, stats []epochStats) Result {
 		Trace:           cfg.Trace.Name,
 		PeriodSec:       cfg.ConsolidationPeriodSec,
 		TransitionCosts: cfg.TransitionCosts,
+		RackPriced:      cfg.RackPricing,
 	}
 	var horizonSec float64
 	for _, s := range stats {
@@ -360,6 +401,9 @@ type CompareOptions struct {
 	Workers int
 	// TransitionCosts enables the event-driven transition accounting.
 	TransitionCosts bool
+	// RackPricing prices steady-state epochs through the rack model's
+	// energy ledger (Config.RackPricing).
+	RackPricing bool
 }
 
 // CompareOpts runs the Figure 10 contenders on the trace for each machine
@@ -371,6 +415,7 @@ func CompareOpts(tr *trace.Trace, machines []*energy.MachineProfile, spec consol
 			res, err := Run(Config{
 				Trace: tr, Policy: pol, Machine: m, ServerSpec: spec,
 				Workers: opts.Workers, TransitionCosts: opts.TransitionCosts,
+				RackPricing: opts.RackPricing,
 			})
 			if err != nil {
 				return Comparison{}, err

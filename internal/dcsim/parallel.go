@@ -55,12 +55,23 @@ func shardEpochs(n, workers int) []shard {
 // before its range and evaluates the policy on it — exactly the evaluation
 // the neighbouring shard performs for that epoch — and shard independence
 // (and therefore bit-identity with the sequential engine) is preserved.
-func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats []epochStats, workers int) {
+//
+// Rack pricing keeps the same contract: every shard owns a private model
+// rack, and the per-epoch ledger charge is a pure function of the epoch's
+// plan, so where the shard starts does not matter.
+func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats []epochStats, workers int) error {
+	shards := shardEpochs(len(spans), workers)
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for _, sh := range shardEpochs(len(spans), workers) {
+	for si, sh := range shards {
 		wg.Add(1)
-		go func(sh shard) {
+		go func(si int, sh shard) {
 			defer wg.Done()
+			pricer, err := newPricer(cfg)
+			if err != nil {
+				errs[si] = err
+				return
+			}
 			rep := newReplayer(byStart)
 			prev := initialPlan(cfg)
 			if cfg.TransitionCosts && sh.lo > 0 {
@@ -68,9 +79,19 @@ func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats 
 				prev = cfg.Policy.Plan(rep.population(lookback), cfg.ServerSpec, cfg.Trace.Machines)
 			}
 			for i := sh.lo; i < sh.hi; i++ {
-				stats[i], prev = simulateEpoch(cfg, rep.population(spans[i]), spans[i], prev)
+				stats[i], prev, err = simulateEpoch(cfg, pricer, rep.population(spans[i]), spans[i], prev)
+				if err != nil {
+					errs[si] = err
+					return
+				}
 			}
-		}(sh)
+		}(si, sh)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,165 @@
+// Rack-model-backed pricing: instead of multiplying abstract per-state power
+// tables by host counts, each epoch's fleet posture is applied to a model
+// core.Rack — real ACPI transitions through the platform state machine, Sz
+// included — and the epoch energy is integrated through the same
+// energy.Accumulator ledger the rack uses, one accumulator pass per server
+// in a fixed order. The per-epoch charge is a pure function of the epoch's
+// plan, so the sharded parallel engine stays bit-identical to the
+// sequential one: each shard simply prices with its own model rack.
+
+package dcsim
+
+import (
+	"fmt"
+
+	"repro/internal/acpi"
+	"repro/internal/consolidation"
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// rackPricer prices epochs against a model rack. Not safe for concurrent
+// use; every engine worker owns one.
+type rackPricer struct {
+	cfg   *Config
+	rack  *core.Rack
+	names []string
+}
+
+// newRackPricer builds the model rack: one server per fleet machine, with
+// tiny fully-reserved memory so zombie transitions delegate nothing (the
+// pricer models power states, not the buffer pool).
+func newRackPricer(cfg *Config) (*rackPricer, error) {
+	board := acpi.DefaultBoardSpec()
+	board.MemoryBytes = 1 << 20
+	r, err := core.NewRack(core.Config{
+		Servers:           cfg.Trace.Machines,
+		Board:             board,
+		MachineProfile:    cfg.Machine,
+		HostReservedBytes: int64(board.MemoryBytes),
+		NamePrefix:        "pricer/",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dcsim: rack pricing model: %w", err)
+	}
+	return &rackPricer{cfg: cfg, rack: r, names: r.Servers()}, nil
+}
+
+// targetStates lays the plan's posture over the server list: active servers
+// first, then zombies, then S3 sleepers; Oasis memory servers and anything
+// beyond the plan's coverage stay powered on (they serve memory), but their
+// energy is charged by the abstract Oasis term, not the ledger.
+func (p *rackPricer) targetStates(plan consolidation.FleetPlan) []acpi.SleepState {
+	states := make([]acpi.SleepState, len(p.names))
+	idx := 0
+	fill := func(state acpi.SleepState, n int) {
+		for i := 0; i < n && idx < len(states); i++ {
+			states[idx] = state
+			idx++
+		}
+	}
+	fill(acpi.S0, plan.ActiveHosts)
+	fill(acpi.Sz, plan.ZombieHosts)
+	fill(acpi.S3, plan.SleepHosts)
+	for ; idx < len(states); idx++ {
+		states[idx] = acpi.S0
+	}
+	return states
+}
+
+// apply drives the model rack to the epoch's posture with real ACPI
+// transitions: a server changing state wakes to S0 first (reclaiming its
+// delegation, if any), then suspends into the target.
+func (p *rackPricer) apply(plan consolidation.FleetPlan) error {
+	for i, target := range p.targetStates(plan) {
+		name := p.names[i]
+		s, err := p.rack.Server(name)
+		if err != nil {
+			return err
+		}
+		current := s.Platform.State()
+		if current == target {
+			continue
+		}
+		if current != acpi.S0 {
+			if err := p.rack.Wake(name); err != nil {
+				return fmt.Errorf("dcsim: rack pricing wake %s: %w", name, err)
+			}
+		}
+		if target != acpi.S0 {
+			if err := p.rack.Suspend(name, target); err != nil {
+				return fmt.Errorf("dcsim: rack pricing suspend %s to %s: %w", name, target, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ledgerJoules integrates one epoch through fresh accumulators, one per
+// server in name order, reading each server's ACTUAL post-transition state
+// back from the platform. Memory servers are charged with the abstract
+// Oasis term on top (they have no rack analogue).
+func (p *rackPricer) ledgerJoules(plan consolidation.FleetPlan, dtSec float64) (float64, error) {
+	dtNs := int64(dtSec * 1e9)
+	var joules float64
+	memoryServers := plan.MemoryServers
+	covered := plan.ActiveHosts + plan.ZombieHosts + plan.SleepHosts
+	for i, name := range p.names {
+		if i >= covered {
+			// Uncovered slots are the plan's memory servers (and any
+			// overflow); priced abstractly below.
+			break
+		}
+		s, err := p.rack.Server(name)
+		if err != nil {
+			return 0, err
+		}
+		acc := energy.NewAccumulator(p.cfg.Machine)
+		state := s.Platform.State()
+		acc.SetState(0, state)
+		if state == acpi.S0 {
+			acc.SetUtilization(0, plan.ActiveCPUUtilization)
+		}
+		acc.AdvanceTo(dtNs)
+		joules += acc.Joules()
+	}
+	joules += float64(memoryServers) * p.cfg.OasisMemoryServerFraction * p.cfg.Machine.MaxPowerWatts * dtSec
+	return joules, nil
+}
+
+// baselineJoules prices the no-consolidation fleet through the same ledger:
+// every server in S0 with the load spread across the whole fleet.
+func (p *rackPricer) baselineJoules(vms []consolidation.VMDemand, dtSec float64) float64 {
+	var usedCPU float64
+	for _, v := range vms {
+		usedCPU += v.UsedCPU
+	}
+	util := 0.0
+	if n := len(p.names); n > 0 && p.cfg.ServerSpec.Cores > 0 {
+		util = usedCPU / (float64(n) * p.cfg.ServerSpec.Cores)
+		if util > 1 {
+			util = 1
+		}
+	}
+	dtNs := int64(dtSec * 1e9)
+	var joules float64
+	for range p.names {
+		acc := energy.NewAccumulator(p.cfg.Machine)
+		acc.SetUtilization(0, util)
+		acc.AdvanceTo(dtNs)
+		joules += acc.Joules()
+	}
+	return joules
+}
+
+// priceEpoch returns the epoch's consolidated and baseline energy.
+func (p *rackPricer) priceEpoch(plan consolidation.FleetPlan, vms []consolidation.VMDemand, dtSec float64) (float64, float64, error) {
+	if err := p.apply(plan); err != nil {
+		return 0, 0, err
+	}
+	joules, err := p.ledgerJoules(plan, dtSec)
+	if err != nil {
+		return 0, 0, err
+	}
+	return joules, p.baselineJoules(vms, dtSec), nil
+}

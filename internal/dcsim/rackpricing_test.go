@@ -1,0 +1,161 @@
+package dcsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/consolidation"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+func rackPricingConfig(t *testing.T, pol consolidation.Policy, workers int) Config {
+	t.Helper()
+	tc := trace.DefaultConfig()
+	tc.Name = "rackpricing"
+	tc.Machines = 24
+	tc.Tasks = 160
+	tc.HorizonSec = 4 * 3600
+	tc.Seed = 7
+	tr, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Trace:       tr,
+		Policy:      pol,
+		Machine:     energy.HPProfile(),
+		ServerSpec:  consolidation.DefaultServerSpec(),
+		Workers:     workers,
+		RackPricing: true,
+	}
+}
+
+// TestRackPricingMatchesAbstractTables cross-validates the two pricing
+// models: integrating each epoch through the rack ledger (per-server
+// accumulators fed by real ACPI platform states) must agree with the
+// abstract host-count × power-table formula to float tolerance, for every
+// contender policy.
+func TestRackPricingMatchesAbstractTables(t *testing.T) {
+	for _, pol := range consolidation.Contenders() {
+		cfg := rackPricingConfig(t, pol, 0)
+		priced, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s rack-priced: %v", pol.Name(), err)
+		}
+		if !priced.RackPriced {
+			t.Fatal("result should be flagged rack-priced")
+		}
+		cfg.RackPricing = false
+		abstract, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s abstract: %v", pol.Name(), err)
+		}
+		relDiff := math.Abs(priced.EnergyJoules-abstract.EnergyJoules) / abstract.EnergyJoules
+		if relDiff > 1e-9 {
+			t.Errorf("%s: ledger %v J vs tables %v J (rel diff %v)",
+				pol.Name(), priced.EnergyJoules, abstract.EnergyJoules, relDiff)
+		}
+		if math.Abs(priced.SavingPercent-abstract.SavingPercent) > 1e-6 {
+			t.Errorf("%s: saving %v%% vs %v%%", pol.Name(), priced.SavingPercent, abstract.SavingPercent)
+		}
+	}
+}
+
+// TestRackPricingPropagates pins the plumbing the -rackmodel flag rides on:
+// both CompareOpts and Sweep must forward RackPricing into every run they
+// build. (The pricing models agree to float tolerance, so a dropped flag is
+// invisible in the output — only the RackPriced marker betrays it.)
+func TestRackPricingPropagates(t *testing.T) {
+	tc := trace.DefaultConfig()
+	tc.Name = "rackpricing-propagation"
+	tc.Machines = 12
+	tc.Tasks = 40
+	tc.HorizonSec = 2 * 3600
+	tc.Seed = 3
+	tr, err := trace.Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareOpts(tr, []*energy.MachineProfile{energy.HPProfile()},
+		consolidation.DefaultServerSpec(), CompareOptions{RackPricing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) == 0 {
+		t.Fatal("comparison produced no results")
+	}
+	for _, r := range cmp.Results {
+		if !r.RackPriced {
+			t.Errorf("CompareOpts dropped RackPricing for %s/%s", r.Policy, r.Machine)
+		}
+	}
+
+	sc := DefaultSweepConfig()
+	sc.TraceConfigs = []trace.GeneratorConfig{tc}
+	sc.Machines = []*energy.MachineProfile{energy.HPProfile()}
+	sc.TransitionCosts = []bool{false}
+	sc.RackPricing = true
+	res, err := Sweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) == 0 {
+		t.Fatal("sweep produced no runs")
+	}
+	for _, r := range res.Runs {
+		if !r.RackPriced {
+			t.Errorf("Sweep dropped RackPricing for %s/%s", r.Policy, r.Machine)
+		}
+	}
+}
+
+// TestRackPricingParallelMatchesSequential extends the engine's bit-identity
+// contract to the rack-priced mode: every shard prices with its own model
+// rack and lands on exactly the sequential result.
+func TestRackPricingParallelMatchesSequential(t *testing.T) {
+	for _, pol := range consolidation.Contenders() {
+		seq, err := Run(rackPricingConfig(t, pol, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Run(rackPricingConfig(t, pol, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != par {
+			t.Errorf("%s: rack-priced parallel diverges:\nseq: %+v\npar: %+v", pol.Name(), seq, par)
+		}
+	}
+}
+
+// TestRackPricingWithTransitionCosts checks the two accounting extensions
+// compose: the ledger prices the steady state, the transition model prices
+// the events, and the costed saving stays below the steady-state one.
+func TestRackPricingWithTransitionCosts(t *testing.T) {
+	cfg := rackPricingConfig(t, consolidation.NewZombieStack(), 0)
+	steady, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TransitionCosts = true
+	costed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costed.TransitionJoules <= 0 {
+		t.Fatal("transition events should be charged")
+	}
+	if costed.SavingPercent >= steady.SavingPercent {
+		t.Errorf("costed saving %v%% should be below steady %v%%", costed.SavingPercent, steady.SavingPercent)
+	}
+	// The parallel engine agrees in the combined mode, too.
+	cfg.Workers = 3
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != costed {
+		t.Errorf("combined mode parallel diverges:\nseq: %+v\npar: %+v", costed, par)
+	}
+}

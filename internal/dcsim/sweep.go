@@ -38,6 +38,10 @@ type SweepConfig struct {
 	TransitionCosts []bool
 	// ServerSpec is the capacity of every server in every scenario.
 	ServerSpec consolidation.ServerSpec
+	// RackPricing prices every scenario's steady-state epochs through the
+	// rack model's energy ledger instead of the abstract power tables (see
+	// Config.RackPricing).
+	RackPricing bool
 	// SweepWorkers bounds how many scenarios run concurrently; 1 by default.
 	SweepWorkers int
 	// EngineWorkers is the per-run epoch-shard worker count (Config.Workers).
@@ -128,6 +132,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 							ConsolidationPeriodSec: period,
 							Workers:                cfg.EngineWorkers,
 							TransitionCosts:        transitions,
+							RackPricing:            cfg.RackPricing,
 						})
 					}
 				}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/acpi"
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// BenchSpec sizes the canonical fleet benchmark scenario shared by
+// BenchmarkFleet* and cmd/benchfleet, so the CI trajectory and the local
+// benchmarks measure the same workload.
+type BenchSpec struct {
+	// Racks and Servers shape the fleet (Servers per rack).
+	Racks   int
+	Servers int
+	// Workers is the fleet worker-pool size under test.
+	Workers int
+	// Iterations is the paging-replay depth per workload request.
+	Iterations int
+}
+
+// DefaultBenchSpec is the acceptance configuration: a 4-rack fleet whose
+// per-rack work is balanced, so the Workers axis isolates the worker-pool
+// scaling.
+func DefaultBenchSpec(workers int) BenchSpec {
+	return BenchSpec{Racks: 4, Servers: 4, Workers: workers, Iterations: 3}
+}
+
+// NewBenchFleet builds the benchmark fleet: every rack pushes half its
+// servers into Sz and hosts one hard-paging VM (50% local memory) per awake
+// server, served from the rack's own zombie pool. It returns the fleet and
+// the workload batch the benchmark replays.
+func NewBenchFleet(spec BenchSpec) (*Fleet, []WorkloadRequest, error) {
+	board := acpi.DefaultBoardSpec()
+	board.MemoryBytes = 1 << 30
+	f, err := New(Config{
+		Racks: spec.Racks,
+		Rack: core.Config{
+			Servers:           spec.Servers,
+			Board:             board,
+			BufferSize:        16 << 20,
+			HostReservedBytes: 128 << 20,
+		},
+		Workers: spec.Workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for ri := 0; ri < spec.Racks; ri++ {
+		servers := f.Rack(ri).Servers()
+		for _, name := range servers[len(servers)/2:] {
+			if err := f.PushToZombie(ri, name); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	awakePerRack := spec.Servers - spec.Servers/2
+	var specs []vm.VM
+	for i := 0; i < spec.Racks*awakePerRack; i++ {
+		specs = append(specs, vm.New(fmt.Sprintf("bench-vm-%02d", i), 1792<<20, 1536<<20))
+	}
+	placements, err := f.PlaceVMs(specs, core.CreateVMOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	var reqs []WorkloadRequest
+	for i, p := range placements {
+		if p.Err != "" {
+			return nil, nil, fmt.Errorf("fleet: bench placement %s: %s", p.VM, p.Err)
+		}
+		reqs = append(reqs, WorkloadRequest{
+			VM:         p.VM,
+			Kind:       workload.MicroBench,
+			Iterations: spec.Iterations,
+			Seed:       int64(i + 1),
+		})
+	}
+	return f, reqs, nil
+}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// BenchmarkFleetWorkloads replays the canonical paging batch over a 4-rack
+// fleet at several worker-pool sizes. The per-rack work is balanced, so on a
+// multi-core host Workers=4 should beat Workers=1 by well over 1.5x (the
+// results are bit-identical either way — see
+// TestFleetParallelMatchesSequential). cmd/benchfleet runs the same scenario
+// and records the trajectory in BENCH_fleet.json.
+func BenchmarkFleetWorkloads(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			f, reqs, err := NewBenchFleet(DefaultBenchSpec(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm up: the first replay on a fresh fleet faults every page
+			// in; the timed loop then measures steady-state replays.
+			for _, res := range f.RunWorkloads(reqs) {
+				if res.Err != "" {
+					b.Fatal(res.Err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := f.RunWorkloads(reqs)
+				for _, res := range results {
+					if res.Err != "" {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetPlacement measures the batched placement path (partition,
+// borrow pre-reservation, per-rack execution) at both pool sizes.
+func BenchmarkFleetPlacement(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f, err := New(testConfig(4, 4, workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rack := range []int{1, 3} {
+					for _, server := range f.Rack(rack).Servers()[1:] {
+						if err := f.PushToZombie(rack, server); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				var specs []vm.VM
+				for v := 0; v < 6; v++ {
+					specs = append(specs, vm.New(fmt.Sprintf("vm-%02d", v), 1792<<20, 1536<<20))
+				}
+				b.StartTimer()
+				placements, err := f.PlaceVMs(specs, core.CreateVMOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range placements {
+					if p.Err != "" {
+						b.Fatal(p.Err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+// Package fleet federates many core.Rack instances — the paper's unit tile —
+// behind one control plane, the ZombieStack endgame of Section 5 scaled past
+// a single rack.
+//
+// A Fleet owns N racks, each a fully wired Figure 7 system (ACPI platforms
+// with Sz, an RDMA fabric, a global memory controller with its secondary,
+// per-server agents and the hypervisor paging path). On top it adds three
+// things:
+//
+//   - Sharded placement and execution. Batches of VMs are partitioned across
+//     the racks by a sequential planner, then the per-rack work — scheduler
+//     filtering, buffer allocation, paging-context construction, workload
+//     replay — runs on a configurable worker pool, one worker per rack shard,
+//     with results merged in input order. Workers=1 is bit-identical to a
+//     sequential loop over the racks (asserted by the tests): the planner is
+//     deterministic, rack shards share no mutable state, and cross-rack
+//     borrows are pre-reserved before the pool starts.
+//
+//   - Federated remote memory. When a rack's own controller runs dry, the
+//     fleet borrows buffers from a peer rack: a gateway agent — registered on
+//     the lender's controller, attached to the lender's fabric as an uplink
+//     device — allocates with the same GS_alloc_ext path any in-rack user
+//     would, and every one-sided operation on the borrowed buffers pays the
+//     inter-rack hop premium of the rdma cost model. The borrow ledger
+//     records every cross-rack grant.
+//
+//   - Fleet-level fault tolerance. Each rack already mirrors its controller
+//     into a secondary (Section 4.1); Fleet.FailoverRack drives the promotion
+//     and then re-attaches both the rack's own agents and the fleet's gateway
+//     agents to the rebuilt controller, so borrowed memory survives the loss
+//     of the lender's control plane — the data never moved, only the
+//     metadata owner did.
+package fleet

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/memctl"
+)
+
+// poolEntry is one pre-reserved cross-rack buffer waiting in a borrower
+// rack's pool.
+type poolEntry struct {
+	lender int
+	buf    *memctl.RemoteBuffer
+}
+
+// rackOverflow implements core.RemoteOverflow for one borrower rack. Its
+// pool is funded sequentially before a batch executes (fundBorrowPools) and
+// consumed only by the rack's own shard, so no other shard ever touches it:
+// the overflow's own mutex merely makes the bookkeeping safe for the
+// sequential single-VM path and for inspection.
+type rackOverflow struct {
+	fleet *Fleet
+	rack  int
+
+	mu        sync.Mutex
+	pool      []poolEntry
+	poolBytes int64
+	ledger    []Borrow
+}
+
+// fund appends pre-reserved buffers to the pool in consumption order.
+func (o *rackOverflow) fund(entries []poolEntry) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, e := range entries {
+		o.pool = append(o.pool, e)
+		o.poolBytes += e.buf.Size
+	}
+}
+
+// AvailableBytes implements core.RemoteOverflow.
+func (o *rackOverflow) AvailableBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.poolBytes
+}
+
+// AllocExt implements core.RemoteOverflow: hand out pooled buffers, oldest
+// first, until memSize is covered, and record the grant per lender in the
+// rack's borrow ledger.
+func (o *rackOverflow) AllocExt(vmID, host string, memSize int64) ([]*memctl.RemoteBuffer, string, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.poolBytes < memSize {
+		return nil, "", fmt.Errorf("fleet: cross-rack pool of %s holds %d bytes, VM %s needs %d",
+			o.fleet.names[o.rack], o.poolBytes, vmID, memSize)
+	}
+	var handles []*memctl.RemoteBuffer
+	var covered int64
+	perLender := make(map[int]*Borrow)
+	var lenderOrder []int
+	for covered < memSize {
+		e := o.pool[0]
+		o.pool = o.pool[1:]
+		o.poolBytes -= e.buf.Size
+		covered += e.buf.Size
+		handles = append(handles, e.buf)
+		b, ok := perLender[e.lender]
+		if !ok {
+			b = &Borrow{VM: vmID, Borrower: o.fleet.names[o.rack], Lender: o.fleet.names[e.lender]}
+			perLender[e.lender] = b
+			lenderOrder = append(lenderOrder, e.lender)
+		}
+		b.Bytes += e.buf.Size
+		b.Buffers++
+	}
+	labels := make([]string, 0, len(lenderOrder))
+	for _, j := range lenderOrder {
+		o.ledger = append(o.ledger, *perLender[j])
+		labels = append(labels, o.fleet.names[j])
+	}
+	return handles, strings.Join(labels, "+"), nil
+}
+
+// Release implements core.RemoteOverflow: borrowed buffers go straight back
+// to their lending controllers (grouped by owning gateway agent).
+func (o *rackOverflow) Release(vmID string, bufs []*memctl.RemoteBuffer) error {
+	return memctl.ReleaseHandles(bufs)
+}
+
+// drain returns every unconsumed pooled buffer to its lender.
+func (o *rackOverflow) drain() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.pool) == 0 {
+		return nil
+	}
+	handles := make([]*memctl.RemoteBuffer, len(o.pool))
+	for i, e := range o.pool {
+		handles[i] = e.buf
+	}
+	o.pool = nil
+	o.poolBytes = 0
+	return memctl.ReleaseHandles(handles)
+}
+
+// takeLedger hands the accumulated borrow records to the fleet and resets
+// the rack-local ledger.
+func (o *rackOverflow) takeLedger() []Borrow {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := o.ledger
+	o.ledger = nil
+	return out
+}

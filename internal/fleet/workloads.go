@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/workload"
+)
+
+// WorkloadRequest asks the fleet to replay a workload against one VM.
+type WorkloadRequest struct {
+	VM         string
+	Kind       workload.Kind
+	Iterations int
+	Seed       int64
+}
+
+// WorkloadResult is the outcome of one request, in request order.
+type WorkloadResult struct {
+	VM   string
+	Rack string
+	Kind workload.Kind
+	// Stats carries the VM's accumulated paging counters after the replay.
+	Stats hypervisor.Stats
+	// Err is non-empty when the replay failed; other requests proceed.
+	Err string
+}
+
+// RunWorkloads replays a batch of workloads across the fleet on the worker
+// pool: requests are grouped by hosting rack, each rack shard replays its
+// requests in batch order, and the results land in the batch-ordered slice.
+// Replays only touch their own VM's paging context and the fabrics backing
+// its buffers, so shards are independent and the results are bit-identical
+// for any Workers value.
+func (f *Fleet) RunWorkloads(reqs []WorkloadRequest) []WorkloadResult {
+	f.batchMu.Lock()
+	defer f.batchMu.Unlock()
+
+	results := make([]WorkloadResult, len(reqs))
+	byRack := make([][]int, len(f.racks))
+	for i, req := range reqs {
+		results[i].VM = req.VM
+		results[i].Kind = req.Kind
+		f.mu.Lock()
+		ri, ok := f.vmRack[req.VM]
+		f.mu.Unlock()
+		if !ok {
+			results[i].Err = fmt.Sprintf("fleet: unknown VM %s", req.VM)
+			continue
+		}
+		results[i].Rack = f.names[ri]
+		byRack[ri] = append(byRack[ri], i)
+	}
+
+	f.runRackShards(len(f.racks), func(ri int) {
+		rack := f.racks[ri]
+		for _, i := range byRack[ri] {
+			req := reqs[i]
+			stats, err := rack.RunWorkload(req.VM, req.Kind, req.Iterations, req.Seed)
+			if err != nil {
+				results[i].Err = err.Error()
+				continue
+			}
+			results[i].Stats = stats
+		}
+	})
+	return results
+}

@@ -18,6 +18,14 @@ import (
 //   - the server's lendable-memory accounting,
 //   - the RDMA memory regions backing the buffers it serves,
 //   - the queue pairs and handles for the remote buffers it uses.
+//
+// Lock discipline: the controller may call back into agents (USReclaim,
+// ASGetFreeMem) while holding its own mutex, so an agent must NEVER hold
+// a.mu across a controller call — the order is always controller.mu before
+// agent.mu (and agent.mu before the fabric lock). Methods that both read the
+// lendable accounting and talk to the controller pre-reserve the bytes under
+// a.mu, drop the lock for the controller round-trip, and roll the
+// reservation back on failure.
 type Agent struct {
 	mu sync.Mutex
 
@@ -155,12 +163,12 @@ func (a *Agent) ReclaimsSeen() uint64 {
 	return a.reclaimsSeen
 }
 
-// buildSpecs slices the agent's free memory into uniform buffers and
+// buildSpecs slices n uniform buffers out of the agent's memory and
 // registers an RDMA region for each, returning the specs to send to the
-// controller and the regions (indexed in the same order).
-func (a *Agent) buildSpecs(freeBytes int64) ([]BufferSpec, []*rdma.MemoryRegion, error) {
+// controller and the regions (indexed in the same order). It takes no locks
+// beyond the fabric's own, so callers may invoke it with or without a.mu.
+func (a *Agent) buildSpecs(n int64) ([]BufferSpec, []*rdma.MemoryRegion, error) {
 	bufSize := a.controller.BufferSize()
-	n := freeBytes / bufSize
 	specs := make([]BufferSpec, 0, n)
 	regions := make([]*rdma.MemoryRegion, 0, n)
 	for i := int64(0); i < n; i++ {
@@ -170,6 +178,7 @@ func (a *Agent) buildSpecs(freeBytes int64) ([]BufferSpec, []*rdma.MemoryRegion,
 			var err error
 			mr, err = a.device.RegisterMemory(int(bufSize), rdma.AccessFlags{RemoteRead: true, RemoteWrite: true})
 			if err != nil {
+				a.dropRegions(regions)
 				return nil, nil, err
 			}
 			rkey = mr.RKey()
@@ -180,65 +189,122 @@ func (a *Agent) buildSpecs(freeBytes int64) ([]BufferSpec, []*rdma.MemoryRegion,
 	return specs, regions, nil
 }
 
+// dropRegions deregisters regions built for a delegation that failed.
+func (a *Agent) dropRegions(regions []*rdma.MemoryRegion) {
+	if a.device == nil {
+		return
+	}
+	for _, mr := range regions {
+		if mr != nil {
+			a.device.DeregisterMemory(mr)
+		}
+	}
+}
+
+// reserveLend carves up to wantBytes of free memory into whole buffers and
+// reserves them in the served accounting, returning the buffer count. The
+// reservation keeps a concurrent scavenge (ASGetFreeMem) from lending the
+// same bytes while the delegation round-trips to the controller.
+func (a *Agent) reserveLend(wantBytes int64) int64 {
+	bufSize := a.controller.BufferSize()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := a.freeMemoryLocked()
+	if wantBytes > free {
+		wantBytes = free
+	}
+	n := wantBytes / bufSize
+	if n < 0 {
+		n = 0
+	}
+	a.servedBytes += n * bufSize
+	return n
+}
+
+// unreserveLend rolls back a reservation made by reserveLend.
+func (a *Agent) unreserveLend(n int64) {
+	bufSize := a.controller.BufferSize()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.servedBytes -= n * bufSize
+	if a.servedBytes < 0 {
+		a.servedBytes = 0
+	}
+}
+
+// delegate reserves, registers and announces up to wantBytes of free memory
+// through the given controller entry point (GotoZombie or DelegateActive).
+func (a *Agent) delegate(wantBytes int64, announce func([]BufferSpec) ([]BufferID, error)) (int, error) {
+	n := a.reserveLend(wantBytes)
+	if n == 0 {
+		return 0, nil
+	}
+	specs, regions, err := a.buildSpecs(n)
+	if err != nil {
+		a.unreserveLend(n)
+		return 0, err
+	}
+	ids, err := announce(specs)
+	if err != nil {
+		a.dropRegions(regions)
+		a.unreserveLend(n)
+		return 0, err
+	}
+	a.mu.Lock()
+	for i, id := range ids {
+		if i < len(regions) {
+			a.served[id] = regions[i]
+		}
+	}
+	a.mu.Unlock()
+	// Every spec has a positive size, so the controller accepted all of them
+	// and the reservation made in reserveLend is exact.
+	return len(ids), nil
+}
+
 // DelegateAndGoZombie computes the server's free memory, organises it into
 // buffers, registers them with the RDMA device and announces the transition
 // to Sz via GS_goto_zombie. It returns the number of buffers lent.
 func (a *Agent) DelegateAndGoZombie() (int, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	specs, regions, err := a.buildSpecs(a.freeMemoryLocked())
+	free := a.freeMemoryLocked()
+	a.mu.Unlock()
+	n, err := a.delegate(free, func(specs []BufferSpec) ([]BufferID, error) {
+		return a.controller.GotoZombie(a.id, specs)
+	})
 	if err != nil {
-		return 0, err
+		return n, err
 	}
-	ids, err := a.controller.GotoZombie(a.id, specs)
-	if err != nil {
-		return 0, err
-	}
-	for i, id := range ids {
-		if i < len(regions) {
-			a.served[id] = regions[i]
+	if n == 0 {
+		// Nothing to lend (tiny or fully-reserved server): still announce the
+		// Sz transition so the controller tracks the role.
+		if _, err := a.controller.GotoZombie(a.id, nil); err != nil {
+			return 0, err
 		}
-		a.servedBytes += specs[i].Size
 	}
-	return len(ids), nil
+	return n, nil
 }
 
 // DelegateWhileActive lends free memory while the server stays active.
 // keepBytes of free memory are held back for local headroom.
 func (a *Agent) DelegateWhileActive(keepBytes int64) (int, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	lendable := a.freeMemoryLocked() - keepBytes
+	a.mu.Unlock()
 	if lendable <= 0 {
 		return 0, nil
 	}
-	specs, regions, err := a.buildSpecs(lendable)
-	if err != nil {
-		return 0, err
-	}
-	ids, err := a.controller.DelegateActive(a.id, specs)
-	if err != nil {
-		return 0, err
-	}
-	for i, id := range ids {
-		if i < len(regions) {
-			a.served[id] = regions[i]
-		}
-		a.servedBytes += specs[i].Size
-	}
-	return len(ids), nil
+	return a.delegate(lendable, func(specs []BufferSpec) ([]BufferID, error) {
+		return a.controller.DelegateActive(a.id, specs)
+	})
 }
 
 // WakeAndReclaim reclaims nbBuffers of the memory this server had lent (all
-// of them when nbBuffers is negative). The controller notifies any user
-// servers first; on return the memory is local again.
+// of them when nbBuffers is negative — including buffers the controller
+// scavenged from it while active, which the agent does not track itself).
+// The controller notifies any user servers first; on return the memory is
+// local again.
 func (a *Agent) WakeAndReclaim(nbBuffers int) (int, error) {
-	a.mu.Lock()
-	if nbBuffers < 0 || nbBuffers > len(a.served) {
-		nbBuffers = len(a.served)
-	}
-	a.mu.Unlock()
-
 	ids, err := a.controller.Reclaim(a.id, nbBuffers)
 	if err != nil {
 		return 0, err
@@ -282,21 +348,20 @@ func (a *Agent) USReclaim(ids []BufferID) error {
 
 // ASGetFreeMem implements FreeMemoryProvider: an active server offers half of
 // its free memory when the controller scavenges for a guaranteed allocation.
+// It is invoked by the controller with the controller's lock held, so it only
+// takes a.mu (see the lock discipline note on Agent).
 func (a *Agent) ASGetFreeMem() []BufferSpec {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	lendable := a.freeMemoryLocked() / 2
-	specs, regions, err := a.buildSpecs(lendable)
+	bufSize := a.controller.BufferSize()
+	n := (a.freeMemoryLocked() / 2) / bufSize
+	specs, _, err := a.buildSpecs(n)
 	if err != nil {
 		return nil
 	}
 	// Track them as served immediately; the controller will add them to its
 	// database as active buffers.
-	bufSize := a.controller.BufferSize()
-	for i := range specs {
-		_ = regions[i]
-		a.servedBytes += bufSize
-	}
+	a.servedBytes += int64(len(specs)) * bufSize
 	// Note: the controller assigns IDs; we cannot map regions to IDs here, so
 	// regions for scavenged buffers are tracked by the controller's RKey only.
 	return specs
@@ -320,6 +385,47 @@ func (a *Agent) RequestSwap(memSize int64) ([]*RemoteBuffer, error) {
 		return nil, err
 	}
 	return a.adopt(bufs), nil
+}
+
+// Retarget points the agent at a rebuilt controller after a fail-over and
+// re-attaches its reclaim/scavenge callbacks to the rebuilt server record
+// (Rebuild replays the membership log with nil callbacks). The caller must
+// quiesce the agent first: Retarget is part of the promotion sequence, not a
+// concurrent operation.
+func (a *Agent) Retarget(g *GlobalController) error {
+	if g == nil {
+		return fmt.Errorf("memctl: agent %s cannot retarget to a nil controller", a.id)
+	}
+	if err := g.AttachCallbacks(a.id, a, a); err != nil {
+		return fmt.Errorf("memctl: agent %s retarget: %w", a.id, err)
+	}
+	a.mu.Lock()
+	a.controller = g
+	a.mu.Unlock()
+	return nil
+}
+
+// ReleaseHandles returns remote buffers that may belong to several different
+// agents — e.g. a VM whose remote memory mixes home-rack buffers with
+// cross-rack borrows — grouping them by owning agent in first-seen order.
+func ReleaseHandles(handles []*RemoteBuffer) error {
+	var order []*Agent
+	groups := make(map[*Agent][]*RemoteBuffer)
+	for _, h := range handles {
+		if h == nil || h.agent == nil {
+			continue
+		}
+		if _, seen := groups[h.agent]; !seen {
+			order = append(order, h.agent)
+		}
+		groups[h.agent] = append(groups[h.agent], h)
+	}
+	for _, a := range order {
+		if err := a.ReleaseBuffers(groups[a]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReleaseBuffers returns remote buffers to the controller.

@@ -167,6 +167,23 @@ func (g *GlobalController) RegisterServer(id ServerID, totalMem int64, agent Rec
 	return nil
 }
 
+// AttachCallbacks re-attaches a server's reclaim notifier and free-memory
+// provider to its record. A controller rebuilt from the secondary's operation
+// log knows the membership but not the live agent objects; each agent calls
+// this (through Agent.Retarget) when it re-establishes its channel after a
+// fail-over.
+func (g *GlobalController) AttachCallbacks(id ServerID, agent ReclaimNotifier, provider FreeMemoryProvider) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rec, ok := g.servers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownServer, id)
+	}
+	rec.agent = agent
+	rec.provider = provider
+	return nil
+}
+
 // UnregisterServer removes a server and every buffer it serves. Buffers in
 // use by other servers are reclaimed first (their agents are notified).
 func (g *GlobalController) UnregisterServer(id ServerID) error {
@@ -272,10 +289,11 @@ func (g *GlobalController) DelegateActive(host ServerID, buffers []BufferSpec) (
 }
 
 // Reclaim is GS_reclaim(nbBuffers): a server waking from Sz reclaims
-// nbBuffers of the memory it had lent. Unallocated buffers are returned
-// first; if more are needed, buffers allocated to other servers are reclaimed
-// with US_reclaim. The reclaimed buffer IDs are removed from the database and
-// returned to the caller.
+// nbBuffers of the memory it had lent (everything it serves when nbBuffers
+// is negative, including buffers scavenged while it was active). Unallocated
+// buffers are returned first; if more are needed, buffers allocated to other
+// servers are reclaimed with US_reclaim. The reclaimed buffer IDs are removed
+// from the database and returned to the caller.
 func (g *GlobalController) Reclaim(host ServerID, nbBuffers int) ([]BufferID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -285,7 +303,7 @@ func (g *GlobalController) Reclaim(host ServerID, nbBuffers int) ([]BufferID, er
 	}
 	g.stats.ReclaimCalls++
 	all := g.db.hostBuffers(host)
-	if nbBuffers > len(all) {
+	if nbBuffers < 0 || nbBuffers > len(all) {
 		nbBuffers = len(all)
 	}
 	// Unallocated first.
@@ -351,9 +369,6 @@ func (g *GlobalController) notifyUsersLocked(ids []BufferID) {
 // database (the rack's lendable memory), used by admission control.
 func (g *GlobalController) delegatableBytes() int64 {
 	var total int64
-	for _, rec := range g.servers {
-		_ = rec
-	}
 	for id := range g.db.byID {
 		total += g.db.byID[id].Size
 	}
@@ -486,6 +501,12 @@ func (g *GlobalController) Release(user ServerID, ids []BufferID) error {
 	for _, id := range ids {
 		b, ok := g.db.get(id)
 		if !ok {
+			continue
+		}
+		if !b.Allocated() {
+			// A stale handle — e.g. from an allocation made before a
+			// controller fail-over — maps to a buffer that is already free;
+			// releasing it again is a no-op.
 			continue
 		}
 		if b.User != user {

@@ -1,0 +1,131 @@
+package memctl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestControllerConcurrentAgents hammers one GlobalController from many
+// agents at once — delegations, guaranteed and best-effort allocations,
+// releases, zombie transitions and reclaims all racing — so the -race CI job
+// exercises the controller's mutex discipline and the agent-side rule that
+// a.mu is never held across a controller call (the controller calls back
+// into agents under its own lock, so holding a.mu across the round-trip
+// would be an ABBA deadlock). The buffer database invariants must hold at
+// every quiet point.
+func TestControllerConcurrentAgents(t *testing.T) {
+	const (
+		agents     = 8
+		iterations = 40
+		memPerSrv  = int64(1 << 30)
+		bufSize    = int64(32 << 20)
+	)
+	g := NewGlobalController(WithBufferSize(bufSize), WithMirror(NewSecondaryController()))
+
+	as := make([]*Agent, agents)
+	for i := range as {
+		a, err := NewAgent(AgentConfig{
+			ID:          ServerID(fmt.Sprintf("server-%02d", i)),
+			Controller:  g,
+			TotalMem:    memPerSrv,
+			ReservedMem: memPerSrv / 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		as[i] = a
+	}
+
+	var wg sync.WaitGroup
+	for i, a := range as {
+		wg.Add(1)
+		go func(i int, a *Agent) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				switch (i + it) % 4 {
+				case 0:
+					// Lend while active, then take everything back.
+					if _, err := a.DelegateWhileActive(memPerSrv / 8); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := a.WakeAndReclaim(-1); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					// Full zombie round-trip.
+					if _, err := a.DelegateAndGoZombie(); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := a.WakeAndReclaim(-1); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					// Guaranteed allocation; admission rejections are fine
+					// under contention, success must hand back real buffers.
+					bufs, err := a.RequestExt(2 * bufSize)
+					if err == nil {
+						if err := a.ReleaseBuffers(bufs); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				default:
+					// Best-effort swap allocation may come back short.
+					bufs, err := a.RequestSwap(bufSize)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := a.ReleaseBuffers(bufs); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i, a)
+	}
+
+	// A reader goroutine keeps the query surface racing with the mutators.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < agents*iterations; i++ {
+			g.FreeMemory()
+			g.Zombies()
+			g.Stats()
+			_, _ = g.LRUZombie()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatalf("buffer database invariants violated after the hammer: %v", err)
+	}
+	// Quiesce: wake everyone, release every handle, and verify the pool
+	// drains back to empty.
+	for _, a := range as {
+		if _, err := a.WakeAndReclaim(-1); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ReleaseBuffers(a.UsedBufferHandles()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range as {
+		if _, err := a.WakeAndReclaim(-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if free, zombies := g.FreeMemory(), g.Zombies(); free != 0 || len(zombies) != 0 {
+		t.Fatalf("pool should drain after reclaim: free=%d zombies=%v", free, zombies)
+	}
+}

@@ -124,11 +124,6 @@ func (s *SecondaryController) Rebuild(opts ...Option) *GlobalController {
 	// Replay only the server-membership and delegation operations; live
 	// allocations are re-established by the agents after failover (the data
 	// itself is unaffected: it lives in the zombie servers' DRAM).
-	type lend struct {
-		host  ServerID
-		count int
-	}
-	var lends []lend
 	for _, op := range ops {
 		switch op.Kind {
 		case "register":
@@ -136,7 +131,6 @@ func (s *SecondaryController) Rebuild(opts ...Option) *GlobalController {
 		case "unregister":
 			_ = g.UnregisterServer(op.Server)
 		case "goto_zombie":
-			lends = append(lends, lend{host: op.Server, count: len(op.IDs)})
 			specs := make([]BufferSpec, len(op.IDs))
 			for i := range specs {
 				specs[i] = BufferSpec{Offset: int64(i) * g.BufferSize(), Size: g.BufferSize()}
@@ -152,6 +146,5 @@ func (s *SecondaryController) Rebuild(opts ...Option) *GlobalController {
 			_, _ = g.Reclaim(op.Server, len(op.IDs))
 		}
 	}
-	_ = lends
 	return g
 }

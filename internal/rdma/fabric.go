@@ -34,6 +34,12 @@ type CostModel struct {
 	// initiator (the paper's clients poll because inbound RDMA operations are
 	// cheaper than outbound ones).
 	PollCostNs int64
+	// InterRackHopNs is the extra one-way latency of leaving the rack: the
+	// ToR uplink, the spine switch and the longer cable run. It is charged —
+	// on top of two extra SwitchHopNs traversals — to every operation that
+	// involves an uplink device (see Fabric.AttachUplinkDevice), which is how
+	// the fleet layer prices cross-rack remote memory borrows.
+	InterRackHopNs int64
 }
 
 // DefaultCostModel returns FDR-Infiniband-like parameters: ~2 microseconds
@@ -46,6 +52,7 @@ func DefaultCostModel() CostModel {
 		SwitchHopNs:          300,
 		BandwidthBytesPerSec: 7e9, // 56 Gb/s
 		PollCostNs:           150,
+		InterRackHopNs:       1_500,
 	}
 }
 
@@ -59,6 +66,13 @@ func (c CostModel) TransferNs(base int64, size int) int64 {
 	return t
 }
 
+// CrossRackTransferNs prices the same transfer when it leaves the rack: the
+// intra-rack cost plus two extra switch traversals (source ToR uplink and
+// destination ToR downlink) and the inter-rack hop premium.
+func (c CostModel) CrossRackTransferNs(base int64, size int) int64 {
+	return c.TransferNs(base, size) + 2*c.SwitchHopNs + c.InterRackHopNs
+}
+
 // Stats aggregates fabric traffic counters.
 type Stats struct {
 	Reads          uint64
@@ -70,6 +84,12 @@ type Stats struct {
 	SimulatedNs    int64
 	FailedOps      uint64
 	CompletedPolls uint64
+	// InterRackOps, InterRackBytes and InterRackNs account the subset of the
+	// traffic that crossed a rack boundary (operations involving an uplink
+	// device), so a fleet can tell local disaggregation from borrowed memory.
+	InterRackOps   uint64
+	InterRackBytes uint64
+	InterRackNs    int64
 }
 
 // Fabric is the rack switch: it connects devices and accounts traffic.
@@ -129,6 +149,30 @@ func (f *Fabric) AttachDevice(name string) (*Device, error) {
 	return d, nil
 }
 
+// AttachUplinkDevice creates and registers a device that represents a NIC in
+// ANOTHER rack reaching this fabric through the datacenter spine. Every
+// operation it initiates (or terminates) is priced with the inter-rack hop
+// premium of the cost model and accounted in the InterRack* stats. The fleet
+// layer attaches one uplink device per borrower rack to a lender rack's
+// fabric to model cross-rack remote memory.
+func (f *Fabric) AttachUplinkDevice(name string) (*Device, error) {
+	d, err := f.AttachDevice(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	d.interRack = true
+	f.mu.Unlock()
+	return d, nil
+}
+
+// InterRack reports whether the device reaches this fabric from another rack.
+func (d *Device) InterRack() bool {
+	d.fabric.mu.Lock()
+	defer d.fabric.mu.Unlock()
+	return d.interRack
+}
+
 // DetachDevice removes a device from the fabric (host removed from rack).
 func (f *Fabric) DetachDevice(name string) {
 	f.mu.Lock()
@@ -162,6 +206,9 @@ type Device struct {
 	// but serving=true, so it can be the TARGET of one-sided verbs while it
 	// cannot INITIATE them.
 	serving bool
+	// interRack marks an uplink device: a NIC that belongs to another rack
+	// and reaches this fabric through the spine (see AttachUplinkDevice).
+	interRack bool
 
 	regions map[uint32]*MemoryRegion
 }

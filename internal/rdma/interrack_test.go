@@ -1,0 +1,85 @@
+package rdma
+
+import "testing"
+
+func TestCrossRackTransferPremium(t *testing.T) {
+	m := DefaultCostModel()
+	intra := m.TransferNs(m.OneSidedLatencyNs, 4096)
+	cross := m.CrossRackTransferNs(m.OneSidedLatencyNs, 4096)
+	if want := intra + 2*m.SwitchHopNs + m.InterRackHopNs; cross != want {
+		t.Fatalf("cross-rack transfer = %d ns, want %d", cross, want)
+	}
+	if cross <= intra {
+		t.Fatalf("cross-rack transfer %d must be dearer than intra-rack %d", cross, intra)
+	}
+}
+
+func TestUplinkDevicePaysInterRackPremium(t *testing.T) {
+	f := NewFabric(DefaultCostModel())
+	host, err := f.AttachDevice("server-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uplink, err := f.AttachUplinkDevice("uplink:rack-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !uplink.InterRack() || host.InterRack() {
+		t.Fatal("uplink flag misplaced")
+	}
+
+	mr, err := host.RegisterMemory(1<<12, AccessFlags{RemoteRead: true, RemoteWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpU := uplink.CreateQueuePair(NewCompletionQueue())
+	qpH := host.CreateQueuePair(NewCompletionQueue())
+	if err := Connect(qpU, qpH); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, 1024)
+	m := f.Model()
+	lat, err := qpU.Write(1, payload, mr.RKey(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.CrossRackTransferNs(m.OneSidedLatencyNs, len(payload)); lat != want {
+		t.Fatalf("uplink write latency = %d, want cross-rack %d", lat, want)
+	}
+	if _, err := qpU.Read(2, payload, mr.RKey(), 0, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := f.Stats()
+	if st.InterRackOps != 2 {
+		t.Fatalf("InterRackOps = %d, want 2", st.InterRackOps)
+	}
+	if st.InterRackBytes != 2048 {
+		t.Fatalf("InterRackBytes = %d, want 2048", st.InterRackBytes)
+	}
+	if min := int64(st.InterRackOps) * m.InterRackHopNs; st.InterRackNs < min {
+		t.Fatalf("InterRackNs = %d, want at least %d", st.InterRackNs, min)
+	}
+
+	// Intra-rack traffic between two ordinary devices stays premium-free.
+	other, err := f.AttachDevice("server-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpO := other.CreateQueuePair(NewCompletionQueue())
+	qpH2 := host.CreateQueuePair(NewCompletionQueue())
+	if err := Connect(qpO, qpH2); err != nil {
+		t.Fatal(err)
+	}
+	lat, err = qpO.Write(3, payload, mr.RKey(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.TransferNs(m.OneSidedLatencyNs, len(payload)); lat != want {
+		t.Fatalf("intra-rack write latency = %d, want %d", lat, want)
+	}
+	if st := f.Stats(); st.InterRackOps != 2 {
+		t.Fatalf("intra-rack op must not bump InterRackOps (got %d)", st.InterRackOps)
+	}
+}

@@ -105,7 +105,7 @@ func (qp *QueuePair) Read(wrID uint64, dst []byte, rkey uint32, remoteOffset, le
 		return 0, qp.failLocked(wrID, "READ", ErrOutOfBounds)
 	}
 	copy(dst[:length], mr.buf[remoteOffset:remoteOffset+length])
-	lat := f.model.TransferNs(f.model.OneSidedLatencyNs, length)
+	lat := qp.transferNsLocked(f.model.OneSidedLatencyNs, length)
 	f.stats.Reads++
 	f.stats.BytesRead += uint64(length)
 	f.addTime(lat)
@@ -133,7 +133,7 @@ func (qp *QueuePair) Write(wrID uint64, src []byte, rkey uint32, remoteOffset in
 		return 0, qp.failLocked(wrID, "WRITE", ErrOutOfBounds)
 	}
 	copy(mr.buf[remoteOffset:remoteOffset+len(src)], src)
-	lat := f.model.TransferNs(f.model.OneSidedLatencyNs, len(src))
+	lat := qp.transferNsLocked(f.model.OneSidedLatencyNs, len(src))
 	f.stats.Writes++
 	f.stats.BytesWritten += uint64(len(src))
 	f.addTime(lat)
@@ -171,13 +171,28 @@ func (qp *QueuePair) Send(wrID uint64, payload []byte) (int64, error) {
 		return 0, qp.failLocked(wrID, "SEND", fmt.Errorf("rdma: payload %d exceeds posted receive %d", len(payload), len(rwr.buf)))
 	}
 	n := copy(rwr.buf, payload)
-	lat := f.model.TransferNs(f.model.TwoSidedLatencyNs, len(payload))
+	lat := qp.transferNsLocked(f.model.TwoSidedLatencyNs, len(payload))
 	f.stats.Sends++
 	f.stats.BytesSent += uint64(len(payload))
 	f.addTime(lat)
 	qp.cq.push(WorkCompletion{WRID: wrID, Op: "SEND", ByteLen: len(payload), LatencyNs: lat})
 	peer.cq.push(WorkCompletion{WRID: rwr.wrID, Op: "RECV", ByteLen: n, LatencyNs: lat, Payload: rwr.buf[:n]})
 	return lat, nil
+}
+
+// transferNsLocked prices one transfer on this queue pair with the fabric
+// lock held. A queue pair with an uplink endpoint crosses the rack boundary,
+// so its operations pay the inter-rack premium and are accounted separately.
+func (qp *QueuePair) transferNsLocked(base int64, size int) int64 {
+	f := qp.local.fabric
+	if !qp.local.interRack && !qp.remote.interRack {
+		return f.model.TransferNs(base, size)
+	}
+	lat := f.model.CrossRackTransferNs(base, size)
+	f.stats.InterRackOps++
+	f.stats.InterRackBytes += uint64(size)
+	f.stats.InterRackNs += lat
+	return lat
 }
 
 // fail records a failed work request (taking the fabric lock).

@@ -17,6 +17,9 @@
 //
 //   - Rack: a simulated rack wired exactly like the paper's Figure 7
 //     (ACPI platforms with Sz, an RDMA fabric, controllers, agents, paging);
+//   - Fleet: many racks federated behind one control plane — sharded
+//     placement and workload execution, cross-rack remote memory borrowing
+//     over an inter-rack fabric premium, per-rack controller fail-over;
 //   - VM, Workloads, replacement policies: the pieces of the rack-level
 //     experiments (Figure 8, Tables 1 and 2, Figure 9);
 //   - EnergyModel: the per-state power model, the Sz estimation of Equation 1
@@ -33,6 +36,7 @@ import (
 	"repro/internal/consolidation"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/fleet"
 	"repro/internal/hypervisor"
 	"repro/internal/migration"
 	"repro/internal/pagepolicy"
@@ -122,6 +126,31 @@ type ConsolidationReport = core.ConsolidationReport
 // RemoteSwapDevice is a guest-visible swap device backed by remote memory
 // buffers (the Explicit SD function), created with Rack.CreateSwapDevice.
 type RemoteSwapDevice = core.RemoteSwapDevice
+
+// Fleet federates many racks behind one control plane: sharded placement
+// and workload execution on a worker pool, cross-rack remote memory
+// borrowing priced with the inter-rack RDMA premium, and per-rack
+// controller fail-over. Create one with NewFleet.
+type Fleet = fleet.Fleet
+
+// FleetConfig parameterises NewFleet (racks × per-rack template × workers).
+type FleetConfig = fleet.Config
+
+// FleetPlacement is the fleet's per-VM placement outcome, including how
+// much memory was borrowed across racks and from whom.
+type FleetPlacement = fleet.Placement
+
+// FleetBorrow is one entry of the fleet's cross-rack borrow ledger.
+type FleetBorrow = fleet.Borrow
+
+// FleetWorkloadRequest asks the fleet to replay a workload against one VM.
+type FleetWorkloadRequest = fleet.WorkloadRequest
+
+// FleetWorkloadResult is the outcome of one fleet workload replay.
+type FleetWorkloadResult = fleet.WorkloadResult
+
+// NewFleet builds a multi-rack fleet from a per-rack template configuration.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // NewRack builds a rack of servers wired with the zombie technology.
 func NewRack(cfg RackConfig) (*Rack, error) { return core.NewRack(cfg) }
