@@ -1,9 +1,10 @@
 // Command benchfleet records the repository's performance trajectory in
 // BENCH_fleet.json: it runs the fleet worker-pool benchmark (the same
 // scenario as BenchmarkFleetWorkloads, via fleet.NewBenchFleet) at pool
-// sizes 1, 2 and 4, plus the dcsim engine benchmarks (sequential, parallel,
-// transition-costed, sweep), and writes every ns/op together with the
-// derived speedups.
+// sizes 1, 2 and 4, the dcsim engine benchmarks (sequential, parallel,
+// transition-costed, sweep), and the online control plane (one autopilot run
+// per bundled policy, with the derived re-planning tick throughput), and
+// writes every ns/op together with the derived speedups.
 //
 // Methodology: every configuration is measured with a fixed iteration count
 // after a warm-up replay, the configurations are interleaved round-robin
@@ -34,6 +35,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/consolidation"
 	"repro/internal/dcsim"
 	"repro/internal/energy"
@@ -72,6 +74,12 @@ type Report struct {
 	// DCSimSpeedup is ns/op(sequential) / ns/op(parallel) for the epoch
 	// engine at GOMAXPROCS workers.
 	DCSimSpeedup float64 `json:"dcsim_speedup_parallel_vs_sequential"`
+	// Autopilot is the online control plane: one full Run per online policy
+	// on the bench trace (same scenario as BenchmarkAutopilotTicks).
+	Autopilot []Run `json:"autopilot"`
+	// AutopilotTicksPerSec is the re-planning tick throughput of the fastest
+	// online policy — the online loop's entry on the perf trajectory.
+	AutopilotTicksPerSec float64 `json:"autopilot_ticks_per_sec"`
 }
 
 func main() {
@@ -95,8 +103,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfleet:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: fleet speedup %.2fx (workers=4 vs 1), dcsim speedup %.2fx (parallel vs sequential)\n",
-		*out, rep.FleetSpeedup4v1, rep.DCSimSpeedup)
+	fmt.Printf("wrote %s: fleet speedup %.2fx (workers=4 vs 1), dcsim speedup %.2fx (parallel vs sequential), autopilot %.0f ticks/s\n",
+		*out, rep.FleetSpeedup4v1, rep.DCSimSpeedup, rep.AutopilotTicksPerSec)
 
 	if *minSpeedup > 0 {
 		// The gate compares Workers=4 against Workers=1; below four CPUs the
@@ -144,7 +152,7 @@ func measureFleet(workers, iters int) (int64, error) {
 
 func collect() (*Report, error) {
 	rep := &Report{
-		Schema:           "zombieland-bench-fleet/v1",
+		Schema:           "zombieland-bench-fleet/v2",
 		GoVersion:        runtime.Version(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		ParallelHardware: runtime.GOMAXPROCS(0) > 1,
@@ -246,6 +254,66 @@ func collect() (*Report, error) {
 	}
 	if bestEngine["DCSimParallel"] > 0 {
 		rep.DCSimSpeedup = float64(bestEngine["DCSimSequential"]) / float64(bestEngine["DCSimParallel"])
+	}
+
+	// The online control plane: one full autopilot run per bundled policy on
+	// the same bench trace, recorded as ns/op plus the tick throughput of the
+	// fastest policy.
+	const autopilotIters = 3
+	onlineCfg := func(pol autopilot.Policy) autopilot.Config {
+		return autopilot.Config{
+			Trace:      tr,
+			Policy:     pol,
+			Machine:    energy.HPProfile(),
+			ServerSpec: consolidation.DefaultServerSpec(),
+			TickSec:    300,
+		}
+	}
+	onlinePolicies := []struct {
+		name string
+		make func() autopilot.Policy
+	}{
+		{"reactive", func() autopilot.Policy { return autopilot.NewReactive(consolidation.NewZombieStack()) }},
+		{"hysteresis", func() autopilot.Policy { return autopilot.NewHysteresis(consolidation.NewZombieStack()) }},
+		{"ewma", func() autopilot.Policy { return autopilot.NewPredictiveEWMA(consolidation.NewZombieStack()) }},
+	}
+	bestOnline := make(map[string]int64)
+	var onlineTicks int
+	for round := 0; round < rounds; round++ {
+		for _, pol := range onlinePolicies {
+			// The warm-up run also reports the tick count. Policies hold
+			// forecasting state across ticks, so every run gets a fresh
+			// instance.
+			res, err := autopilot.Run(onlineCfg(pol.make()))
+			if err != nil {
+				return nil, err
+			}
+			onlineTicks = res.Ticks
+			start := time.Now()
+			for it := 0; it < autopilotIters; it++ {
+				if _, err := autopilot.Run(onlineCfg(pol.make())); err != nil {
+					return nil, err
+				}
+			}
+			nsPerOp := int64(time.Since(start)) / autopilotIters
+			if cur, ok := bestOnline[pol.name]; !ok || nsPerOp < cur {
+				bestOnline[pol.name] = nsPerOp
+			}
+		}
+	}
+	var fastest int64
+	for _, pol := range onlinePolicies {
+		rep.Autopilot = append(rep.Autopilot, Run{
+			Name:       "AutopilotRun/" + pol.name,
+			Iterations: autopilotIters,
+			NsPerOp:    bestOnline[pol.name],
+		})
+		if fastest == 0 || bestOnline[pol.name] < fastest {
+			fastest = bestOnline[pol.name]
+		}
+	}
+	if fastest > 0 && onlineTicks > 0 {
+		rep.AutopilotTicksPerSec = float64(onlineTicks) / (float64(fastest) / 1e9)
 	}
 	return rep, nil
 }

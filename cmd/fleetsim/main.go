@@ -72,6 +72,23 @@ func parseMix(csv string) ([]zombieland.Workload, error) {
 }
 
 func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int) error {
+	// Upfront flag validation with the valid ranges, so a bad invocation
+	// fails before any fleet state is built.
+	if racks < 1 {
+		return fmt.Errorf("-racks %d out of range (need >= 1)", racks)
+	}
+	if servers < 1 {
+		return fmt.Errorf("-servers %d out of range (need >= 1)", servers)
+	}
+	if vms < 1 {
+		return fmt.Errorf("-vms %d out of range (need >= 1)", vms)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers %d out of range (need >= 1)", workers)
+	}
+	if zombies < 0 {
+		return fmt.Errorf("-zombies %d out of range (need >= 0)", zombies)
+	}
 	if zombies >= servers {
 		return fmt.Errorf("-zombies %d must leave at least one active server per rack (-servers %d)", zombies, servers)
 	}

@@ -1,0 +1,191 @@
+// Command onlinesim runs the online autonomic control plane over a synthetic
+// datacenter trace and reports the regret against the offline dcsim oracle:
+// how much of the paper's consolidation savings survive causal, online
+// decision-making.
+//
+// The loop consumes the trace's streaming arrival feed (admission + placement
+// at each arrival, periodic re-planning on a tick) under one of the bundled
+// online policies — reactive threshold, hysteresis watermarks, or predictive
+// EWMA forecasting — and every run prints the costed online saving side by
+// side with the oracle's on the same trace, planner, machine and period.
+//
+// Usage:
+//
+//	onlinesim                                  # all three policies, zombiestack planner
+//	onlinesim -policy hysteresis               # one policy, full regret report
+//	onlinesim -planner oasis -machine dell     # different planner / power profile
+//	onlinesim -tick 600 -hours 12 -seed 7      # control loop and trace knobs
+//	onlinesim -execute -racks 25 -servers 8    # mirror decisions onto a live fleet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/acpi"
+	"repro/internal/autopilot"
+	"repro/internal/consolidation"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/fleet"
+	"repro/internal/trace"
+)
+
+func main() {
+	machines := flag.Int("machines", 200, "servers in the simulated fleet")
+	tasks := flag.Int("tasks", 3000, "tasks in the generated trace")
+	hours := flag.Float64("hours", 24, "trace horizon in hours")
+	seed := flag.Int64("seed", 42, "trace generator seed (the report is bit-reproducible per seed)")
+	modified := flag.Bool("modified", false, "use the paper's memory-heavy modified traces")
+	tick := flag.Int64("tick", 300, "re-planning tick of the online loop in seconds")
+	policy := flag.String("policy", "all", "online policy: reactive, hysteresis, ewma or all")
+	planner := flag.String("planner", "zombiestack", "base consolidation planner: neat, oasis or zombiestack")
+	machine := flag.String("machine", "hp", "machine power profile: hp or dell")
+	execute := flag.Bool("execute", false, "mirror every decision onto a live multi-rack fleet (real ACPI transitions)")
+	racks := flag.Int("racks", 25, "racks of the live fleet (with -execute; racks*servers must equal -machines)")
+	servers := flag.Int("servers", 8, "servers per rack of the live fleet (with -execute)")
+	memGiB := flag.Int("mem-gib", 1, "memory per live-fleet server in GiB (with -execute; every Sz entry delegates this much real buffer memory, so keep it small)")
+	flag.Parse()
+
+	if err := run(*machines, *tasks, *hours, *seed, *modified, *tick, *policy, *planner, *machine, *execute, *racks, *servers, *memGiB); err != nil {
+		fmt.Fprintln(os.Stderr, "onlinesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machines, tasks int, hours float64, seed int64, modified bool, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int) error {
+	// Upfront flag validation with the valid ranges, so a bad invocation
+	// fails before any simulation state is built.
+	if machines < 1 {
+		return fmt.Errorf("-machines %d out of range (need >= 1)", machines)
+	}
+	if tasks < 1 {
+		return fmt.Errorf("-tasks %d out of range (need >= 1)", tasks)
+	}
+	if hours <= 0 {
+		return fmt.Errorf("-hours %g out of range (need > 0)", hours)
+	}
+	if tick < 1 {
+		return fmt.Errorf("-tick %d out of range (need >= 1 second)", tick)
+	}
+	if execute {
+		if racks < 1 {
+			return fmt.Errorf("-racks %d out of range (need >= 1)", racks)
+		}
+		if servers < 1 {
+			return fmt.Errorf("-servers %d out of range (need >= 1)", servers)
+		}
+		if memGiB < 1 {
+			return fmt.Errorf("-mem-gib %d out of range (need >= 1)", memGiB)
+		}
+		if racks*servers != machines {
+			return fmt.Errorf("-racks %d x -servers %d = %d servers, but the trace fleet has %d machines",
+				racks, servers, racks*servers, machines)
+		}
+	}
+	base, err := consolidation.PolicyByName(planner)
+	if err != nil {
+		return err
+	}
+	var profile *energy.MachineProfile
+	switch strings.ToLower(machine) {
+	case "hp":
+		profile = energy.HPProfile()
+	case "dell":
+		profile = energy.DellProfile()
+	default:
+		return fmt.Errorf("unknown -machine %q (valid: hp, dell)", machine)
+	}
+	var policies []autopilot.Policy
+	switch policy {
+	case "all":
+		policies = autopilot.Policies(base)
+	case "reactive":
+		policies = []autopilot.Policy{autopilot.NewReactive(base)}
+	case "hysteresis":
+		policies = []autopilot.Policy{autopilot.NewHysteresis(base)}
+	case "ewma":
+		policies = []autopilot.Policy{autopilot.NewPredictiveEWMA(base)}
+	default:
+		return fmt.Errorf("unknown -policy %q (valid: reactive, hysteresis, ewma, all)", policy)
+	}
+
+	gc := trace.DefaultConfig()
+	if modified {
+		gc = trace.ModifiedConfig()
+	}
+	gc.Machines = machines
+	gc.Tasks = tasks
+	gc.HorizonSec = int64(hours * 3600)
+	gc.Seed = seed
+	tr, err := trace.Generate(gc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Trace %s: %d machines, %d tasks over %.1f h (seed %d). Online tick %d s, planner %s, %s profile.\n\n",
+		tr.Name, tr.Machines, len(tr.Tasks), hours, seed, tick, base.Name(), profile.Name)
+
+	cfg := autopilot.Config{
+		Trace:      tr,
+		Machine:    profile,
+		ServerSpec: consolidation.DefaultServerSpec(),
+		TickSec:    tick,
+	}
+	if execute {
+		// Each policy run needs its own live fleet: the executor replays real
+		// ACPI transitions and the ledger is cumulative.
+		fmt.Printf("Executing against a live %dx%d fleet per policy.\n\n", racks, servers)
+	}
+
+	var reports []autopilot.Report
+	for _, pol := range policies {
+		c := cfg
+		c.Policy = pol
+		if execute {
+			// The live fleet only mirrors postures and integrates energy — no
+			// VMs are placed on it — but every Sz entry delegates the
+			// server's free memory as real RDMA buffer allocations, so the
+			// boards stay small (-mem-gib) to keep posture churn cheap.
+			board := acpi.DefaultBoardSpec()
+			board.MemoryBytes = uint64(memGiB) << 30
+			f, err := fleet.New(fleet.Config{Racks: racks, Rack: core.Config{Servers: servers, Board: board}, Workers: 1})
+			if err != nil {
+				return err
+			}
+			exec := autopilot.NewFleetExecutor(f)
+			c.Executor = exec
+			rep, err := autopilot.Regret(c)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: live fleet ledger %.0f J after the run.\n", pol.Name(), exec.EnergyJoules())
+			reports = append(reports, rep)
+			continue
+		}
+		rep, err := autopilot.Regret(c)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	if execute {
+		fmt.Println()
+	}
+
+	if len(reports) == 1 {
+		fmt.Println(reports[0].Render())
+		return nil
+	}
+	fmt.Println(autopilot.RenderComparison(reports))
+	best := reports[0]
+	for _, r := range reports[1:] {
+		if r.Online.SavingPercent > best.Online.SavingPercent {
+			best = r
+		}
+	}
+	fmt.Printf("Best online policy: %s at %.2f%% saving, %.2f points of regret behind the offline oracle (%.2f%%).\n",
+		best.Policy, best.Online.SavingPercent, best.RegretPercent, best.Oracle.SavingPercent)
+	return nil
+}

@@ -1,0 +1,501 @@
+package autopilot
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/consolidation"
+	"repro/internal/dcsim"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+// Config parameterises one online control-plane run.
+type Config struct {
+	// Trace is the workload whose arrival feed the loop consumes.
+	Trace *trace.Trace
+	// Policy is the online decision policy (reactive, hysteresis, EWMA...).
+	// The bundled policies hold forecasting state, so a Config needs a fresh
+	// policy per run.
+	Policy Policy
+	// Machine is the power profile of every server in the fleet.
+	Machine *energy.MachineProfile
+	// ServerSpec is the capacity of every server.
+	ServerSpec consolidation.ServerSpec
+	// TickSec is the re-planning period of the control loop; 300 s by
+	// default. The regret oracle runs with the same consolidation period.
+	TickSec int64
+	// OasisMemoryServerFraction is the relative power of an Oasis memory
+	// server (0.4 per the paper).
+	OasisMemoryServerFraction float64
+	// Transitions prices every posture change; nil selects
+	// dcsim.DefaultTransitionModel, the same model the offline oracle pays
+	// under.
+	Transitions *dcsim.TransitionModel
+	// Executor, when set, mirrors every decision onto a backing system (a
+	// live fleet.Fleet via FleetExecutor). Nil keeps the run on the abstract
+	// energy ledger only.
+	Executor Executor
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Trace == nil {
+		return fmt.Errorf("autopilot: a trace is required")
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("autopilot: an online policy is required")
+	}
+	if c.Policy.Planner() == nil {
+		return fmt.Errorf("autopilot: policy %q has no base planner", c.Policy.Name())
+	}
+	if c.Machine == nil {
+		return fmt.Errorf("autopilot: a machine power profile is required")
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.ServerSpec.Cores <= 0 || c.ServerSpec.MemGiB <= 0 {
+		return fmt.Errorf("autopilot: server spec needs positive capacity")
+	}
+	if c.TickSec < 0 {
+		return fmt.Errorf("autopilot: negative tick period %d", c.TickSec)
+	}
+	if c.Transitions != nil {
+		if err := c.Transitions.Validate(); err != nil {
+			return err
+		}
+	}
+	// An executor that knows its server count (FleetExecutor does) must match
+	// the trace's fleet size — catching it here turns a mid-run panic into a
+	// configuration error.
+	if sized, ok := c.Executor.(interface{ Servers() int }); ok {
+		if n := sized.Servers(); n != c.Trace.Machines {
+			return fmt.Errorf("autopilot: executor drives %d servers, trace has %d machines", n, c.Trace.Machines)
+		}
+	}
+	return nil
+}
+
+// applyDefaults fills optional fields.
+func (c *Config) applyDefaults() {
+	if c.TickSec == 0 {
+		c.TickSec = 300
+	}
+	if c.OasisMemoryServerFraction <= 0 {
+		c.OasisMemoryServerFraction = 0.4
+	}
+	if c.Transitions == nil {
+		c.Transitions = dcsim.DefaultTransitionModel()
+	}
+}
+
+// Result summarises one online run. Energy accounting is directly comparable
+// to dcsim.Result: same baseline rule, same transition-cost model, same
+// steady-state pricing — only the knowledge differs.
+type Result struct {
+	// Policy is the online policy, Planner its base consolidation planner.
+	Policy  string
+	Planner string
+	Trace   string
+	Machine string
+	// TickSec is the re-planning period the run used.
+	TickSec int64
+	// EnergyJoules is the fleet energy over the horizon, transition costs
+	// included; BaselineJoules is the no-consolidation fleet energy. Both are
+	// tick-quantized: each tick interval is billed as one block against the
+	// interval's cumulative population, the same rule the offline engine
+	// applies per epoch (see Run).
+	EnergyJoules   float64
+	BaselineJoules float64
+	// SavingPercent is the costed online saving: 100*(1-Energy/Baseline).
+	SavingPercent float64
+	// TransitionJoules is the part of EnergyJoules charged to posture
+	// changes (ACPI events, migration drains, remote-memory churn).
+	TransitionJoules float64
+	// StateTransitions counts ACPI state changes; Migrations the VM moves
+	// draining freed hosts; MigrationSeconds the host time spent draining.
+	StateTransitions int
+	Migrations       int
+	MigrationSeconds float64
+	// Ticks is the number of re-planning ticks executed.
+	Ticks int
+	// Arrivals and Departures count the stream events seen; Admitted and
+	// Rejected split the arrivals by the admission decision.
+	Arrivals   int
+	Departures int
+	Admitted   int
+	Rejected   int
+	// EmergencyWakes counts servers woken between ticks because an arrival
+	// did not fit the current posture — the cost of not knowing the future.
+	EmergencyWakes int
+	// MeanActiveHosts is the time-weighted mean number of S0 servers;
+	// PeakActiveHosts the maximum posture the loop ever held.
+	MeanActiveHosts float64
+	PeakActiveHosts int
+}
+
+// loop is the mutable state of one run.
+type loop struct {
+	cfg     *Config
+	total   int
+	planner consolidation.Policy
+
+	vms       []consolidation.VMDemand // sorted by ID
+	admitted  map[string]bool
+	bookedCPU float64
+	bookedMem float64
+	usedCPU   float64
+	usedMem   float64
+
+	posture consolidation.FleetPlan
+	// intervalStart is the beginning of the current tick interval and cum the
+	// interval's cumulative population: every task that has been admitted at
+	// any point since the interval started, departures included. The ledger
+	// bills whole intervals against cum (see billInterval), and emergency
+	// wakes size against it too — a departure's capacity is only reclaimed at
+	// the next re-plan tick, the way a periodic consolidation manager works.
+	intervalStart int64
+	cum           []consolidation.VMDemand // sorted by ID
+
+	res      Result
+	activeDt float64
+}
+
+// Run executes the online control loop over the trace's arrival feed.
+//
+// The loop is event-driven: arrivals, departures, and re-planning ticks are
+// processed in time order (departures before arrivals at equal instants,
+// trace.Stream's order, and a due tick last, so the policy observes the
+// population as of the tick instant). The first tick fires at TickSec —
+// before it the fleet holds the all-awake initial posture, because an online
+// controller has not seen anything yet.
+//
+// The energy ledger is tick-quantized, deliberately mirroring the offline
+// engine's epoch accounting so the regret comparison is apples to apples: at
+// the end of each tick interval the whole interval is billed at the posture
+// then held (emergency wakes included — a server the controller had to power
+// on mid-interval was provisioned for this interval's population) with the
+// utilization and baseline of the interval's cumulative population, exactly
+// the population the offline oracle plans that epoch for. Decisions remain
+// strictly causal; only the billing granularity is aligned.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg.applyDefaults()
+
+	l := &loop{
+		cfg:      &cfg,
+		total:    cfg.Trace.Machines,
+		planner:  cfg.Policy.Planner(),
+		admitted: make(map[string]bool),
+		posture:  consolidation.InitialPlan(cfg.Trace.Machines),
+	}
+	l.res = Result{
+		Policy:          cfg.Policy.Name(),
+		Planner:         l.planner.Name(),
+		Trace:           cfg.Trace.Name,
+		Machine:         cfg.Machine.Name,
+		TickSec:         cfg.TickSec,
+		PeakActiveHosts: l.posture.ActiveHosts,
+	}
+
+	horizon := cfg.Trace.HorizonSec
+	stream := trace.NewStream(cfg.Trace)
+	ev, evOK := stream.Next()
+	now := int64(0)
+	nextTick := cfg.TickSec
+
+	for now < horizon {
+		// The next moment: the earliest of the next stream event, the next
+		// tick and the horizon.
+		t := horizon
+		if nextTick < t {
+			t = nextTick
+		}
+		if evOK && ev.AtSec < t {
+			t = ev.AtSec
+		}
+		l.integrate(now, t)
+		now = t
+
+		for evOK && ev.AtSec == now {
+			if ev.Kind == trace.Depart {
+				l.depart(ev.Task)
+			} else {
+				l.arrive(ev.Task)
+			}
+			ev, evOK = stream.Next()
+		}
+		if now == nextTick {
+			if now < horizon {
+				l.tick(now, horizon)
+			}
+			nextTick += cfg.TickSec
+		}
+	}
+	return l.finish(horizon), nil
+}
+
+// integrate advances the physical clock for [from, to): the time-weighted
+// posture statistics and the executor's backing system. Steady-state energy
+// is not charged here — the ledger bills whole intervals in billInterval.
+func (l *loop) integrate(from, to int64) {
+	if to <= from {
+		return
+	}
+	l.activeDt += float64(l.posture.ActiveHosts) * float64(to-from)
+	if l.cfg.Executor != nil {
+		l.cfg.Executor.Advance(to - from)
+	}
+}
+
+// billInterval closes the ledger over [intervalStart, to): steady-state
+// fleet power at the posture currently held, with the active utilization and
+// the no-consolidation baseline both computed over the interval's cumulative
+// population — the exact accounting rule the offline engine applies to the
+// same span, so the only difference left between the two sides of a regret
+// comparison is the quality of the posture decisions.
+func (l *loop) billInterval(to int64) {
+	dt := float64(to - l.intervalStart)
+	if dt <= 0 {
+		return
+	}
+	var usedCPU float64
+	for _, v := range l.cum {
+		usedCPU += v.UsedCPU
+	}
+	billed := l.posture
+	billed.ActiveCPUUtilization = utilization(usedCPU, billed.ActiveHosts, l.cfg.ServerSpec.Cores)
+	l.res.EnergyJoules += dcsim.PosturePowerWatts(l.cfg.Machine, billed, l.cfg.OasisMemoryServerFraction) * dt
+	l.res.BaselineJoules += dcsim.BaselinePowerWatts(l.cfg.Machine, l.cfg.ServerSpec, usedCPU, l.total) * dt
+}
+
+// arrive admits and places one task at its arrival instant. A task whose
+// booked reservation cannot fit the fleet even fully awake is rejected; an
+// admitted task that does not fit the current posture triggers an emergency
+// wake, billed as ACPI transitions.
+func (l *loop) arrive(t trace.Task) {
+	l.res.Arrivals++
+	v := demandOf(t)
+	if l.bookedCPU+v.BookedCPU > float64(l.total)*l.cfg.ServerSpec.Cores ||
+		l.bookedMem+v.BookedMemGiB > float64(l.total)*l.cfg.ServerSpec.MemGiB {
+		l.res.Rejected++
+		return
+	}
+	l.insert(v)
+	l.cum = insertSorted(l.cum, v)
+	l.admitted[v.ID] = true
+	l.res.Admitted++
+	l.refreshUtil()
+
+	// Placement check: the planner's sizing rule for the interval's
+	// cumulative population (capacity freed by a departure is only reclaimed
+	// at the next tick, so mid-interval arrivals size against everything the
+	// interval has hosted). If the posture holds fewer active hosts than
+	// required, wake the difference immediately — sleepers first, then
+	// zombies, then memory servers.
+	required := l.planner.Plan(l.cum, l.cfg.ServerSpec, l.total)
+	if need := required.ActiveHosts - l.posture.ActiveHosts; need > 0 {
+		next := wake(l.posture, need)
+		next = l.normalize(l.posture.Policy, next)
+		d := consolidation.Delta(l.posture, next, len(l.vms))
+		l.res.EmergencyWakes += d.SleepExits + d.ZombieExits + d.MemoryServerStops
+		l.applyPosture(t.StartSec, next, false, 0) // ACPI cost only: no churn mid-epoch
+	}
+}
+
+// depart retires one admitted task.
+func (l *loop) depart(t trace.Task) {
+	id := t.VMID()
+	if !l.admitted[id] {
+		return // was rejected at admission
+	}
+	delete(l.admitted, id)
+	l.remove(id)
+	l.res.Departures++
+	l.refreshUtil()
+}
+
+// tick runs one re-planning pass: the closing interval is billed, then the
+// policy observes the current population and posture and decides the posture
+// for the next interval, billed through the shared transition-cost model
+// (churn included, over the interval that the posture will hold).
+func (l *loop) tick(now, horizon int64) {
+	l.billInterval(now)
+	obs := Observation{
+		NowSec:       now,
+		TickSec:      l.cfg.TickSec,
+		VMs:          l.vms,
+		Prev:         l.posture,
+		Spec:         l.cfg.ServerSpec,
+		TotalServers: l.total,
+	}
+	plan := l.normalize(l.cfg.Policy.Name(), l.cfg.Policy.Decide(obs))
+	dt := l.cfg.TickSec
+	if rest := horizon - now; rest < dt {
+		dt = rest
+	}
+	l.applyPosture(now, plan, true, float64(dt))
+	l.res.Ticks++
+	l.intervalStart = now
+	l.cum = append(l.cum[:0], l.vms...)
+}
+
+// applyPosture bills the posture change and installs it. withChurn selects
+// whether the remote-memory churn of the new posture over dtSec is charged —
+// true at ticks (mirroring the offline engine's per-epoch charge), false for
+// mid-interval emergency wakes, whose interval was already charged at the
+// last tick.
+func (l *loop) applyPosture(nowSec int64, next consolidation.FleetPlan, withChurn bool, dtSec float64) {
+	priced := next
+	if !withChurn {
+		priced.RemoteMemoryGiB = 0
+	}
+	bill := l.cfg.Transitions.Cost(l.cfg.Machine, l.planner.Name(), l.posture, priced, l.vms, dtSec)
+	l.res.EnergyJoules += bill.Joules
+	l.res.TransitionJoules += bill.Joules
+	l.res.StateTransitions += bill.Transitions
+	l.res.Migrations += bill.Migrations
+	l.res.MigrationSeconds += bill.MigrationSeconds
+	if l.cfg.Executor != nil {
+		if err := l.cfg.Executor.Apply(nowSec, l.posture, next); err != nil {
+			// Executor divergence is a modelling bug; surface it loudly
+			// rather than silently drifting from the ledger.
+			panic(fmt.Sprintf("autopilot: executor apply: %v", err))
+		}
+	}
+	l.posture = next
+	if next.ActiveHosts > l.res.PeakActiveHosts {
+		l.res.PeakActiveHosts = next.ActiveHosts
+	}
+}
+
+// normalize clamps a policy's plan to the fleet size, recomputes the residual
+// sleepers and the active utilization from the actually-running population,
+// and stamps the policy name.
+func (l *loop) normalize(name string, p consolidation.FleetPlan) consolidation.FleetPlan {
+	clamp := func(n, hi int) int {
+		if n < 0 {
+			return 0
+		}
+		if n > hi {
+			return hi
+		}
+		return n
+	}
+	p.ActiveHosts = clamp(p.ActiveHosts, l.total)
+	p.ZombieHosts = clamp(p.ZombieHosts, l.total-p.ActiveHosts)
+	p.MemoryServers = clamp(p.MemoryServers, l.total-p.ActiveHosts-p.ZombieHosts)
+	p.SleepHosts = l.total - p.ActiveHosts - p.ZombieHosts - p.MemoryServers
+	p.Policy = name
+	p.ActiveCPUUtilization = utilization(l.usedCPU, p.ActiveHosts, l.cfg.ServerSpec.Cores)
+	return p
+}
+
+// refreshUtil recomputes the posture's utilization after a population change.
+func (l *loop) refreshUtil() {
+	l.posture.ActiveCPUUtilization = utilization(l.usedCPU, l.posture.ActiveHosts, l.cfg.ServerSpec.Cores)
+}
+
+// finish bills the final (possibly partial) interval and closes the
+// integrals into the Result.
+func (l *loop) finish(horizon int64) Result {
+	l.billInterval(horizon)
+	if horizon > 0 {
+		l.res.MeanActiveHosts = l.activeDt / float64(horizon)
+	}
+	if l.res.BaselineJoules > 0 {
+		l.res.SavingPercent = 100 * (1 - l.res.EnergyJoules/l.res.BaselineJoules)
+	}
+	return l.res
+}
+
+// insert adds a VM to the population, keeping it sorted by ID.
+func (l *loop) insert(v consolidation.VMDemand) {
+	l.vms = insertSorted(l.vms, v)
+	l.bookedCPU += v.BookedCPU
+	l.bookedMem += v.BookedMemGiB
+	l.usedCPU += v.UsedCPU
+	l.usedMem += v.UsedMemGiB
+}
+
+// insertSorted inserts a VM into an ID-sorted slice.
+func insertSorted(s []consolidation.VMDemand, v consolidation.VMDemand) []consolidation.VMDemand {
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= v.ID })
+	s = append(s, consolidation.VMDemand{})
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// remove deletes a VM from the population by ID.
+func (l *loop) remove(id string) {
+	i := sort.Search(len(l.vms), func(i int) bool { return l.vms[i].ID >= id })
+	if i >= len(l.vms) || l.vms[i].ID != id {
+		return
+	}
+	v := l.vms[i]
+	l.vms = append(l.vms[:i], l.vms[i+1:]...)
+	l.bookedCPU -= v.BookedCPU
+	l.bookedMem -= v.BookedMemGiB
+	l.usedCPU -= v.UsedCPU
+	l.usedMem -= v.UsedMemGiB
+}
+
+// wake raises the posture's active count by need servers, drawing on
+// sleepers first, then zombies (shrinking the remotely-served memory
+// proportionally), then memory servers.
+func wake(p consolidation.FleetPlan, need int) consolidation.FleetPlan {
+	take := func(avail int) int {
+		if need < avail {
+			avail = need
+		}
+		need -= avail
+		return avail
+	}
+	if n := take(p.SleepHosts); n > 0 {
+		p.SleepHosts -= n
+		p.ActiveHosts += n
+	}
+	if n := take(p.ZombieHosts); n > 0 {
+		p.RemoteMemoryGiB *= float64(p.ZombieHosts-n) / float64(p.ZombieHosts)
+		p.ZombieHosts -= n
+		p.ActiveHosts += n
+	}
+	if n := take(p.MemoryServers); n > 0 {
+		p.MemoryServers -= n
+		p.ActiveHosts += n
+	}
+	return p
+}
+
+// utilization is used CPU over active capacity, clamped to [0,1].
+func utilization(usedCPU float64, active int, cores float64) float64 {
+	if active <= 0 || cores <= 0 {
+		return 0
+	}
+	u := usedCPU / (float64(active) * cores)
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// demandOf converts a trace task into the consolidation-level VM view.
+func demandOf(t trace.Task) consolidation.VMDemand {
+	return consolidation.VMDemand{
+		ID:           t.VMID(),
+		BookedCPU:    t.BookedCPU,
+		BookedMemGiB: t.BookedMemGiB,
+		UsedCPU:      t.UsedCPU,
+		UsedMemGiB:   t.UsedMemGiB,
+	}
+}

@@ -1,0 +1,27 @@
+// Package autopilot is the online autonomic control plane: a deterministic
+// discrete-event loop that consumes a trace's streaming arrival feed
+// (trace.Stream), admits and places each task at its arrival instant, and on
+// a configurable tick re-plans consolidation incrementally — the adopted
+// posture is diffed into suspend/zombie/wake events via consolidation.Delta
+// (consolidation.Replan packages plan and delta for cost-aware controllers)
+// — under a pluggable online policy: reactive threshold, hysteresis
+// watermarks, or predictive EWMA forecasting.
+//
+// The offline simulator (internal/dcsim) replays whole epochs with oracle
+// knowledge of each epoch's population, which makes every Figure 10 savings
+// number an optimistic bound (the paper's consolidation manager, §6.6, runs
+// online and has no such knowledge). The autopilot closes that gap: it only
+// ever sees the past, pays for every posture change through the same
+// transition-cost model as the offline engine (dcsim.TransitionModel.Cost),
+// and bills steady-state power through the same pricing rules
+// (dcsim.PosturePowerWatts, dcsim.BaselinePowerWatts) on a tick-quantized
+// ledger that mirrors the oracle's epoch accounting (see Run), so the regret
+// report (Regret) comparing its costed saving against dcsim.Oracle on the
+// same trace isolates decision quality alone. Everything is
+// seed-deterministic: a fixed trace seed reproduces the full regret report
+// bit for bit.
+//
+// Decisions can additionally be executed against a live multi-rack
+// fleet.Fleet through FleetExecutor, which mirrors every posture as real
+// per-server ACPI transitions (S0/Sz/S3) on the rack model's energy ledger.
+package autopilot

@@ -1,0 +1,118 @@
+package autopilot
+
+import (
+	"fmt"
+
+	"repro/internal/acpi"
+	"repro/internal/consolidation"
+	"repro/internal/fleet"
+)
+
+// Executor mirrors the control loop's decisions onto a backing system. The
+// loop itself always keeps the abstract energy ledger (that is what the
+// regret report compares); an executor additionally makes the decisions
+// real somewhere — on a live fleet.Fleet, the rack model's ACPI platforms
+// and energy accumulators.
+type Executor interface {
+	// Advance moves the backing system's simulated clock forward.
+	Advance(deltaSec int64)
+	// Apply transitions the backing system from the prev posture to next,
+	// effective at nowSec.
+	Apply(nowSec int64, prev, next consolidation.FleetPlan) error
+}
+
+// FleetExecutor drives a live multi-rack fleet: every posture is mapped onto
+// concrete servers (rack-major order — the first ActiveHosts servers awake,
+// the next ZombieHosts in Sz, the rest in S3) and the deltas are executed as
+// real per-server ACPI transitions through the fleet control plane, so the
+// rack model's energy ledger and remote-memory pool track the online run.
+// Oasis memory servers have no exact rack analogue and are mirrored as Sz
+// (the nearest memory-serving low-power state).
+type FleetExecutor struct {
+	f       *fleet.Fleet
+	servers []fleetServer
+	states  []acpi.SleepState
+}
+
+// fleetServer locates one server in the fleet.
+type fleetServer struct {
+	rack int
+	name string
+}
+
+// NewFleetExecutor builds the executor over a fleet whose total server count
+// must match the postures it will be asked to apply.
+func NewFleetExecutor(f *fleet.Fleet) *FleetExecutor {
+	e := &FleetExecutor{f: f}
+	for ri := 0; ri < f.Racks(); ri++ {
+		for _, name := range f.Rack(ri).Servers() {
+			e.servers = append(e.servers, fleetServer{rack: ri, name: name})
+			e.states = append(e.states, acpi.S0)
+		}
+	}
+	return e
+}
+
+// Servers returns the number of servers the executor drives.
+func (e *FleetExecutor) Servers() int { return len(e.servers) }
+
+// Advance implements Executor.
+func (e *FleetExecutor) Advance(deltaSec int64) {
+	e.f.AdvanceClock(deltaSec * 1e9)
+}
+
+// Apply implements Executor: wakes first (capacity can only grow), then
+// suspends, in server order, so the transition sequence is deterministic.
+func (e *FleetExecutor) Apply(nowSec int64, prev, next consolidation.FleetPlan) error {
+	if next.TotalHosts() != len(e.servers) {
+		return fmt.Errorf("autopilot: posture covers %d hosts, fleet has %d servers",
+			next.TotalHosts(), len(e.servers))
+	}
+	desired := func(i int) acpi.SleepState {
+		switch {
+		case i < next.ActiveHosts:
+			return acpi.S0
+		case i < next.ActiveHosts+next.ZombieHosts+next.MemoryServers:
+			return acpi.Sz
+		default:
+			return acpi.S3
+		}
+	}
+	// Pass 1: every server leaving its sleep state goes through S0 (the only
+	// physical path between sleep states).
+	for i, srv := range e.servers {
+		if e.states[i] != acpi.S0 && e.states[i] != desired(i) {
+			if err := e.f.Wake(srv.rack, srv.name); err != nil {
+				return fmt.Errorf("autopilot: waking %s: %w", srv.name, err)
+			}
+			e.states[i] = acpi.S0
+		}
+	}
+	// Pass 2: suspend into the desired sleep states.
+	for i, srv := range e.servers {
+		want := desired(i)
+		if e.states[i] == want {
+			continue
+		}
+		var err error
+		if want == acpi.Sz {
+			err = e.f.PushToZombie(srv.rack, srv.name)
+		} else {
+			err = e.f.Suspend(srv.rack, srv.name, want)
+		}
+		if err != nil {
+			return fmt.Errorf("autopilot: suspending %s to %v: %w", srv.name, want, err)
+		}
+		e.states[i] = want
+	}
+	return nil
+}
+
+// States returns the executor's view of every server's current sleep state,
+// in rack-major server order.
+func (e *FleetExecutor) States() []acpi.SleepState {
+	return append([]acpi.SleepState(nil), e.states...)
+}
+
+// EnergyJoules returns the fleet's accumulated energy ledger total.
+func (e *FleetExecutor) EnergyJoules() float64 { return e.f.TotalEnergyJoules() }

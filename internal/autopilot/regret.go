@@ -1,0 +1,130 @@
+package autopilot
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dcsim"
+	"repro/internal/metrics"
+)
+
+// Report is the regret report of one online run: the online policy's costed
+// result side by side with the offline dcsim oracle on the same trace,
+// planner, machine, hardware spec and period. Regret is the saving the
+// online policy leaves on the table for not knowing the future.
+type Report struct {
+	Trace   string
+	Machine string
+	Planner string
+	Policy  string
+	TickSec int64
+	// Online is the control loop's result; Oracle the offline bound
+	// (dcsim.Oracle: transition costs forced on).
+	Online Result
+	Oracle dcsim.Result
+	// RegretPercent is Oracle.SavingPercent - Online.SavingPercent, in
+	// percentage points (>= 0 whenever the oracle bound holds).
+	RegretPercent float64
+}
+
+// Regret runs the online control loop and the offline oracle on the same
+// configuration and returns the comparison. The oracle replays the identical
+// trace with the identical planner, machine, server spec, consolidation
+// period and transition-cost model — the only difference is knowledge: the
+// oracle plans each epoch with the epoch's whole population (arrivals
+// included), the online loop only ever sees the past.
+func Regret(cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	cfg.applyDefaults()
+	online, err := Run(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	oracle, err := dcsim.Oracle(dcsim.Config{
+		Trace:                     cfg.Trace,
+		Policy:                    cfg.Policy.Planner(),
+		Machine:                   cfg.Machine,
+		ServerSpec:                cfg.ServerSpec,
+		ConsolidationPeriodSec:    cfg.TickSec,
+		OasisMemoryServerFraction: cfg.OasisMemoryServerFraction,
+		Transitions:               cfg.Transitions,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Trace:         cfg.Trace.Name,
+		Machine:       cfg.Machine.Name,
+		Planner:       cfg.Policy.Planner().Name(),
+		Policy:        cfg.Policy.Name(),
+		TickSec:       cfg.TickSec,
+		Online:        online,
+		Oracle:        oracle,
+		RegretPercent: oracle.SavingPercent - online.SavingPercent,
+	}, nil
+}
+
+// CompareOnline runs the regret comparison for every given policy on the
+// same configuration, in order. Each policy must be a fresh instance (the
+// bundled ones hold forecasting state) — Policies supplies a matching set.
+func CompareOnline(cfg Config, policies []Policy) ([]Report, error) {
+	reports := make([]Report, 0, len(policies))
+	for _, pol := range policies {
+		c := cfg
+		c.Policy = pol
+		rep, err := Regret(c)
+		if err != nil {
+			return nil, fmt.Errorf("autopilot: policy %q: %w", pol.Name(), err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Render formats the report as an aligned two-row table (online vs oracle)
+// plus the regret line. The output is a pure function of the report, so a
+// fixed trace seed reproduces it bit for bit.
+func (r Report) Render() string {
+	var b strings.Builder
+	t := metrics.NewTable(
+		fmt.Sprintf("Regret — %s/%s on %s (%s, tick %ds)", r.Policy, r.Planner, r.Trace, r.Machine, r.TickSec),
+		"side", "saving-%", "energy-j", "transition-j", "acpi-events", "migrations", "mean-active")
+	t.AddRow("online",
+		metrics.FormatFloat(r.Online.SavingPercent),
+		metrics.FormatFloat(r.Online.EnergyJoules),
+		metrics.FormatFloat(r.Online.TransitionJoules),
+		metrics.FormatFloat(float64(r.Online.StateTransitions)),
+		metrics.FormatFloat(float64(r.Online.Migrations)),
+		metrics.FormatFloat(r.Online.MeanActiveHosts))
+	t.AddRow("oracle",
+		metrics.FormatFloat(r.Oracle.SavingPercent),
+		metrics.FormatFloat(r.Oracle.EnergyJoules),
+		metrics.FormatFloat(r.Oracle.TransitionJoules),
+		metrics.FormatFloat(float64(r.Oracle.StateTransitions)),
+		metrics.FormatFloat(float64(r.Oracle.Migrations)),
+		metrics.FormatFloat(r.Oracle.MeanActiveHosts))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "regret: %s points of saving (ticks %d, arrivals %d, admitted %d, rejected %d, emergency wakes %d)\n",
+		metrics.FormatFloat(r.RegretPercent), r.Online.Ticks, r.Online.Arrivals,
+		r.Online.Admitted, r.Online.Rejected, r.Online.EmergencyWakes)
+	return b.String()
+}
+
+// RenderComparison formats a set of regret reports as one table, a row per
+// policy, in report order.
+func RenderComparison(reports []Report) string {
+	t := metrics.NewTable("Online policies vs the offline oracle",
+		"policy", "planner", "online-saving-%", "oracle-saving-%", "regret-pts", "acpi-events", "oracle-events", "emergency-wakes")
+	for _, r := range reports {
+		t.AddRow(r.Policy, r.Planner,
+			metrics.FormatFloat(r.Online.SavingPercent),
+			metrics.FormatFloat(r.Oracle.SavingPercent),
+			metrics.FormatFloat(r.RegretPercent),
+			metrics.FormatFloat(float64(r.Online.StateTransitions)),
+			metrics.FormatFloat(float64(r.Oracle.StateTransitions)),
+			metrics.FormatFloat(float64(r.Online.EmergencyWakes)))
+	}
+	return t.String()
+}

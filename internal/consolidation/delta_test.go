@@ -66,4 +66,84 @@ func TestDeltaIdentical(t *testing.T) {
 	if d := Delta(plan, plan, 100); d != (PlanDelta{}) {
 		t.Errorf("identical plans should produce an empty delta, got %+v", d)
 	}
+	// Identical plans must stay event-free in every category, including
+	// memory servers, and regardless of the VM population size.
+	full := FleetPlan{ActiveHosts: 25, ZombieHosts: 5, MemoryServers: 10, SleepHosts: 60}
+	for _, vms := range []int{0, 1, 500} {
+		d := Delta(full, full, vms)
+		if d != (PlanDelta{}) {
+			t.Errorf("identical plans (vms=%d) should yield zero events, got %+v", vms, d)
+		}
+		if d.Transitions() != 0 {
+			t.Errorf("identical plans (vms=%d) should count zero transitions, got %d", vms, d.Transitions())
+		}
+	}
+}
+
+func TestDeltaEmptyPreviousPlan(t *testing.T) {
+	// A zero-value previous plan (no posture at all — distinct from
+	// InitialPlan's all-awake fleet) means every category of the next plan
+	// grows from nothing: each sleeping category pays its enters and no host
+	// is freed, so no migrations are charged.
+	next := FleetPlan{ActiveHosts: 12, ZombieHosts: 4, MemoryServers: 2, SleepHosts: 7}
+	d := Delta(FleetPlan{}, next, 80)
+	if d.SleepEnters != 7 || d.SleepExits != 0 {
+		t.Errorf("sleep enters/exits = %d/%d, want 7/0", d.SleepEnters, d.SleepExits)
+	}
+	if d.ZombieEnters != 4 || d.ZombieExits != 0 {
+		t.Errorf("zombie enters/exits = %d/%d, want 4/0", d.ZombieEnters, d.ZombieExits)
+	}
+	if d.MemoryServerStarts != 2 || d.MemoryServerStops != 0 {
+		t.Errorf("memory server starts/stops = %d/%d, want 2/0", d.MemoryServerStarts, d.MemoryServerStops)
+	}
+	if d.FreedHosts != 0 || d.Migrations != 0 {
+		t.Errorf("active hosts grew, so nothing drains; got freed=%d migrations=%d", d.FreedHosts, d.Migrations)
+	}
+	if d.Transitions() != 13 {
+		t.Errorf("transitions = %d, want 13", d.Transitions())
+	}
+}
+
+func TestDeltaMemoryServerOnlyChange(t *testing.T) {
+	// Only the memory-server assignment changes: actives and zombies hold
+	// steady, two sleepers are re-provisioned as memory servers. The delta
+	// must charge exactly the memory-server starts and the matching sleep
+	// exits — no migrations, because no active host was freed.
+	prev := FleetPlan{ActiveHosts: 20, ZombieHosts: 5, MemoryServers: 3, SleepHosts: 72}
+	next := FleetPlan{ActiveHosts: 20, ZombieHosts: 5, MemoryServers: 5, SleepHosts: 70}
+	d := Delta(prev, next, 150)
+	if d.MemoryServerStarts != 2 || d.MemoryServerStops != 0 {
+		t.Errorf("memory server starts/stops = %d/%d, want 2/0", d.MemoryServerStarts, d.MemoryServerStops)
+	}
+	if d.SleepExits != 2 || d.SleepEnters != 0 {
+		t.Errorf("sleep exits/enters = %d/%d, want 2/0", d.SleepExits, d.SleepEnters)
+	}
+	if d.ZombieEnters != 0 || d.ZombieExits != 0 {
+		t.Errorf("zombies untouched, got enters=%d exits=%d", d.ZombieEnters, d.ZombieExits)
+	}
+	if d.FreedHosts != 0 || d.Migrations != 0 {
+		t.Errorf("no active host freed, got freed=%d migrations=%d", d.FreedHosts, d.Migrations)
+	}
+	if d.Transitions() != 4 {
+		t.Errorf("transitions = %d, want 4 (2 starts + 2 sleep exits)", d.Transitions())
+	}
+}
+
+func TestReplan(t *testing.T) {
+	// Replan must return exactly what Plan + Delta return separately.
+	vms := []VMDemand{
+		{ID: "a", BookedCPU: 4, BookedMemGiB: 12, UsedCPU: 2, UsedMemGiB: 6},
+		{ID: "b", BookedCPU: 2, BookedMemGiB: 6, UsedCPU: 0.005, UsedMemGiB: 2},
+	}
+	spec := DefaultServerSpec()
+	pol := NewZombieStack()
+	prev := InitialPlan(10)
+	plan, delta := Replan(pol, prev, vms, spec, 10)
+	wantPlan := pol.Plan(vms, spec, 10)
+	if plan != wantPlan {
+		t.Errorf("Replan plan = %+v, want %+v", plan, wantPlan)
+	}
+	if want := Delta(prev, wantPlan, len(vms)); delta != want {
+		t.Errorf("Replan delta = %+v, want %+v", delta, want)
+	}
 }

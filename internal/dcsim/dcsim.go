@@ -76,7 +76,7 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("dcsim: negative worker count %d", c.Workers)
 	}
 	if c.Transitions != nil {
-		if err := c.Transitions.validate(); err != nil {
+		if err := c.Transitions.Validate(); err != nil {
 			return err
 		}
 	}
@@ -215,7 +215,7 @@ func (r *replayer) population(span epochSpan) []consolidation.VMDemand {
 	vms := make([]consolidation.VMDemand, 0, len(r.running))
 	for _, t := range r.running {
 		vms = append(vms, consolidation.VMDemand{
-			ID:           fmt.Sprintf("task-%d", t.ID),
+			ID:           t.VMID(),
 			BookedCPU:    t.BookedCPU,
 			BookedMemGiB: t.BookedMemGiB,
 			UsedCPU:      t.UsedCPU,
@@ -254,11 +254,11 @@ func simulateEpoch(cfg *Config, pricer *rackPricer, vms []consolidation.VMDemand
 	}
 	if cfg.TransitionCosts {
 		c := cfg.Transitions.epochCost(cfg, prev, plan, vms, dt)
-		stats.energyJ += c.joules
-		stats.transitionJ = c.joules
-		stats.transitions = c.transitions
-		stats.migrations = c.migrations
-		stats.migrationSec = c.migrationSec
+		stats.energyJ += c.Joules
+		stats.transitionJ = c.Joules
+		stats.transitions = c.Transitions
+		stats.migrations = c.Migrations
+		stats.migrationSec = c.MigrationSeconds
 	}
 	return stats, plan, nil
 }
@@ -351,10 +351,18 @@ func mergeEpochStats(cfg Config, stats []epochStats) Result {
 
 // fleetPower returns the fleet's power (watts) under a consolidation plan.
 func fleetPower(cfg Config, plan consolidation.FleetPlan) float64 {
-	m := cfg.Machine
+	return PosturePowerWatts(cfg.Machine, plan, cfg.OasisMemoryServerFraction)
+}
+
+// PosturePowerWatts returns the steady-state fleet power (watts) of one
+// consolidation posture: active hosts at their operating point, zombies in
+// Sz, Oasis memory servers at their fractional power, sleepers in S3. It is
+// the single pricing rule shared by the offline engine and the online control
+// plane, so the two sides of a regret comparison integrate identical power.
+func PosturePowerWatts(m *energy.MachineProfile, plan consolidation.FleetPlan, oasisMemoryServerFraction float64) float64 {
 	p := float64(plan.ActiveHosts) * m.PowerWatts(acpi.S0, plan.ActiveCPUUtilization)
 	p += float64(plan.ZombieHosts) * m.PowerWatts(acpi.Sz, 0)
-	p += float64(plan.MemoryServers) * cfg.OasisMemoryServerFraction * m.MaxPowerWatts
+	p += float64(plan.MemoryServers) * oasisMemoryServerFraction * m.MaxPowerWatts
 	p += float64(plan.SleepHosts) * m.PowerWatts(acpi.S3, 0)
 	return p
 }
@@ -366,14 +374,33 @@ func baselinePower(cfg Config, vms []consolidation.VMDemand, totalServers int) f
 	for _, v := range vms {
 		usedCPU += v.UsedCPU
 	}
+	return BaselinePowerWatts(cfg.Machine, cfg.ServerSpec, usedCPU, totalServers)
+}
+
+// BaselinePowerWatts returns the no-consolidation fleet power: every server
+// in S0 with the aggregate used CPU (cores) spread across the whole fleet.
+// Shared with the online control plane for the same reason as
+// PosturePowerWatts.
+func BaselinePowerWatts(m *energy.MachineProfile, spec consolidation.ServerSpec, usedCPU float64, totalServers int) float64 {
 	util := 0.0
-	if totalServers > 0 && cfg.ServerSpec.Cores > 0 {
-		util = usedCPU / (float64(totalServers) * cfg.ServerSpec.Cores)
+	if totalServers > 0 && spec.Cores > 0 {
+		util = usedCPU / (float64(totalServers) * spec.Cores)
 		if util > 1 {
 			util = 1
 		}
 	}
-	return float64(totalServers) * cfg.Machine.PowerWatts(acpi.S0, util)
+	return float64(totalServers) * m.PowerWatts(acpi.S0, util)
+}
+
+// Oracle runs the offline simulation as the upper bound an online control
+// plane is measured against: the same trace, planner, machine and
+// consolidation period, with transition costs forced on so both sides pay
+// for their posture changes. The result's SavingPercent is the costed oracle
+// saving — optimistic only in its knowledge (each epoch is planned with the
+// epoch's whole population, arrivals included), not in its accounting.
+func Oracle(cfg Config) (Result, error) {
+	cfg.TransitionCosts = true
+	return Run(cfg)
 }
 
 // Comparison is the Figure 10 experiment: every policy on every machine

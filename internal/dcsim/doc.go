@@ -31,4 +31,11 @@
 // a grid of {policy, machine profile, trace, consolidation period,
 // transition-cost on/off} scenarios concurrently and aggregates the results
 // with internal/metrics.
+//
+// Because the engine plans each epoch with the epoch's whole population —
+// knowledge no causal controller has — a run is also the offline upper bound
+// for the online control plane: Oracle runs the engine with transition costs
+// forced on, and internal/autopilot measures its regret against it using the
+// same exported pricing rules (PosturePowerWatts, BaselinePowerWatts,
+// TransitionModel.Cost).
 package dcsim

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/acpi"
 	"repro/internal/consolidation"
+	"repro/internal/energy"
 	"repro/internal/migration"
 	"repro/internal/rdma"
 	"repro/internal/vm"
@@ -64,8 +65,8 @@ func DefaultTransitionModel() *TransitionModel {
 	}
 }
 
-// validate checks the model's parameters.
-func (tm *TransitionModel) validate() error {
+// Validate checks the model's parameters.
+func (tm *TransitionModel) Validate() error {
 	switch {
 	case tm.Vanilla == nil || tm.Zombie == nil:
 		return fmt.Errorf("dcsim: transition model needs both migration protocols")
@@ -79,45 +80,61 @@ func (tm *TransitionModel) validate() error {
 	return nil
 }
 
-// transitionCost is one epoch's transition bill.
-type transitionCost struct {
-	joules       float64
-	transitions  int
-	migrations   int
-	migrationSec float64
+// TransitionBill is the priced outcome of one posture change. It is the
+// exported face of the per-epoch transition accounting, shared with the
+// online control plane (internal/autopilot), whose ticks and emergency wakes
+// must be charged by exactly the rules the offline oracle pays under — the
+// regret comparison is meaningless otherwise.
+type TransitionBill struct {
+	// Joules is the total energy charged to the posture change.
+	Joules float64
+	// Transitions is the number of ACPI state changes performed.
+	Transitions int
+	// Migrations is the number of VM moves draining the freed hosts.
+	Migrations int
+	// MigrationSeconds is the total host time spent draining.
+	MigrationSeconds float64
 }
 
 // epochCost prices the transition from the previous epoch's plan to the
-// current one. dt is the epoch length in seconds; the migration drain of a
-// freed host is capped at the epoch so a host can never be charged for
-// draining longer than the epoch it drains in.
-func (tm *TransitionModel) epochCost(cfg *Config, prev, plan consolidation.FleetPlan, vms []consolidation.VMDemand, dt float64) transitionCost {
-	m := cfg.Machine
+// current one.
+func (tm *TransitionModel) epochCost(cfg *Config, prev, plan consolidation.FleetPlan, vms []consolidation.VMDemand, dt float64) TransitionBill {
+	return tm.Cost(cfg.Machine, cfg.Policy.Name(), prev, plan, vms, dt)
+}
+
+// Cost prices moving the fleet from the prev posture to the next one, with
+// the given VM population running: the ACPI suspend/wake events of the plan
+// delta, the migration drains of the freed hosts (protocol selected by the
+// policy name — the ZombieStack protocol for "zombiestack", vanilla pre-copy
+// otherwise), and the remote-memory churn of the new posture over dt seconds.
+// dt also caps each freed host's drain, so a host is never charged for
+// draining longer than the interval it drains in.
+func (tm *TransitionModel) Cost(m *energy.MachineProfile, policy string, prev, plan consolidation.FleetPlan, vms []consolidation.VMDemand, dt float64) TransitionBill {
 	d := consolidation.Delta(prev, plan, len(vms))
-	var c transitionCost
-	c.transitions = d.Transitions()
+	var c TransitionBill
+	c.Transitions = d.Transitions()
 
 	// ACPI transitions. Memory servers are sleeping machines woken into the
 	// Oasis low-power serving mode, so a start prices as an S3 wake and a
 	// stop as a suspend back to S3.
-	c.joules += float64(d.SleepEnters) * m.TransitionJoules(acpi.S0, acpi.S3)
-	c.joules += float64(d.SleepExits) * m.TransitionJoules(acpi.S3, acpi.S0)
-	c.joules += float64(d.ZombieEnters) * m.TransitionJoules(acpi.S0, acpi.Sz)
-	c.joules += float64(d.ZombieExits) * m.TransitionJoules(acpi.Sz, acpi.S0)
-	c.joules += float64(d.MemoryServerStarts) * m.TransitionJoules(acpi.S3, acpi.S0)
-	c.joules += float64(d.MemoryServerStops) * m.TransitionJoules(acpi.S0, acpi.S3)
+	c.Joules += float64(d.SleepEnters) * m.TransitionJoules(acpi.S0, acpi.S3)
+	c.Joules += float64(d.SleepExits) * m.TransitionJoules(acpi.S3, acpi.S0)
+	c.Joules += float64(d.ZombieEnters) * m.TransitionJoules(acpi.S0, acpi.Sz)
+	c.Joules += float64(d.ZombieExits) * m.TransitionJoules(acpi.Sz, acpi.S0)
+	c.Joules += float64(d.MemoryServerStarts) * m.TransitionJoules(acpi.S3, acpi.S0)
+	c.Joules += float64(d.MemoryServerStops) * m.TransitionJoules(acpi.S0, acpi.S3)
 
 	// Migration drain: the freed hosts stay in S0 at idle power while their
 	// VMs leave, in parallel across hosts, serially within a host.
 	if d.Migrations > 0 && d.FreedHosts > 0 {
-		if perMigSec := tm.migrationSeconds(cfg.Policy.Name(), vms); perMigSec > 0 {
+		if perMigSec := tm.migrationSeconds(policy, vms); perMigSec > 0 {
 			perHost := perMigSec * float64(d.Migrations) / float64(d.FreedHosts)
 			if perHost > dt {
 				perHost = dt
 			}
-			c.migrations = d.Migrations
-			c.migrationSec = perHost * float64(d.FreedHosts)
-			c.joules += c.migrationSec * m.PowerWatts(acpi.S0, 0)
+			c.Migrations = d.Migrations
+			c.MigrationSeconds = perHost * float64(d.FreedHosts)
+			c.Joules += c.MigrationSeconds * m.PowerWatts(acpi.S0, 0)
 		}
 	}
 
@@ -127,7 +144,7 @@ func (tm *TransitionModel) epochCost(cfg *Config, prev, plan consolidation.Fleet
 	if plan.RemoteMemoryGiB > 0 && tm.RemoteFaultsPerGiBPerSec > 0 {
 		faults := tm.RemoteFaultsPerGiBPerSec * plan.RemoteMemoryGiB * dt
 		perFaultSec := float64(tm.Fabric.TransferNs(tm.Fabric.OneSidedLatencyNs, tm.RemotePageBytes)) / 1e9
-		c.joules += faults * perFaultSec * m.PowerWatts(acpi.S0, plan.ActiveCPUUtilization)
+		c.Joules += faults * perFaultSec * m.PowerWatts(acpi.S0, plan.ActiveCPUUtilization)
 	}
 	return c
 }

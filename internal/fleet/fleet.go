@@ -43,6 +43,7 @@ type Fleet struct {
 	gateways  map[gwKey]*memctl.Agent
 	ledger    []Borrow
 	overflows []*rackOverflow
+	hooks     VMHooks
 }
 
 // gwKey identifies a gateway agent: the borrower rack's identity on the
@@ -276,7 +277,11 @@ func (f *Fleet) DestroyVM(vmID string) error {
 	}
 	f.mu.Lock()
 	delete(f.vmRack, vmID)
+	onDeparture := f.hooks.OnDeparture
 	f.mu.Unlock()
+	if onDeparture != nil {
+		onDeparture(vmID, f.names[rack])
+	}
 	return nil
 }
 

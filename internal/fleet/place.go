@@ -96,9 +96,9 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 	// failure leaves its pre-reserved buffers unused) and fold the per-rack
 	// borrow ledgers into the fleet ledger in rack order.
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	for _, o := range f.overflows {
 		if err := o.drain(); err != nil {
+			f.mu.Unlock()
 			return nil, err
 		}
 		f.ledger = append(f.ledger, o.takeLedger()...)
@@ -106,6 +106,15 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 	for i := range results {
 		if results[i].Err == "" {
 			f.vmRack[results[i].VM] = f.rackIndex(results[i].Rack)
+		}
+	}
+	onArrival := f.hooks.OnArrival
+	f.mu.Unlock()
+	if onArrival != nil {
+		for _, p := range results {
+			if p.Err == "" {
+				onArrival(p)
+			}
 		}
 	}
 	return results, nil

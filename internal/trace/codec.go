@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// Gzip-aware CSV codec: real-trace conversions are written once and replayed
+// many times, and the flat CSV of a month-scale trace balloons on disk.
+// EncodeCSV optionally wraps the CSV stream in gzip and DecodeCSV sniffs the
+// gzip magic bytes, so callers handle .csv and .csv.gz files through one
+// pair of functions.
+
+// gzipMagic opens every gzip stream (RFC 1952).
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// EncodeCSV writes the trace tasks as CSV to w. With compress set the
+// payload is wrapped in a gzip stream — the .csv.gz form DecodeCSV (and any
+// standard tooling) inflates transparently.
+func (tr *Trace) EncodeCSV(w io.Writer, compress bool) error {
+	if !compress {
+		return tr.WriteCSV(w)
+	}
+	zw := gzip.NewWriter(w)
+	if err := tr.WriteCSV(zw); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// DecodeCSV decodes tasks from CSV produced by EncodeCSV/WriteCSV,
+// transparently inflating gzip input by sniffing the magic bytes; plain CSV
+// passes straight through. Machines and HorizonSec must be set by the caller,
+// as with ReadCSV.
+func DecodeCSV(r io.Reader) ([]Task, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == gzipMagic[0] && magic[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		return ReadCSV(zr)
+	}
+	// A short (or empty) stream cannot be gzip; let the CSV reader handle it.
+	return ReadCSV(br)
+}

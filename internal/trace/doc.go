@@ -13,5 +13,11 @@
 //   - the paper's "modified" variant, in which the memory demand is twice the
 //     CPU demand, matching the demand trend of Figure 2;
 //   - CSV encoding/decoding in a compact schema so that users who do have the
-//     real traces can convert and replay them.
+//     real traces can convert and replay them — gzip-aware on both sides
+//     (EncodeCSV writes .csv.gz on request, DecodeCSV sniffs the magic
+//     bytes), since month-scale conversions balloon on disk as flat CSV;
+//   - a streaming arrival feed (Stream) that yields arrivals and departures
+//     one event at a time in causal order, the input of the online control
+//     plane (internal/autopilot), which must never see the future or the
+//     materialized population.
 package trace

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// The streaming arrival feed: the offline simulator replays a trace by
+// materializing each epoch's whole VM population, which is exactly the oracle
+// knowledge an online control plane must not have. Stream instead yields one
+// event at a time — a task arriving or departing — in causal order, so a
+// consumer only ever sees the past. The stream sorts an index permutation of
+// the tasks once (no Task copies) and keeps a min-heap of the end times of
+// the tasks currently running; memory beyond the trace itself is O(running
+// tasks).
+
+// EventKind distinguishes the two stream events.
+type EventKind uint8
+
+// The stream events. Depart sorts before Arrive: a task ending at instant T
+// has already released its resources when another task arrives at T, matching
+// the offline replayer's retirement rule (EndSec <= epoch start).
+const (
+	Depart EventKind = iota
+	Arrive
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k == Depart {
+		return "depart"
+	}
+	return "arrive"
+}
+
+// Event is one element of the arrival feed.
+type Event struct {
+	// AtSec is the simulated time of the event: StartSec for an arrival,
+	// EndSec for a departure.
+	AtSec int64
+	// Kind says whether the task arrives or departs.
+	Kind EventKind
+	// Task is the task arriving or departing.
+	Task Task
+}
+
+// Stream is an incremental iterator over a trace's arrival and departure
+// events in time order. It never materializes the full event list: arrivals
+// are walked through a pre-sorted index permutation and departures through a
+// heap of the currently running tasks.
+type Stream struct {
+	tasks   []Task
+	arrival []int // indices into tasks, sorted by (StartSec, ID)
+	next    int
+	ends    endHeap
+}
+
+// NewStream builds the arrival feed of a trace. The trace is shared
+// read-only; a Stream is single-consumer.
+func NewStream(tr *Trace) *Stream {
+	s := &Stream{tasks: tr.Tasks, arrival: make([]int, len(tr.Tasks))}
+	for i := range s.arrival {
+		s.arrival[i] = i
+	}
+	sort.Slice(s.arrival, func(a, b int) bool {
+		ta, tb := tr.Tasks[s.arrival[a]], tr.Tasks[s.arrival[b]]
+		if ta.StartSec != tb.StartSec {
+			return ta.StartSec < tb.StartSec
+		}
+		return ta.ID < tb.ID
+	})
+	return s
+}
+
+// Next returns the next event in time order, or ok=false when the stream is
+// exhausted. At equal timestamps departures precede arrivals, and events of
+// the same kind are ordered by task ID, so the feed is fully deterministic.
+func (s *Stream) Next() (Event, bool) {
+	var haveArr bool
+	var arr Task
+	if s.next < len(s.arrival) {
+		haveArr, arr = true, s.tasks[s.arrival[s.next]]
+	}
+	if len(s.ends) > 0 {
+		dep := s.ends[0]
+		if !haveArr || dep.EndSec <= arr.StartSec {
+			heap.Pop(&s.ends)
+			return Event{AtSec: dep.EndSec, Kind: Depart, Task: dep}, true
+		}
+	}
+	if !haveArr {
+		return Event{}, false
+	}
+	s.next++
+	heap.Push(&s.ends, arr)
+	return Event{AtSec: arr.StartSec, Kind: Arrive, Task: arr}, true
+}
+
+// Running returns the number of tasks currently running (arrived, not yet
+// departed).
+func (s *Stream) Running() int { return len(s.ends) }
+
+// endHeap is a min-heap of running tasks ordered by (EndSec, ID).
+type endHeap []Task
+
+func (h endHeap) Len() int { return len(h) }
+func (h endHeap) Less(i, j int) bool {
+	if h[i].EndSec != h[j].EndSec {
+		return h[i].EndSec < h[j].EndSec
+	}
+	return h[i].ID < h[j].ID
+}
+func (h endHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x any)   { *h = append(*h, x.(Task)) }
+func (h *endHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}

@@ -32,6 +32,13 @@ type Task struct {
 // Duration returns the task duration in seconds.
 func (t Task) Duration() int64 { return t.EndSec - t.StartSec }
 
+// VMID is the task's identity at the consolidation layer, shared by the
+// offline replayer and the online control plane. Both sides sort their VM
+// populations lexicographically by this ID before planning, so the format is
+// load-bearing: diverging copies would feed the planners differently ordered
+// populations and silently skew every regret comparison.
+func (t Task) VMID() string { return fmt.Sprintf("task-%d", t.ID) }
+
 // Validate checks the task for consistency.
 func (t Task) Validate() error {
 	if t.EndSec <= t.StartSec {

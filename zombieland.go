@@ -33,6 +33,7 @@ package zombieland
 
 import (
 	"repro/internal/acpi"
+	"repro/internal/autopilot"
 	"repro/internal/consolidation"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -219,6 +220,77 @@ func ConsolidationPolicies() []ConsolidationPolicy {
 	}
 }
 
+// ZombieStackPolicy returns the paper's zombie-aware consolidation planner.
+func ZombieStackPolicy() ConsolidationPolicy { return consolidation.NewZombieStack() }
+
+// ServerSpec is the per-server capacity the consolidation planners and the
+// online control plane size postures against.
+type ServerSpec = consolidation.ServerSpec
+
+// DefaultServerSpec returns the paper's server shape (8 cores, 16 GiB).
+func DefaultServerSpec() ServerSpec { return consolidation.DefaultServerSpec() }
+
 // LocalMemoryRule is the minimum fraction of a VM's memory that ZombieStack
 // keeps local (the 50% rule of Section 5.1).
 const LocalMemoryRule = placement.LocalMemoryRule
+
+// TraceStream is an incremental iterator over a trace's arrival and
+// departure events in causal order — the feed the online control plane
+// consumes. Create one with NewTraceStream.
+type TraceStream = trace.Stream
+
+// NewTraceStream builds the streaming arrival feed of a trace.
+func NewTraceStream(tr *Trace) *TraceStream { return trace.NewStream(tr) }
+
+// AutopilotConfig parameterises one online control-plane run: the trace
+// whose arrival feed to consume, the online policy, the hardware, and the
+// re-planning tick.
+type AutopilotConfig = autopilot.Config
+
+// AutopilotResult summarises one online run with the same costed accounting
+// as the offline simulator.
+type AutopilotResult = autopilot.Result
+
+// OnlinePolicy decides fleet postures online, seeing only the present and
+// the past (reactive threshold, hysteresis watermarks, predictive EWMA).
+type OnlinePolicy = autopilot.Policy
+
+// RegretReport compares an online policy's costed saving against the
+// offline dcsim oracle on the same trace.
+type RegretReport = autopilot.Report
+
+// AutopilotFleetExecutor mirrors the online control loop's decisions onto a
+// live Fleet as real per-server ACPI transitions. Create one with
+// NewAutopilotFleetExecutor and set it as AutopilotConfig.Executor.
+type AutopilotFleetExecutor = autopilot.FleetExecutor
+
+// RunAutopilot executes the online control loop over the trace's arrival
+// feed.
+func RunAutopilot(cfg AutopilotConfig) (AutopilotResult, error) { return autopilot.Run(cfg) }
+
+// AutopilotRegret runs the online loop and the offline oracle on the same
+// configuration and returns the regret comparison.
+func AutopilotRegret(cfg AutopilotConfig) (RegretReport, error) { return autopilot.Regret(cfg) }
+
+// CompareOnlinePolicies runs the regret comparison for every given policy on
+// the same configuration.
+func CompareOnlinePolicies(cfg AutopilotConfig, policies []OnlinePolicy) ([]RegretReport, error) {
+	return autopilot.CompareOnline(cfg, policies)
+}
+
+// OnlinePolicies returns a fresh instance of every bundled online policy
+// over the given base planner (reactive, hysteresis, ewma).
+func OnlinePolicies(base ConsolidationPolicy) []OnlinePolicy { return autopilot.Policies(base) }
+
+// RenderRegretComparison formats a set of regret reports as one table, a row
+// per policy.
+func RenderRegretComparison(reports []RegretReport) string {
+	return autopilot.RenderComparison(reports)
+}
+
+// NewAutopilotFleetExecutor builds the executor that applies online postures
+// to a live fleet; the fleet's server count must match the trace's machine
+// count.
+func NewAutopilotFleetExecutor(f *Fleet) *AutopilotFleetExecutor {
+	return autopilot.NewFleetExecutor(f)
+}
