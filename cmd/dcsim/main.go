@@ -27,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -53,48 +54,51 @@ func main() {
 	rackmodel := flag.Bool("rackmodel", false, "price steady-state epochs through the rack model's energy ledger instead of the abstract power tables")
 	flag.Parse()
 
-	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "dcsim: -workers must be non-negative (got %d)\n", *workers)
-		os.Exit(1)
-	}
-	transitionAxis, err := parseTransitionAxis(*transitions)
-	if err != nil {
+	if err := run(os.Stdout, *machines, *tasks, *horizon, *seed, *parallel, *sweep, *workers, *scales, *periods, *transitions, *rackmodel); err != nil {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
 	}
-	w := *workers
+}
+
+// run executes the tool against the given flag values, writing every report
+// to out — the entry point the golden-output test drives in-process.
+func run(out io.Writer, machines, tasks int, horizon, seed int64, parallel, sweep bool, workers int, scales, periods, transitions string, rackmodel bool) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be non-negative (got %d)", workers)
+	}
+	transitionAxis, err := parseTransitionAxis(transitions)
+	if err != nil {
+		return err
+	}
+	w := workers
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
 
-	if *sweep {
-		if err := runSweep(*machines, *tasks, *horizon, *seed, w, *scales, *periods, transitionAxis, *rackmodel); err != nil {
-			fmt.Fprintln(os.Stderr, "dcsim:", err)
-			os.Exit(1)
-		}
-		return
+	if sweep {
+		return runSweep(out, machines, tasks, horizon, seed, w, scales, periods, transitionAxis, rackmodel)
 	}
 
 	cfg := zombieland.Fig10Config{
-		Machines:    *machines,
-		Tasks:       *tasks,
-		HorizonSec:  *horizon,
-		Seed:        *seed,
-		RackPricing: *rackmodel,
+		Machines:    machines,
+		Tasks:       tasks,
+		HorizonSec:  horizon,
+		Seed:        seed,
+		RackPricing: rackmodel,
 	}
-	if *parallel || *workers > 0 {
+	if parallel || workers > 0 {
 		cfg.Workers = w
 	}
 	for _, costed := range transitionAxis {
 		cfg.TransitionCosts = costed
 		res, err := zombieland.Figure10(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dcsim:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(res.Render())
+		fmt.Fprintln(out, res.Render())
 	}
-	fmt.Println("Energy saving is relative to a fleet that keeps every server in S0 (no consolidation).")
+	fmt.Fprintln(out, "Energy saving is relative to a fleet that keeps every server in S0 (no consolidation).")
+	return nil
 }
 
 // parseTransitionAxis maps the -transitions flag onto the runs to perform.
@@ -114,7 +118,7 @@ func parseTransitionAxis(mode string) ([]bool, error) {
 // runSweep builds the scenario grid {policy} × {machine} × {trace variant ×
 // scale} × {period} × {transition axis} and prints the per-run table plus the
 // per-policy summary.
-func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string, transitionAxis []bool, rackmodel bool) error {
+func runSweep(out io.Writer, machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string, transitionAxis []bool, rackmodel bool) error {
 	scales, err := parseFloats(scalesCSV)
 	if err != nil {
 		return fmt.Errorf("-scales: %w", err)
@@ -173,13 +177,13 @@ func runSweep(machines, tasks int, horizon, seed int64, workers int, scalesCSV, 
 	if err != nil {
 		return err
 	}
-	fmt.Println(res.Render())
-	fmt.Println(res.RenderSummary())
+	fmt.Fprintln(out, res.Render())
+	fmt.Fprintln(out, res.RenderSummary())
 	pricing := "abstract power tables"
 	if rackmodel {
 		pricing = "rack energy ledger"
 	}
-	fmt.Printf("%d scenarios, %d sweep workers, steady state priced by the %s. Energy saving is relative to a no-consolidation fleet.\n",
+	fmt.Fprintf(out, "%d scenarios, %d sweep workers, steady state priced by the %s. Energy saving is relative to a no-consolidation fleet.\n",
 		len(res.Runs), workers, pricing)
 	return nil
 }

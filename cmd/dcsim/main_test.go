@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Everything the tool prints is a pure function of its
+// flags and seeds, so report-format regressions show up as a byte diff.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (bless the golden file with: go test ./cmd/... -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s (re-bless with -update after checking the diff):\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestGoldenFigure10 pins the Figure 10 report (transition costs off and on)
+// on a small fixed-seed fleet, with the parallel engine on two workers —
+// which the engine guarantees is bit-identical to sequential.
+func TestGoldenFigure10(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 40, 300, 4*3600, 42, false, false, 2, "1", "300", "both", false); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dcsim", buf.Bytes())
+}
+
+// TestGoldenSweep pins the scenario-sweep tables on a small grid.
+func TestGoldenSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 30, 200, 2*3600, 42, false, true, 2, "1", "300,600", "off", false); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dcsim_sweep", buf.Bytes())
+}

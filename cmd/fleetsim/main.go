@@ -11,11 +11,14 @@
 //	fleetsim -racks 8 -servers 8 -vms 24       # bigger fleet
 //	fleetsim -workers 8                        # wider execution pool
 //	fleetsim -mix spark-sql,data-caching       # workload mix to rotate
+//	fleetsim -chaos                            # scripted faults: crash, controller
+//	                                           #   kill, failed wake — with fault log
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,9 +37,10 @@ func main() {
 	workers := flag.Int("workers", 4, "worker-pool size for placement and workload execution")
 	hours := flag.Float64("hours", 1, "simulated hours to account energy over")
 	iterations := flag.Int("iterations", 2, "paging-replay iterations per workload")
+	chaosOn := flag.Bool("chaos", false, "inject a scripted fault sequence (server crash before placement, controller kill after, a failed wake) and print the fault log")
 	flag.Parse()
 
-	if err := run(*racks, *servers, *zombies, *memGiB, *vms, *vmGiB, *mix, *workers, *hours, *iterations); err != nil {
+	if err := run(os.Stdout, *racks, *servers, *zombies, *memGiB, *vms, *vmGiB, *mix, *workers, *hours, *iterations, *chaosOn); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
@@ -71,7 +75,7 @@ func parseMix(csv string) ([]zombieland.Workload, error) {
 	return kinds, nil
 }
 
-func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int) error {
+func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int, chaosOn bool) error {
 	// Upfront flag validation with the valid ranges, so a bad invocation
 	// fails before any fleet state is built.
 	if racks < 1 {
@@ -107,7 +111,7 @@ func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, wo
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Fleet up: %d racks x %d servers (%d GiB each), worker pool %d.\n\n", racks, servers, memGiB, workers)
+	fmt.Fprintf(out, "Fleet up: %d racks x %d servers (%d GiB each), worker pool %d.\n\n", racks, servers, memGiB, workers)
 
 	// Every second rack lends: its tail servers go to Sz and feed the
 	// fleet-wide remote memory pool; the other racks stay dry and must
@@ -120,8 +124,24 @@ func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, wo
 			}
 		}
 	}
-	fmt.Printf("Lender racks ready: %.1f GiB of remote memory fleet-wide.\n\n",
+	fmt.Fprintf(out, "Lender racks ready: %.1f GiB of remote memory fleet-wide.\n\n",
 		float64(f.FreeRemoteMemory())/float64(1<<30))
+
+	// The scripted fault sequence of -chaos: a dry-rack server crashes
+	// before placement (the batch must route around it), a lender's
+	// controller dies after the workloads (the secondary promotes, borrowed
+	// memory keeps serving), and a wake attempt fails once (the injected
+	// stuck-zombie fault) before succeeding on retry.
+	var chaosEvents *metrics.Table
+	var crashedServer string
+	if chaosOn {
+		chaosEvents = metrics.NewTable("Chaos events (scripted)", "event", "target", "outcome")
+		crashedServer = f.Rack(0).Servers()[servers-1]
+		if err := f.CrashServer(0, crashedServer); err != nil {
+			return err
+		}
+		chaosEvents.AddRow("server-crash", crashedServer, "placement must route around it")
+	}
 
 	var specs []zombieland.VM
 	for i := 0; i < vms; i++ {
@@ -155,7 +175,7 @@ func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, wo
 			Seed:       int64(i + 1),
 		})
 	}
-	fmt.Println(pt.String())
+	fmt.Fprintln(out, pt.String())
 
 	lt := metrics.NewTable("Cross-rack borrow ledger", "vm", "borrower", "lender", "gib", "buffers")
 	for _, b := range f.BorrowLedger() {
@@ -163,7 +183,7 @@ func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, wo
 			metrics.FormatFloat(float64(b.Bytes)/float64(1<<30)),
 			metrics.FormatFloat(float64(b.Buffers)))
 	}
-	fmt.Println(lt.String())
+	fmt.Fprintln(out, lt.String())
 
 	results := f.RunWorkloads(reqs)
 	wt := metrics.NewTable("Workloads (pool-sharded)", "vm", "rack", "workload", "accesses", "major-faults", "remote-ms")
@@ -175,7 +195,7 @@ func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, wo
 		wt.AddRowf(res.VM, res.Rack, res.Kind.String(),
 			res.Stats.Accesses, res.Stats.MajorFaults, res.Stats.RemoteNs/1e6)
 	}
-	fmt.Println(wt.String())
+	fmt.Fprintln(out, wt.String())
 
 	ft := metrics.NewTable("Inter-rack RDMA traffic (lender fabrics)", "rack", "ops", "bytes", "premium-ms")
 	for i, st := range f.FabricStats() {
@@ -184,14 +204,65 @@ func run(racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, wo
 		}
 		ft.AddRowf(f.RackNames()[i], st.InterRackOps, st.InterRackBytes, float64(st.InterRackNs)/1e6)
 	}
-	fmt.Println(ft.String())
+	fmt.Fprintln(out, ft.String())
+
+	if chaosOn {
+		if err := runChaosScript(out, f, chaosEvents, crashedServer, racks); err != nil {
+			return err
+		}
+	}
 
 	f.AdvanceClock(int64(hours * 3600 * 1e9))
 	perRack := metrics.NewTable(fmt.Sprintf("Energy over %.1f simulated hour(s)", hours), "rack", "joules")
 	for i := 0; i < f.Racks(); i++ {
 		perRack.AddRowf(f.RackNames()[i], f.Rack(i).TotalEnergyJoules())
 	}
-	fmt.Println(perRack.String())
-	fmt.Printf("Fleet total: %.0f J across %d racks.\n", f.TotalEnergyJoules(), f.Racks())
+	fmt.Fprintln(out, perRack.String())
+	fmt.Fprintf(out, "Fleet total: %.0f J across %d racks.\n", f.TotalEnergyJoules(), f.Racks())
+	return nil
+}
+
+// failNextWakes is the scripted FaultInjector: the first n wake attempts
+// fail, the rest pass.
+type failNextWakes struct{ n int }
+
+func (fi *failNextWakes) WakeFails(rack int, server string) bool {
+	if fi.n > 0 {
+		fi.n--
+		return true
+	}
+	return false
+}
+
+// runChaosScript drives the post-workload faults of -chaos and prints the
+// fault log: a lender controller dies (the secondary promotes itself and
+// every cross-rack borrow keeps serving) and the crashed server is revived
+// but sticks on its first wake attempt.
+func runChaosScript(out io.Writer, f *zombieland.Fleet, events *metrics.Table, crashedServer string, racks int) error {
+	if racks > 1 {
+		borrowsBefore := len(f.BorrowLedger())
+		if err := f.KillController(1, f.Rack(1).Now()+10e9); err != nil {
+			return err
+		}
+		outcome := fmt.Sprintf("secondary promoted, %d borrows kept serving", borrowsBefore)
+		events.AddRow("controller-kill", f.RackNames()[1], outcome)
+	}
+	if err := f.ReviveServer(0, crashedServer); err != nil {
+		return err
+	}
+	events.AddRow("server-revive", crashedServer, "back in the control plane")
+	if err := f.Suspend(0, crashedServer, zombieland.S3); err != nil {
+		return err
+	}
+	f.SetFaultInjector(&failNextWakes{n: 1})
+	if err := f.Wake(0, crashedServer); err != nil {
+		events.AddRow("wake-failure", crashedServer, "stuck on first attempt: "+err.Error())
+	}
+	if err := f.Wake(0, crashedServer); err != nil {
+		return err
+	}
+	f.SetFaultInjector(nil)
+	events.AddRow("wake-retry", crashedServer, "second attempt woke the server")
+	fmt.Fprintln(out, events.String())
 	return nil
 }

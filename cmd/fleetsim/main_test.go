@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (bless the golden file with: go test ./cmd/... -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s (re-bless with -update after checking the diff):\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestGoldenFleetScenario pins the full fleetsim report — placement table,
+// borrow ledger, workload and fabric tables, energy — on a small fleet with
+// the scripted -chaos fault sequence on, so the fault log format is pinned
+// too.
+func TestGoldenFleetScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", 2, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleetsim_chaos", buf.Bytes())
+}

@@ -16,16 +16,20 @@
 //	onlinesim -planner oasis -machine dell     # different planner / power profile
 //	onlinesim -tick 600 -hours 12 -seed 7      # control loop and trace knobs
 //	onlinesim -execute -racks 25 -servers 8    # mirror decisions onto a live fleet
+//	onlinesim -chaos light                     # resilience under a fault schedule
+//	onlinesim -chaos all -chaos-seed 7         # off/light/heavy severity sweep
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/acpi"
 	"repro/internal/autopilot"
+	"repro/internal/chaos"
 	"repro/internal/consolidation"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -47,15 +51,17 @@ func main() {
 	racks := flag.Int("racks", 25, "racks of the live fleet (with -execute; racks*servers must equal -machines)")
 	servers := flag.Int("servers", 8, "servers per rack of the live fleet (with -execute)")
 	memGiB := flag.Int("mem-gib", 1, "memory per live-fleet server in GiB (with -execute; every Sz entry delegates this much real buffer memory, so keep it small)")
+	chaosMode := flag.String("chaos", "", "fault-injection scenario: off, light, heavy or all (empty disables the chaos axis)")
+	chaosSeed := flag.Int64("chaos-seed", 42, "fault-schedule seed (with -chaos; the report is bit-reproducible per seed)")
 	flag.Parse()
 
-	if err := run(*machines, *tasks, *hours, *seed, *modified, *tick, *policy, *planner, *machine, *execute, *racks, *servers, *memGiB); err != nil {
+	if err := run(os.Stdout, *machines, *tasks, *hours, *seed, *modified, *tick, *policy, *planner, *machine, *execute, *racks, *servers, *memGiB, *chaosMode, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "onlinesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(machines, tasks int, hours float64, seed int64, modified bool, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int) error {
+func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified bool, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int, chaosMode string, chaosSeed int64) error {
 	// Upfront flag validation with the valid ranges, so a bad invocation
 	// fails before any simulation state is built.
 	if machines < 1 {
@@ -84,6 +90,20 @@ func run(machines, tasks int, hours float64, seed int64, modified bool, tick int
 			return fmt.Errorf("-racks %d x -servers %d = %d servers, but the trace fleet has %d machines",
 				racks, servers, racks*servers, machines)
 		}
+	}
+	var chaosScenarios []string
+	switch chaosMode {
+	case "":
+		// Chaos axis disabled.
+	case "all":
+		chaosScenarios = chaos.ScenarioNames()
+	case "off", "light", "heavy":
+		chaosScenarios = []string{chaosMode}
+	default:
+		return fmt.Errorf("unknown -chaos %q (valid: off, light, heavy, all)", chaosMode)
+	}
+	if len(chaosScenarios) > 0 && execute {
+		return fmt.Errorf("-chaos runs on the abstract ledger; drop -execute (live-fleet faults go through the fleet fault surface)")
 	}
 	base, err := consolidation.PolicyByName(planner)
 	if err != nil {
@@ -124,7 +144,7 @@ func run(machines, tasks int, hours float64, seed int64, modified bool, tick int
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Trace %s: %d machines, %d tasks over %.1f h (seed %d). Online tick %d s, planner %s, %s profile.\n\n",
+	fmt.Fprintf(out, "Trace %s: %d machines, %d tasks over %.1f h (seed %d). Online tick %d s, planner %s, %s profile.\n\n",
 		tr.Name, tr.Machines, len(tr.Tasks), hours, seed, tick, base.Name(), profile.Name)
 
 	cfg := autopilot.Config{
@@ -133,10 +153,13 @@ func run(machines, tasks int, hours float64, seed int64, modified bool, tick int
 		ServerSpec: consolidation.DefaultServerSpec(),
 		TickSec:    tick,
 	}
+	if len(chaosScenarios) > 0 {
+		return runChaos(out, cfg, policies, chaosScenarios, chaosSeed)
+	}
 	if execute {
 		// Each policy run needs its own live fleet: the executor replays real
 		// ACPI transitions and the ledger is cumulative.
-		fmt.Printf("Executing against a live %dx%d fleet per policy.\n\n", racks, servers)
+		fmt.Fprintf(out, "Executing against a live %dx%d fleet per policy.\n\n", racks, servers)
 	}
 
 	var reports []autopilot.Report
@@ -160,7 +183,7 @@ func run(machines, tasks int, hours float64, seed int64, modified bool, tick int
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%s: live fleet ledger %.0f J after the run.\n", pol.Name(), exec.EnergyJoules())
+			fmt.Fprintf(out, "%s: live fleet ledger %.0f J after the run.\n", pol.Name(), exec.EnergyJoules())
 			reports = append(reports, rep)
 			continue
 		}
@@ -171,21 +194,50 @@ func run(machines, tasks int, hours float64, seed int64, modified bool, tick int
 		reports = append(reports, rep)
 	}
 	if execute {
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	if len(reports) == 1 {
-		fmt.Println(reports[0].Render())
+		fmt.Fprintln(out, reports[0].Render())
 		return nil
 	}
-	fmt.Println(autopilot.RenderComparison(reports))
+	fmt.Fprintln(out, autopilot.RenderComparison(reports))
 	best := reports[0]
 	for _, r := range reports[1:] {
 		if r.Online.SavingPercent > best.Online.SavingPercent {
 			best = r
 		}
 	}
-	fmt.Printf("Best online policy: %s at %.2f%% saving, %.2f points of regret behind the offline oracle (%.2f%%).\n",
+	fmt.Fprintf(out, "Best online policy: %s at %.2f%% saving, %.2f points of regret behind the offline oracle (%.2f%%).\n",
 		best.Policy, best.Online.SavingPercent, best.RegretPercent, best.Oracle.SavingPercent)
+	return nil
+}
+
+// runChaos is the -chaos axis: every selected policy replays under every
+// selected fault scenario, and the severity comparison is printed per
+// policy (plus the full report when a single scenario was asked for).
+func runChaos(out io.Writer, cfg autopilot.Config, policies []autopilot.Policy, scenarios []string, chaosSeed int64) error {
+	plans := make([]*chaos.Plan, 0, len(scenarios))
+	for _, name := range scenarios {
+		plan, err := chaos.Scenario(name, cfg.Trace.HorizonSec, cfg.Trace.Machines, chaosSeed)
+		if err != nil {
+			return err
+		}
+		plans = append(plans, plan)
+	}
+	fmt.Fprintf(out, "Chaos axis: %s (fault seed %d).\n\n", strings.Join(scenarios, ", "), chaosSeed)
+	for _, pol := range policies {
+		c := cfg
+		c.Policy = pol
+		reports, err := autopilot.CompareChaos(c, plans)
+		if err != nil {
+			return err
+		}
+		if len(reports) == 1 {
+			fmt.Fprintln(out, reports[0].Render())
+			continue
+		}
+		fmt.Fprintln(out, chaos.RenderComparison(reports))
+	}
 	return nil
 }

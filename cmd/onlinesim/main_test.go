@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (bless the golden file with: go test ./cmd/... -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s (re-bless with -update after checking the diff):\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestGoldenRegretComparison pins the three-policy regret comparison on a
+// small fixed-seed trace.
+func TestGoldenRegretComparison(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 40, 300, 4, 42, false, 600, "all", "zombiestack", "hp",
+		false, 0, 0, 0, "", 42); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "onlinesim", buf.Bytes())
+}
+
+// TestGoldenChaosAxis pins the chaos severity sweep (off/light/heavy) for
+// one policy — the resilience table format and its numbers.
+func TestGoldenChaosAxis(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 40, 300, 4, 42, false, 600, "hysteresis", "zombiestack", "hp",
+		false, 0, 0, 0, "all", 42); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "onlinesim_chaos", buf.Bytes())
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/acpi"
+	"repro/internal/chaos"
 	"repro/internal/consolidation"
 	"repro/internal/dcsim"
 	"repro/internal/energy"
@@ -36,6 +38,17 @@ type Config struct {
 	// live fleet.Fleet via FleetExecutor). Nil keeps the run on the abstract
 	// energy ledger only.
 	Executor Executor
+	// Chaos replays the run under a deterministic fault schedule: crashes,
+	// stuck wakes, controller losses and fabric degradation are injected as
+	// loop events and billed as energy penalties (see chaos.go). Nil or an
+	// empty plan leaves the run bit-identical to the fault-free path. The
+	// caller decides whether to apply the plan's trace perturbation
+	// (chaos.Plan.PerturbTrace) — Regret and RunChaos do.
+	Chaos *chaos.Plan
+	// Workers shards the offline oracle's epoch accounting when this config
+	// is replayed through Regret or RunChaos; the online loop itself is
+	// inherently sequential. Any value yields bit-identical reports.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -68,6 +81,18 @@ func (c *Config) Validate() error {
 		if err := c.Transitions.Validate(); err != nil {
 			return err
 		}
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("autopilot: negative worker count %d", c.Workers)
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
+	if c.Executor != nil && !c.Chaos.Empty() {
+		// The executor maps postures onto a fixed-size live fleet; a chaos
+		// run shrinks the abstract fleet under it. Drive live-fleet faults
+		// through fleet.Fleet's own fault surface instead.
+		return fmt.Errorf("autopilot: chaos runs use the abstract ledger only; unset Executor or use an empty plan")
 	}
 	// An executor that knows its server count (FleetExecutor does) must match
 	// the trace's fleet size — catching it here turns a mid-run panic into a
@@ -136,6 +161,23 @@ type Result struct {
 	// PeakActiveHosts the maximum posture the loop ever held.
 	MeanActiveHosts float64
 	PeakActiveHosts int
+
+	// Chaos counters, all zero on a fault-free run. ChaosScenario names the
+	// fault plan; SLOViolations counts arrivals the degraded fleet could not
+	// serve at full capacity; WastedTransitions the ACPI events that bought
+	// nothing (failed wakes); WastedJoules every fault penalty charged to
+	// EnergyJoules (wedged-server burn, stuck zombies, wasted wakes,
+	// re-homing transfers, controller rebuilds); ReHomedGiB the remote
+	// memory re-homed off crashed serving servers; ServerCrashes /
+	// StuckZombies / ControllerFailovers the faults that actually struck.
+	ChaosScenario       string
+	SLOViolations       int
+	WastedTransitions   int
+	WastedJoules        float64
+	ReHomedGiB          float64
+	ServerCrashes       int
+	StuckZombies        int
+	ControllerFailovers int
 }
 
 // loop is the mutable state of one run.
@@ -163,6 +205,11 @@ type loop struct {
 
 	res      Result
 	activeDt float64
+
+	// chaos is the fault-injection state of the run, nil on fault-free runs
+	// so every chaos branch is skipped and the loop stays bit-identical to
+	// the pre-chaos path.
+	chaos *chaosRun
 }
 
 // Run executes the online control loop over the trace's arrival feed.
@@ -203,6 +250,10 @@ func Run(cfg Config) (Result, error) {
 		TickSec:         cfg.TickSec,
 		PeakActiveHosts: l.posture.ActiveHosts,
 	}
+	if !cfg.Chaos.Empty() {
+		l.chaos = newChaosRun(cfg.Chaos)
+		l.res.ChaosScenario = cfg.Chaos.Name
+	}
 
 	horizon := cfg.Trace.HorizonSec
 	stream := trace.NewStream(cfg.Trace)
@@ -211,8 +262,8 @@ func Run(cfg Config) (Result, error) {
 	nextTick := cfg.TickSec
 
 	for now < horizon {
-		// The next moment: the earliest of the next stream event, the next
-		// tick and the horizon.
+		// The next moment: the earliest of the next chaos fault, the next
+		// stream event, the next tick and the horizon.
 		t := horizon
 		if nextTick < t {
 			t = nextTick
@@ -220,20 +271,42 @@ func Run(cfg Config) (Result, error) {
 		if evOK && ev.AtSec < t {
 			t = ev.AtSec
 		}
+		if l.chaos != nil {
+			if m, ok := l.chaos.peek(); ok && m.at < t {
+				t = m.at
+			}
+		}
 		l.integrate(now, t)
 		now = t
 
+		// At equal instants faults strike first (the fleet an arrival meets
+		// is the already-degraded one), then the stream's departures and
+		// arrivals, then a due tick — fully deterministic.
+		if l.chaos != nil {
+			for {
+				m, ok := l.chaos.peek()
+				if !ok || m.at != now {
+					break
+				}
+				l.chaos.pop()
+				if err := l.chaosMoment(now, m); err != nil {
+					return Result{}, err
+				}
+			}
+		}
 		for evOK && ev.AtSec == now {
 			if ev.Kind == trace.Depart {
 				l.depart(ev.Task)
-			} else {
-				l.arrive(ev.Task)
+			} else if err := l.arrive(ev.Task); err != nil {
+				return Result{}, err
 			}
 			ev, evOK = stream.Next()
 		}
 		if now == nextTick {
 			if now < horizon {
-				l.tick(now, horizon)
+				if err := l.tick(now, horizon); err != nil {
+					return Result{}, err
+				}
 			}
 			nextTick += cfg.TickSec
 		}
@@ -242,13 +315,25 @@ func Run(cfg Config) (Result, error) {
 }
 
 // integrate advances the physical clock for [from, to): the time-weighted
-// posture statistics and the executor's backing system. Steady-state energy
-// is not charged here — the ledger bills whole intervals in billInterval.
+// posture statistics, the executor's backing system, and the chaos burn.
+// Steady-state energy is not charged here — the ledger bills whole intervals
+// in billInterval — but crashed and stuck servers ARE: their counts only
+// change at chaos moments, and every moment bounds an integrate span, so
+// accruing their burn here integrates the wedged time exactly, matching the
+// offline engine's CrashedServerSeconds accounting second for second.
 func (l *loop) integrate(from, to int64) {
 	if to <= from {
 		return
 	}
 	l.activeDt += float64(l.posture.ActiveHosts) * float64(to-from)
+	if l.chaos != nil && (l.chaos.crashed > 0 || l.chaos.stuck > 0) {
+		// Crashed servers wedge at S0 idle power and stuck zombies burn Sz
+		// until their windows close — pure penalties on the consolidated
+		// side, never on the baseline.
+		burn := float64(l.chaos.crashed)*l.cfg.Machine.PowerWatts(acpi.S0, 0) +
+			float64(l.chaos.stuck)*l.cfg.Machine.PowerWatts(acpi.Sz, 0)
+		l.addPenalty(burn * float64(to-from))
+	}
 	if l.cfg.Executor != nil {
 		l.cfg.Executor.Advance(to - from)
 	}
@@ -275,17 +360,47 @@ func (l *loop) billInterval(to int64) {
 	l.res.BaselineJoules += dcsim.BaselinePowerWatts(l.cfg.Machine, l.cfg.ServerSpec, usedCPU, l.total) * dt
 }
 
+// addPenalty charges a chaos fault penalty: energy on the consolidated fleet
+// only, tracked separately so the report can attribute it.
+func (l *loop) addPenalty(joules float64) {
+	l.res.EnergyJoules += joules
+	l.res.WastedJoules += joules
+}
+
+// available returns the number of servers the controller can actually use:
+// the fleet minus the servers chaos currently holds crashed or stuck.
+func (l *loop) available() int {
+	if l.chaos == nil {
+		return l.total
+	}
+	n := l.total - l.chaos.crashed - l.chaos.stuck
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // arrive admits and places one task at its arrival instant. A task whose
 // booked reservation cannot fit the fleet even fully awake is rejected; an
 // admitted task that does not fit the current posture triggers an emergency
-// wake, billed as ACPI transitions.
-func (l *loop) arrive(t trace.Task) {
+// wake, billed as ACPI transitions. Under chaos the fleet an arrival meets
+// is the degraded one: crashed and stuck servers neither admit nor host, and
+// an arrival squeezed out (or placed short of the planner's requirement) by
+// faults counts as an SLO violation.
+func (l *loop) arrive(t trace.Task) error {
 	l.res.Arrivals++
 	v := demandOf(t)
-	if l.bookedCPU+v.BookedCPU > float64(l.total)*l.cfg.ServerSpec.Cores ||
-		l.bookedMem+v.BookedMemGiB > float64(l.total)*l.cfg.ServerSpec.MemGiB {
+	capacity := l.available()
+	if l.bookedCPU+v.BookedCPU > float64(capacity)*l.cfg.ServerSpec.Cores ||
+		l.bookedMem+v.BookedMemGiB > float64(capacity)*l.cfg.ServerSpec.MemGiB {
+		if l.chaos != nil && capacity < l.total &&
+			l.bookedCPU+v.BookedCPU <= float64(l.total)*l.cfg.ServerSpec.Cores &&
+			l.bookedMem+v.BookedMemGiB <= float64(l.total)*l.cfg.ServerSpec.MemGiB {
+			// The healthy fleet would have admitted it.
+			l.res.SLOViolations++
+		}
 		l.res.Rejected++
-		return
+		return nil
 	}
 	l.insert(v)
 	l.cum = insertSorted(l.cum, v)
@@ -299,14 +414,49 @@ func (l *loop) arrive(t trace.Task) {
 	// interval has hosted). If the posture holds fewer active hosts than
 	// required, wake the difference immediately — sleepers first, then
 	// zombies, then memory servers.
-	required := l.planner.Plan(l.cum, l.cfg.ServerSpec, l.total)
-	if need := required.ActiveHosts - l.posture.ActiveHosts; need > 0 {
-		next := wake(l.posture, need)
-		next = l.normalize(l.posture.Policy, next)
-		d := consolidation.Delta(l.posture, next, len(l.vms))
-		l.res.EmergencyWakes += d.SleepExits + d.ZombieExits + d.MemoryServerStops
-		l.applyPosture(t.StartSec, next, false, 0) // ACPI cost only: no churn mid-epoch
+	required := l.planner.Plan(l.cum, l.cfg.ServerSpec, l.available())
+	if required.ActiveHosts > l.posture.ActiveHosts {
+		if err := l.ensureActive(t.StartSec, required.ActiveHosts); err != nil {
+			return err
+		}
+		if l.chaos != nil && l.posture.ActiveHosts < required.ActiveHosts {
+			// Every wake candidate is crashed or stuck: the task runs on a
+			// fleet below the planner's requirement.
+			l.res.SLOViolations++
+		}
 	}
+	return nil
+}
+
+// ensureActive raises the posture to the required number of active hosts
+// through the emergency-wake path: sleepers first, then zombies, then memory
+// servers, ACPI cost only (no churn mid-epoch). Under chaos, S3->S0 attempts
+// can fail — the failed server sticks in a zombie-like state, the wasted
+// transition is billed, and the wake escalates to the next candidate.
+func (l *loop) ensureActive(nowSec int64, required int) error {
+	need := required - l.posture.ActiveHosts
+	if need <= 0 {
+		return nil
+	}
+	if l.chaos != nil && l.posture.SleepHosts > 0 {
+		attempts := need
+		if attempts > l.posture.SleepHosts {
+			attempts = l.posture.SleepHosts
+		}
+		if failed := l.chaos.takeWakeFailures(nowSec, attempts); failed > 0 {
+			l.posture.SleepHosts -= failed
+			l.chaos.stuck += failed
+			l.res.StuckZombies += failed
+			l.res.WastedTransitions += failed
+			l.res.StateTransitions += failed
+			l.addPenalty(float64(failed) * l.cfg.Machine.TransitionJoules(acpi.S3, acpi.S0))
+		}
+	}
+	next := wake(l.posture, need)
+	next = l.normalize(l.posture.Policy, next)
+	d := consolidation.Delta(l.posture, next, len(l.vms))
+	l.res.EmergencyWakes += d.SleepExits + d.ZombieExits + d.MemoryServerStops
+	return l.applyPosture(nowSec, next, false, 0) // ACPI cost only: no churn mid-epoch
 }
 
 // depart retires one admitted task.
@@ -325,7 +475,7 @@ func (l *loop) depart(t trace.Task) {
 // policy observes the current population and posture and decides the posture
 // for the next interval, billed through the shared transition-cost model
 // (churn included, over the interval that the posture will hold).
-func (l *loop) tick(now, horizon int64) {
+func (l *loop) tick(now, horizon int64) error {
 	l.billInterval(now)
 	obs := Observation{
 		NowSec:       now,
@@ -333,30 +483,40 @@ func (l *loop) tick(now, horizon int64) {
 		VMs:          l.vms,
 		Prev:         l.posture,
 		Spec:         l.cfg.ServerSpec,
-		TotalServers: l.total,
+		TotalServers: l.available(),
 	}
 	plan := l.normalize(l.cfg.Policy.Name(), l.cfg.Policy.Decide(obs))
 	dt := l.cfg.TickSec
 	if rest := horizon - now; rest < dt {
 		dt = rest
 	}
-	l.applyPosture(now, plan, true, float64(dt))
+	if err := l.applyPosture(now, plan, true, float64(dt)); err != nil {
+		return err
+	}
 	l.res.Ticks++
 	l.intervalStart = now
 	l.cum = append(l.cum[:0], l.vms...)
+	return nil
 }
 
 // applyPosture bills the posture change and installs it. withChurn selects
 // whether the remote-memory churn of the new posture over dtSec is charged —
 // true at ticks (mirroring the offline engine's per-epoch charge), false for
 // mid-interval emergency wakes, whose interval was already charged at the
-// last tick.
-func (l *loop) applyPosture(nowSec int64, next consolidation.FleetPlan, withChurn bool, dtSec float64) {
+// last tick. Under chaos the churn is scaled by the interval's time-weighted
+// fabric degradation factor. An executor failure (a live fleet refusing a
+// transition) is returned, not swallowed: a failed transition must surface
+// rather than silently strand the tasks the posture was sized for.
+func (l *loop) applyPosture(nowSec int64, next consolidation.FleetPlan, withChurn bool, dtSec float64) error {
 	priced := next
 	if !withChurn {
 		priced.RemoteMemoryGiB = 0
 	}
-	bill := l.cfg.Transitions.Cost(l.cfg.Machine, l.planner.Name(), l.posture, priced, l.vms, dtSec)
+	fabric := 1.0
+	if l.chaos != nil && withChurn {
+		fabric = l.chaos.plan.FabricFactor(nowSec, nowSec+int64(dtSec))
+	}
+	bill := l.cfg.Transitions.CostWithFabric(l.cfg.Machine, l.planner.Name(), l.posture, priced, l.vms, dtSec, fabric)
 	l.res.EnergyJoules += bill.Joules
 	l.res.TransitionJoules += bill.Joules
 	l.res.StateTransitions += bill.Transitions
@@ -364,21 +524,22 @@ func (l *loop) applyPosture(nowSec int64, next consolidation.FleetPlan, withChur
 	l.res.MigrationSeconds += bill.MigrationSeconds
 	if l.cfg.Executor != nil {
 		if err := l.cfg.Executor.Apply(nowSec, l.posture, next); err != nil {
-			// Executor divergence is a modelling bug; surface it loudly
-			// rather than silently drifting from the ledger.
-			panic(fmt.Sprintf("autopilot: executor apply: %v", err))
+			return fmt.Errorf("autopilot: executor apply at %ds: %w", nowSec, err)
 		}
 	}
 	l.posture = next
 	if next.ActiveHosts > l.res.PeakActiveHosts {
 		l.res.PeakActiveHosts = next.ActiveHosts
 	}
+	return nil
 }
 
-// normalize clamps a policy's plan to the fleet size, recomputes the residual
+// normalize clamps a policy's plan to the servers actually available (the
+// fleet minus any chaos-crashed or stuck servers), recomputes the residual
 // sleepers and the active utilization from the actually-running population,
 // and stamps the policy name.
 func (l *loop) normalize(name string, p consolidation.FleetPlan) consolidation.FleetPlan {
+	avail := l.available()
 	clamp := func(n, hi int) int {
 		if n < 0 {
 			return 0
@@ -388,10 +549,10 @@ func (l *loop) normalize(name string, p consolidation.FleetPlan) consolidation.F
 		}
 		return n
 	}
-	p.ActiveHosts = clamp(p.ActiveHosts, l.total)
-	p.ZombieHosts = clamp(p.ZombieHosts, l.total-p.ActiveHosts)
-	p.MemoryServers = clamp(p.MemoryServers, l.total-p.ActiveHosts-p.ZombieHosts)
-	p.SleepHosts = l.total - p.ActiveHosts - p.ZombieHosts - p.MemoryServers
+	p.ActiveHosts = clamp(p.ActiveHosts, avail)
+	p.ZombieHosts = clamp(p.ZombieHosts, avail-p.ActiveHosts)
+	p.MemoryServers = clamp(p.MemoryServers, avail-p.ActiveHosts-p.ZombieHosts)
+	p.SleepHosts = avail - p.ActiveHosts - p.ZombieHosts - p.MemoryServers
 	p.Policy = name
 	p.ActiveCPUUtilization = utilization(l.usedCPU, p.ActiveHosts, l.cfg.ServerSpec.Cores)
 	return p

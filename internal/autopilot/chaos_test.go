@@ -1,0 +1,276 @@
+package autopilot
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/consolidation"
+	"repro/internal/trace"
+)
+
+// chaosTrace is a smaller diurnal trace so the chaos matrix (4 simulations
+// per report) stays fast.
+func chaosTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.Machines = 80
+	cfg.Tasks = 900
+	cfg.HorizonSec = 8 * 3600
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestChaosDeterminism pins the determinism contract: the same seed and
+// fault plan produce a bit-identical chaos.Report across repeated runs and
+// across oracle worker counts.
+func TestChaosDeterminism(t *testing.T) {
+	tr := chaosTrace(t)
+	plan, err := chaos.Scenario("heavy", tr.HorizonSec, tr.Machines, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) chaos.Report {
+		cfg := baseConfig(tr)
+		cfg.TickSec = 600
+		cfg.Workers = workers
+		cfg.Policy = NewHysteresis(consolidation.NewZombieStack())
+		rep, err := RunChaos(cfg, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	first := run(1)
+	if first.Faults.Total() == 0 {
+		t.Fatal("heavy scenario injected no faults")
+	}
+	for _, workers := range []int{1, 4, 9} {
+		if got := run(workers); !reflect.DeepEqual(got, first) {
+			t.Fatalf("chaos report diverged at Workers=%d:\n got %+v\nwant %+v", workers, got, first)
+		}
+	}
+}
+
+// TestChaosResilienceBound pins the resilience ordering for every bundled
+// policy: savings under faults <= savings fault-free <= the offline oracle —
+// fault penalties are pure additions to the consolidated side's energy, so
+// injecting faults can only lower the saving. The plan deliberately carries
+// no trace bursts: a burst changes the population (and with it the baseline)
+// on both sides, which is a different experiment than degrading the fleet
+// under an identical load.
+func TestChaosResilienceBound(t *testing.T) {
+	tr := chaosTrace(t)
+	plan, err := chaos.New(chaos.PlanConfig{
+		Name: "bound", Seed: 11, HorizonSec: tr.HorizonSec, Machines: tr.Machines,
+		Crashes: 3, WakeFailures: 4, ControllerLosses: 2, FabricDegradations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range Policies(consolidation.NewZombieStack()) {
+		cfg := baseConfig(tr)
+		cfg.TickSec = 600
+		cfg.Policy = pol
+		rep, err := RunChaos(cfg, plan)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if rep.ServerCrashes == 0 || rep.WastedJoules <= 0 {
+			t.Errorf("%s: plan did not strike (crashes %d, wasted %.1f J)",
+				pol.Name(), rep.ServerCrashes, rep.WastedJoules)
+		}
+		if rep.SavingPercent >= rep.FaultFreeSavingPercent {
+			t.Errorf("%s: faulted saving %.4f%% not below fault-free %.4f%%",
+				pol.Name(), rep.SavingPercent, rep.FaultFreeSavingPercent)
+		}
+		if rep.FaultFreeSavingPercent >= rep.OracleSavingPercent {
+			t.Errorf("%s: fault-free saving %.4f%% not below the oracle %.4f%%",
+				pol.Name(), rep.FaultFreeSavingPercent, rep.OracleSavingPercent)
+		}
+		if rep.SavingsRetainedPercent <= 0 || rep.SavingsRetainedPercent >= 100 {
+			t.Errorf("%s: savings retained %.4f%%, want in (0,100)", pol.Name(), rep.SavingsRetainedPercent)
+		}
+	}
+}
+
+// TestChaosEmptyPlanBitIdentical pins the other half of the determinism
+// contract: a run under an empty fault plan is bit-identical to the plain
+// no-chaos path (every chaos branch must add exact zeros or not run at all).
+func TestChaosEmptyPlanBitIdentical(t *testing.T) {
+	tr := chaosTrace(t)
+	empty, err := chaos.Scenario("off", tr.HorizonSec, tr.Machines, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Empty() {
+		t.Fatal("scenario off is not empty")
+	}
+	for _, pol := range []func() Policy{
+		func() Policy { return NewReactive(consolidation.NewZombieStack()) },
+		func() Policy { return NewPredictiveEWMA(consolidation.NewZombieStack()) },
+	} {
+		plain := baseConfig(tr)
+		plain.Policy = pol()
+		want, err := Run(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chaosCfg := baseConfig(tr)
+		chaosCfg.Policy = pol()
+		chaosCfg.Chaos = empty
+		got, err := Run(chaosCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: empty-plan run diverged from the no-chaos path:\n got %+v\nwant %+v",
+				want.Policy, got, want)
+		}
+	}
+}
+
+// TestChaosWakeFailuresStrand pins the stuck-zombie path: a wake-failure
+// window covering the whole horizon forces emergency wakes to fail, bill
+// wasted transitions and escalate.
+func TestChaosWakeFailuresStrand(t *testing.T) {
+	tr := chaosTrace(t)
+	plan := &chaos.Plan{
+		Name: "stuck", Seed: 1, HorizonSec: tr.HorizonSec,
+		Faults: []chaos.Fault{{Kind: chaos.WakeFailure, AtSec: 0, DurationSec: tr.HorizonSec, Count: 25}},
+	}
+	cfg := baseConfig(tr)
+	cfg.Policy = NewReactive(consolidation.NewZombieStack())
+	rep, err := RunChaos(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StuckZombies == 0 || rep.WastedTransitions == 0 {
+		t.Fatalf("no stuck zombies despite a horizon-wide wake-failure window: %+v", rep)
+	}
+	if rep.StuckZombies > 25 {
+		t.Fatalf("stuck zombies %d exceed the fault budget 25", rep.StuckZombies)
+	}
+	if rep.SavingPercent >= rep.FaultFreeSavingPercent {
+		t.Fatalf("wasted wakes did not lower the saving: %.4f%% vs %.4f%%",
+			rep.SavingPercent, rep.FaultFreeSavingPercent)
+	}
+}
+
+// TestChaosTraceBurstPerturbsBothSides checks the burst axis: the perturbed
+// trace carries more tasks, and both the online run and the oracle replay it
+// (arrivals match the perturbed population).
+func TestChaosTraceBurstPerturbsBothSides(t *testing.T) {
+	tr := chaosTrace(t)
+	plan := &chaos.Plan{
+		Name: "burst", Seed: 3, HorizonSec: tr.HorizonSec,
+		Faults: []chaos.Fault{{Kind: chaos.TraceBurst, AtSec: tr.HorizonSec / 3, DurationSec: 900, Count: 40}},
+	}
+	perturbed := plan.PerturbTrace(tr)
+	if got, want := len(perturbed.Tasks), len(tr.Tasks)+40; got != want {
+		t.Fatalf("perturbed trace has %d tasks, want %d", got, want)
+	}
+	if err := perturbed.Validate(); err != nil {
+		t.Fatalf("perturbed trace invalid: %v", err)
+	}
+	again := plan.PerturbTrace(tr)
+	if !reflect.DeepEqual(perturbed, again) {
+		t.Fatal("trace perturbation is not deterministic")
+	}
+	cfg := baseConfig(tr)
+	cfg.Policy = NewHysteresis(consolidation.NewZombieStack())
+	rep, err := RunChaos(cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arrivals != len(perturbed.Tasks) {
+		t.Fatalf("faulted run saw %d arrivals, perturbed trace has %d tasks", rep.Arrivals, len(perturbed.Tasks))
+	}
+}
+
+// failingExecutor refuses every posture change after the first.
+type failingExecutor struct{ applies int }
+
+func (e *failingExecutor) Advance(int64) {}
+func (e *failingExecutor) Apply(nowSec int64, prev, next consolidation.FleetPlan) error {
+	e.applies++
+	if e.applies > 1 {
+		return errors.New("transition hardware refused")
+	}
+	return nil
+}
+
+// TestRunSurfacesExecutorFailure pins the emergency-wake error path: a
+// backing system refusing a transition must surface as an error from Run —
+// never a panic, never a silently stranded admitted task.
+func TestRunSurfacesExecutorFailure(t *testing.T) {
+	tr := chaosTrace(t)
+	cfg := baseConfig(tr)
+	cfg.Policy = NewReactive(consolidation.NewZombieStack())
+	cfg.Executor = &failingExecutor{}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("Run swallowed the executor failure")
+	}
+	if !strings.Contains(err.Error(), "executor apply") {
+		t.Fatalf("executor failure not surfaced with context: %v", err)
+	}
+}
+
+// TestValidateRejectsChaosWithExecutor pins the configuration guard: chaos
+// runs stay on the abstract ledger.
+func TestValidateRejectsChaosWithExecutor(t *testing.T) {
+	tr := chaosTrace(t)
+	plan, err := chaos.Scenario("light", tr.HorizonSec, tr.Machines, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(tr)
+	cfg.Policy = NewReactive(consolidation.NewZombieStack())
+	cfg.Chaos = plan
+	cfg.Executor = &failingExecutor{}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted chaos together with an executor")
+	}
+}
+
+// TestCompareChaosScenarios runs the severity axis end to end and checks the
+// ordering heavy <= light <= off in retained savings.
+func TestCompareChaosScenarios(t *testing.T) {
+	tr := chaosTrace(t)
+	var plans []*chaos.Plan
+	for _, name := range chaos.ScenarioNames() {
+		p, err := chaos.Scenario(name, tr.HorizonSec, tr.Machines, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	cfg := baseConfig(tr)
+	cfg.TickSec = 600
+	cfg.Policy = NewHysteresis(consolidation.NewZombieStack())
+	reports, err := CompareChaos(cfg, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	off, light, heavy := reports[0], reports[1], reports[2]
+	if off.SavingPercent != off.FaultFreeSavingPercent {
+		t.Errorf("scenario off diverged from the fault-free run: %.6f%% vs %.6f%%",
+			off.SavingPercent, off.FaultFreeSavingPercent)
+	}
+	if !(heavy.WastedJoules > light.WastedJoules) {
+		t.Errorf("heavy wasted %.1f J, light %.1f J — severity axis not monotone",
+			heavy.WastedJoules, light.WastedJoules)
+	}
+	if rendered := chaos.RenderComparison(reports); !strings.Contains(rendered, "heavy") {
+		t.Errorf("rendered comparison missing the heavy row:\n%s", rendered)
+	}
+}

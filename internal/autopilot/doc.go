@@ -24,4 +24,13 @@
 // Decisions can additionally be executed against a live multi-rack
 // fleet.Fleet through FleetExecutor, which mirrors every posture as real
 // per-server ACPI transitions (S0/Sz/S3) on the rack model's energy ledger.
+//
+// The loop is also the injection point of the deterministic fault layer
+// (internal/chaos): with Config.Chaos set, crashes, stuck wakes, controller
+// losses and fabric degradation are consumed as a fourth event source
+// (see chaos.go) — crashed and stuck servers leave the usable pool, failed
+// emergency wakes bill their wasted transitions and escalate, crashed
+// serving servers re-home their remote memory — and RunChaos compares the
+// faulted run against its fault-free twin and against the oracle re-run
+// under the identical schedule (the resilience regret).
 package autopilot

@@ -63,6 +63,13 @@ func (r *ReactiveThreshold) Name() string { return "reactive" }
 // Planner implements Policy.
 func (r *ReactiveThreshold) Planner() consolidation.Policy { return r.Base }
 
+// Clone returns a fresh instance for a new run (the policy is stateless, so
+// this is a plain copy).
+func (r *ReactiveThreshold) Clone() Policy {
+	c := *r
+	return &c
+}
+
 // Decide implements Policy.
 func (r *ReactiveThreshold) Decide(obs Observation) consolidation.FleetPlan {
 	plan := r.Base.Plan(obs.VMs, obs.Spec, obs.TotalServers)
@@ -103,6 +110,13 @@ func (h *Hysteresis) Name() string { return "hysteresis" }
 
 // Planner implements Policy.
 func (h *Hysteresis) Planner() consolidation.Policy { return h.Base }
+
+// Clone returns a fresh instance for a new run (the policy reads only the
+// observation's Prev posture, so this is a plain copy).
+func (h *Hysteresis) Clone() Policy {
+	c := *h
+	return &c
+}
 
 // Decide implements Policy.
 func (h *Hysteresis) Decide(obs Observation) consolidation.FleetPlan {
@@ -172,6 +186,14 @@ func (p *PredictiveEWMA) Name() string { return "ewma" }
 
 // Planner implements Policy.
 func (p *PredictiveEWMA) Planner() consolidation.Policy { return p.Base }
+
+// Clone returns a fresh instance for a new run: the smoothing parameters are
+// copied, the forecasting state is reset.
+func (p *PredictiveEWMA) Clone() Policy {
+	c := PredictiveEWMA{Base: p.Base, Alpha: p.Alpha, TrendGain: p.TrendGain,
+		MaxInflation: p.MaxInflation, MinHeadroom: p.MinHeadroom}
+	return &c
+}
 
 // Decide implements Policy.
 func (p *PredictiveEWMA) Decide(obs Observation) consolidation.FleetPlan {

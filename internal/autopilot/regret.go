@@ -32,25 +32,24 @@ type Report struct {
 // trace with the identical planner, machine, server spec, consolidation
 // period and transition-cost model — the only difference is knowledge: the
 // oracle plans each epoch with the epoch's whole population (arrivals
-// included), the online loop only ever sees the past.
+// included), the online loop only ever sees the past. A chaos plan on the
+// config is applied to BOTH sides: the trace is perturbed once here, the
+// online loop injects the faults as events, and the oracle replays under the
+// same schedule through dcsim's degraded-capacity pricing — the
+// apples-to-apples resilience regret.
 func Regret(cfg Config) (Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return Report{}, err
 	}
 	cfg.applyDefaults()
+	if !cfg.Chaos.Empty() {
+		cfg.Trace = cfg.Chaos.PerturbTrace(cfg.Trace)
+	}
 	online, err := Run(cfg)
 	if err != nil {
 		return Report{}, err
 	}
-	oracle, err := dcsim.Oracle(dcsim.Config{
-		Trace:                     cfg.Trace,
-		Policy:                    cfg.Policy.Planner(),
-		Machine:                   cfg.Machine,
-		ServerSpec:                cfg.ServerSpec,
-		ConsolidationPeriodSec:    cfg.TickSec,
-		OasisMemoryServerFraction: cfg.OasisMemoryServerFraction,
-		Transitions:               cfg.Transitions,
-	})
+	oracle, err := dcsim.Oracle(oracleConfig(&cfg))
 	if err != nil {
 		return Report{}, err
 	}

@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestNewPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{
+		Name: "t", Seed: 9, HorizonSec: 24 * 3600, Machines: 100,
+		Crashes: 4, WakeFailures: 5, ControllerLosses: 2, FabricDegradations: 2, TraceBursts: 2,
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different plans")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tally := a.Tally()
+	if tally.Crashes != 4 || tally.WakeFailures != 5 || tally.ControllerLosses != 2 ||
+		tally.FabricDegradations != 2 || tally.TraceBursts != 2 {
+		t.Fatalf("tally %+v does not match the config", tally)
+	}
+	other, err := New(PlanConfig{Name: "t", Seed: 10, HorizonSec: 24 * 3600, Machines: 100, Crashes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Faults[:4], other.Faults[:4]) {
+		t.Fatal("different seeds produced identical crash schedules")
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := New(PlanConfig{HorizonSec: 0, Machines: 10}); err == nil {
+		t.Error("accepted zero horizon")
+	}
+	if _, err := New(PlanConfig{HorizonSec: 100, Machines: 0}); err == nil {
+		t.Error("accepted zero machines")
+	}
+	if _, err := New(PlanConfig{HorizonSec: 100, Machines: 10, Crashes: -1}); err == nil {
+		t.Error("accepted negative fault count")
+	}
+	bad := &Plan{Faults: []Fault{{Kind: FabricDegrade, Factor: 0.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted fabric factor below 1")
+	}
+	unsorted := &Plan{Faults: []Fault{
+		{Kind: ControllerLoss, AtSec: 100},
+		{Kind: ControllerLoss, AtSec: 50},
+	}}
+	if err := unsorted.Validate(); err == nil {
+		t.Error("accepted unsorted faults")
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		p, err := Scenario(name, 24*3600, 200, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "off" && !p.Empty() {
+			t.Error("off scenario is not empty")
+		}
+		if name != "off" && p.Empty() {
+			t.Errorf("%s scenario is empty", name)
+		}
+	}
+	light, _ := Scenario("light", 24*3600, 200, 42)
+	heavy, _ := Scenario("heavy", 24*3600, 200, 42)
+	if heavy.Tally().Total() <= light.Tally().Total() {
+		t.Errorf("heavy (%d faults) not heavier than light (%d)", heavy.Tally().Total(), light.Tally().Total())
+	}
+	if _, err := Scenario("apocalyptic", 24*3600, 200, 42); err == nil ||
+		!strings.Contains(err.Error(), "valid: off, light, heavy") {
+		t.Errorf("unknown scenario error should list the valid names, got %v", err)
+	}
+}
+
+func TestCrashQueries(t *testing.T) {
+	p := &Plan{HorizonSec: 1000, Faults: []Fault{
+		{Kind: ServerCrash, AtSec: 100, DurationSec: 200, Count: 3},
+		{Kind: ServerCrash, AtSec: 250, DurationSec: 100, Count: 2},
+	}}
+	if got := p.CrashedAt(50); got != 0 {
+		t.Errorf("CrashedAt(50) = %d, want 0", got)
+	}
+	if got := p.CrashedAt(150); got != 3 {
+		t.Errorf("CrashedAt(150) = %d, want 3", got)
+	}
+	if got := p.CrashedAt(260); got != 5 {
+		t.Errorf("CrashedAt(260) = %d, want 5", got)
+	}
+	if got := p.CrashedAt(320); got != 2 {
+		t.Errorf("CrashedAt(320) = %d, want 2 (first crash repaired)", got)
+	}
+	// Server-seconds over [0,400): 3*200 + 2*100 = 800.
+	if got := p.CrashedServerSeconds(0, 400); got != 800 {
+		t.Errorf("CrashedServerSeconds = %v, want 800", got)
+	}
+	if got := len(p.RepairsIn(300, 400)); got != 2 {
+		t.Errorf("RepairsIn(300,400) = %d faults, want 2 (repairs at 300 and 350)", got)
+	}
+}
+
+func TestFabricFactorWindows(t *testing.T) {
+	p := &Plan{HorizonSec: 1000, Faults: []Fault{
+		{Kind: FabricDegrade, AtSec: 100, DurationSec: 100, Factor: 4},
+		{Kind: FabricDegrade, AtSec: 150, DurationSec: 100, Factor: 2},
+	}}
+	if got := p.FabricFactor(0, 100); got != 1 {
+		t.Errorf("clean span factor = %v, want exactly 1", got)
+	}
+	if got := p.FabricFactorAt(120); got != 4 {
+		t.Errorf("FabricFactorAt(120) = %v, want 4", got)
+	}
+	if got := p.FabricFactorAt(220); got != 2 {
+		t.Errorf("FabricFactorAt(220) = %v, want 2 after the stronger window closed", got)
+	}
+	// [100,200): factor 4 throughout (the overlap takes the max).
+	if got := p.FabricFactor(100, 200); got != 4 {
+		t.Errorf("FabricFactor(100,200) = %v, want 4", got)
+	}
+	// [200,250): factor 2.
+	if got := p.FabricFactor(200, 250); got != 2 {
+		t.Errorf("FabricFactor(200,250) = %v, want 2", got)
+	}
+	// [0,200): 100s at 1, 100s at 4 -> 2.5 mean.
+	if got := p.FabricFactor(0, 200); got != 2.5 {
+		t.Errorf("FabricFactor(0,200) = %v, want 2.5", got)
+	}
+}
+
+func TestWakeFailureBudget(t *testing.T) {
+	p := &Plan{HorizonSec: 1000, Faults: []Fault{
+		{Kind: WakeFailure, AtSec: 100, DurationSec: 50, Count: 2},
+		{Kind: WakeFailure, AtSec: 300, DurationSec: 50, Count: 1},
+	}}
+	if got := p.WakeFailureBudget(0, 200); got != 2 {
+		t.Errorf("budget [0,200) = %d, want 2", got)
+	}
+	if got := p.WakeFailureBudget(0, 1000); got != 3 {
+		t.Errorf("budget [0,1000) = %d, want 3", got)
+	}
+	if got := p.WakeFailureBudget(150, 250); got != 0 {
+		t.Errorf("budget [150,250) = %d, want 0", got)
+	}
+}
+
+func TestPerturbTrace(t *testing.T) {
+	tr, err := trace.Generate(trace.GeneratorConfig{
+		Name: "base", Machines: 50, HorizonSec: 3600, Tasks: 100,
+		MemoryToCPURatio: 3, MeanUtilization: 0.35, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &Plan{Name: "off", HorizonSec: 3600}
+	if got := empty.PerturbTrace(tr); got != tr {
+		t.Error("empty plan must return the same trace pointer")
+	}
+	p := &Plan{Name: "bursty", Seed: 5, HorizonSec: 3600, Faults: []Fault{
+		{Kind: TraceBurst, AtSec: 1000, DurationSec: 600, Count: 30},
+		{Kind: TraceBurst, AtSec: 2500, DurationSec: 600, Count: 10},
+	}}
+	out := p.PerturbTrace(tr)
+	if len(out.Tasks) != len(tr.Tasks)+40 {
+		t.Fatalf("perturbed trace has %d tasks, want %d", len(out.Tasks), len(tr.Tasks)+40)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("perturbed trace invalid: %v", err)
+	}
+	if len(tr.Tasks) != 100 {
+		t.Fatal("perturbation mutated the input trace")
+	}
+	if !strings.Contains(out.Name, "bursty") {
+		t.Errorf("perturbed trace name %q does not carry the scenario", out.Name)
+	}
+	// Burst tasks land inside their windows.
+	inWindow := 0
+	for _, task := range out.Tasks {
+		if task.JobID < 0 {
+			if (task.StartSec >= 1000 && task.StartSec < 1600) || (task.StartSec >= 2500 && task.StartSec < 3100) {
+				inWindow++
+			}
+		}
+	}
+	if inWindow != 40 {
+		t.Errorf("%d of 40 burst tasks landed inside their windows", inWindow)
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	kinds := []FaultKind{ServerCrash, WakeFailure, ControllerLoss, FabricDegrade, TraceBurst}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	roles := []CrashRole{RoleAny, RoleActive, RoleServing, RoleSleep}
+	seenRole := map[string]bool{}
+	for _, r := range roles {
+		s := r.String()
+		if s == "" || seenRole[s] {
+			t.Errorf("role %d has empty or duplicate name %q", r, s)
+		}
+		seenRole[s] = true
+	}
+}

@@ -1,0 +1,39 @@
+// Package chaos is the deterministic fault-injection layer of the
+// reproduction: seeded, reproducible failure schedules threaded through the
+// fleet control plane (internal/fleet), the online autonomic loop
+// (internal/autopilot) and the offline datacenter simulator (internal/dcsim).
+//
+// The paper's savings claims assume servers wake from the zombie state and
+// resume serving remote memory on demand; its practicality argument rests on
+// what happens when they don't. A chaos.Plan is a time-ordered schedule of
+// typed faults — server crashes, failed S3->S0 wakes (stuck zombies),
+// controller losses, RDMA-fabric degradation windows and trace perturbations
+// (arrival bursts) — generated from a seed by New or the Scenario presets
+// ("off", "light", "heavy").
+//
+// # Determinism contract
+//
+// A plan is data, not behaviour: every consumer derives its faulted run
+// purely from the plan's contents, and every query (CrashedAt, FabricFactor,
+// WakeFailureBudget, PerturbTrace...) is a pure function of the plan and a
+// time window. Consequently:
+//
+//   - the same seed and plan produce bit-identical results across runs and
+//     across worker counts (the parallel dcsim engine derives each epoch's
+//     degraded capacity independently);
+//   - an empty plan is indistinguishable from no plan at all — the chaos
+//     code paths add exact zeros and multiply by exact ones, so the
+//     fault-free chaos run is bit-identical to the pre-chaos code path.
+//
+// Fault penalties are accounted as additional energy on the consolidated
+// fleet (never on the no-consolidation baseline, whose fleet neither
+// consolidates nor pays fault penalties in this model), so injecting faults
+// can only lower the reported saving — the resilience bound the tests pin.
+//
+// Report carries the resilience metrics of one faulted online run: savings
+// retained versus the fault-free run, SLO violations, wasted transitions,
+// re-homed remote memory, and the faulted oracle's saving for an
+// apples-to-apples resilience regret. The runners live in
+// internal/autopilot (RunChaos, CompareChaos) because they orchestrate
+// online runs; this package only defines plans, queries and reports.
+package chaos

@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Report is the outcome of one chaos run: the online control plane replayed
+// under a fault plan, side by side with its own fault-free run and with the
+// offline oracle re-run under the same schedule. It answers the question the
+// paper's practicality argument hinges on: how much of the consolidation
+// saving survives an unreliable fleet. The struct holds only plain values,
+// so a report is trivially comparable bit for bit (TestChaosDeterminism).
+type Report struct {
+	// Scenario names the fault plan; Seed its RNG seed.
+	Scenario string
+	Seed     int64
+	// Policy / Planner / Trace / Machine / TickSec identify the run.
+	Policy  string
+	Planner string
+	Trace   string
+	Machine string
+	TickSec int64
+	// Faults tallies the injected schedule per kind.
+	Faults Tally
+
+	// FaultFreeSavingPercent and FaultFreeEnergyJoules are the same policy's
+	// costed result with no faults injected (the PR-4 online path, bit for
+	// bit); OracleSavingPercent is the fault-free offline oracle bound.
+	FaultFreeSavingPercent float64
+	FaultFreeEnergyJoules  float64
+	OracleSavingPercent    float64
+
+	// SavingPercent / EnergyJoules / BaselineJoules are the faulted online
+	// run; OracleFaultedSavingPercent is the offline oracle re-run under the
+	// identical fault schedule and perturbed trace.
+	SavingPercent              float64
+	EnergyJoules               float64
+	BaselineJoules             float64
+	OracleFaultedSavingPercent float64
+
+	// SavingsRetainedPercent is 100 * faulted saving / fault-free saving —
+	// the headline resilience metric. ResilienceRegretPercent is the faulted
+	// oracle's saving minus the faulted online saving: the part of the loss
+	// attributable to causality rather than to the faults themselves.
+	SavingsRetainedPercent  float64
+	ResilienceRegretPercent float64
+
+	// SLOViolations counts arrivals the degraded fleet could not serve at
+	// full capacity (rejected or placed short of the planner's requirement).
+	SLOViolations int
+	// WastedTransitions counts ACPI transitions that bought nothing (failed
+	// wake attempts); WastedJoules the total energy charged to fault
+	// penalties (wasted wakes, crashed-server burn, stuck zombies, controller
+	// rebuilds, re-homing transfers).
+	WastedTransitions int
+	WastedJoules      float64
+	// ReHomedGiB is the remotely served memory re-homed off crashed zombies
+	// and memory servers.
+	ReHomedGiB float64
+	// ServerCrashes / StuckZombies / ControllerFailovers count the faults
+	// that actually struck (a scheduled fault may find nothing to break).
+	ServerCrashes       int
+	StuckZombies        int
+	ControllerFailovers int
+	// EmergencyWakes / Arrivals / Admitted / Rejected mirror the online
+	// run's stream counters under faults.
+	EmergencyWakes int
+	Arrivals       int
+	Admitted       int
+	Rejected       int
+}
+
+// Render formats the report as an aligned table (fault-free vs faulted vs
+// the two oracles) plus the resilience summary lines. Pure function of the
+// report, so a fixed seed reproduces it bit for bit.
+func (r Report) Render() string {
+	var b strings.Builder
+	t := metrics.NewTable(
+		fmt.Sprintf("Chaos %q — %s/%s on %s (%s, tick %ds, seed %d)",
+			r.Scenario, r.Policy, r.Planner, r.Trace, r.Machine, r.TickSec, r.Seed),
+		"side", "saving-%", "energy-j")
+	t.AddRow("online fault-free", metrics.FormatFloat(r.FaultFreeSavingPercent), metrics.FormatFloat(r.FaultFreeEnergyJoules))
+	t.AddRow("online faulted", metrics.FormatFloat(r.SavingPercent), metrics.FormatFloat(r.EnergyJoules))
+	t.AddRow("oracle fault-free", metrics.FormatFloat(r.OracleSavingPercent), "-")
+	t.AddRow("oracle faulted", metrics.FormatFloat(r.OracleFaultedSavingPercent), "-")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "faults: %d crashes, %d wake failures, %d controller losses, %d fabric windows, %d bursts\n",
+		r.Faults.Crashes, r.Faults.WakeFailures, r.Faults.ControllerLosses,
+		r.Faults.FabricDegradations, r.Faults.TraceBursts)
+	fmt.Fprintf(&b, "impact: %s%% of the fault-free saving retained, %d SLO violations, %d wasted transitions (%s J wasted), %s GiB re-homed\n",
+		metrics.FormatFloat(r.SavingsRetainedPercent), r.SLOViolations,
+		r.WastedTransitions, metrics.FormatFloat(r.WastedJoules), metrics.FormatFloat(r.ReHomedGiB))
+	fmt.Fprintf(&b, "struck: %d server crashes, %d stuck zombies, %d controller fail-overs, %d emergency wakes\n",
+		r.ServerCrashes, r.StuckZombies, r.ControllerFailovers, r.EmergencyWakes)
+	return b.String()
+}
+
+// RenderComparison formats a set of chaos reports as one table, a row per
+// scenario, in report order.
+func RenderComparison(reports []Report) string {
+	t := metrics.NewTable("Chaos scenarios — savings retained under faults",
+		"scenario", "policy", "saving-%", "retained-%", "oracle-faulted-%", "slo-viol", "wasted-acpi", "rehomed-gib", "crashes", "stuck", "failovers")
+	for _, r := range reports {
+		t.AddRow(r.Scenario, r.Policy,
+			metrics.FormatFloat(r.SavingPercent),
+			metrics.FormatFloat(r.SavingsRetainedPercent),
+			metrics.FormatFloat(r.OracleFaultedSavingPercent),
+			metrics.FormatFloat(float64(r.SLOViolations)),
+			metrics.FormatFloat(float64(r.WastedTransitions)),
+			metrics.FormatFloat(r.ReHomedGiB),
+			metrics.FormatFloat(float64(r.ServerCrashes)),
+			metrics.FormatFloat(float64(r.StuckZombies)),
+			metrics.FormatFloat(float64(r.ControllerFailovers)))
+	}
+	return t.String()
+}

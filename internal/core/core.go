@@ -463,6 +463,10 @@ type CreateVMOptions struct {
 	Strategy placement.Strategy
 	// SimPages caps the simulated page count of the paging context.
 	SimPages int
+	// ExcludeHosts drops the named servers from the placement candidates —
+	// the fleet layer uses it to keep placement off crashed servers. Shared
+	// read-only across concurrent shards.
+	ExcludeHosts map[string]bool
 }
 
 // CreateVM places a VM on the rack, allocating its remote memory (if any)
@@ -488,6 +492,15 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 		remoteAvail += overflow.AvailableBytes()
 	}
 	hosts := r.placementHosts()
+	if len(opts.ExcludeHosts) > 0 {
+		alive := hosts[:0]
+		for _, h := range hosts {
+			if !opts.ExcludeHosts[string(h.ID)] {
+				alive = append(alive, h)
+			}
+		}
+		hosts = alive
+	}
 	decision, err := r.scheduler.Place(hosts, placement.Request{
 		VM:                    spec,
 		RemoteMemoryAvailable: remoteAvail,

@@ -1,0 +1,141 @@
+package dcsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/consolidation"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+func chaosTestConfig(t testing.TB) (Config, *chaos.Plan) {
+	t.Helper()
+	gc := trace.DefaultConfig()
+	gc.Machines = 80
+	gc.Tasks = 900
+	gc.HorizonSec = 8 * 3600
+	tr, err := trace.Generate(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := chaos.Scenario("heavy", tr.HorizonSec, tr.Machines, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Trace:      tr,
+		Policy:     consolidation.NewZombieStack(),
+		Machine:    energy.HPProfile(),
+		ServerSpec: consolidation.DefaultServerSpec(),
+	}, plan
+}
+
+// TestDCSimChaosParallelMatchesSequential extends the engine's bit-identity
+// guarantee to the degraded-capacity pricing mode: every chaos charge is a
+// pure function of (plan, span, posture), so sharding cannot change a bit.
+func TestDCSimChaosParallelMatchesSequential(t *testing.T) {
+	cfg, plan := chaosTestConfig(t)
+	cfg.TransitionCosts = true
+	cfg.Chaos = plan
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.ChaosJoules <= 0 || seq.ChaosScenario != "heavy" {
+		t.Fatalf("chaos pricing did not charge: %+v", seq)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par := cfg
+		par.Workers = workers
+		got, err := Run(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("chaos run diverged at Workers=%d:\n got %+v\nwant %+v", workers, got, seq)
+		}
+	}
+}
+
+// TestDCSimChaosEmptyPlanBitIdentical pins the empty-plan contract on the
+// offline engine: a present-but-empty plan must reproduce the no-chaos run
+// bit for bit, transition costs on and off.
+func TestDCSimChaosEmptyPlanBitIdentical(t *testing.T) {
+	cfg, _ := chaosTestConfig(t)
+	empty := &chaos.Plan{Name: "off", HorizonSec: cfg.Trace.HorizonSec}
+	for _, costed := range []bool{false, true} {
+		plain := cfg
+		plain.TransitionCosts = costed
+		want, err := Run(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withEmpty := plain
+		withEmpty.Chaos = empty
+		got, err := Run(withEmpty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("empty plan diverged (transitions=%v):\n got %+v\nwant %+v", costed, got, want)
+		}
+	}
+}
+
+// TestDCSimChaosLowersSaving pins the oracle-side resilience bound: the same
+// oracle run under faults saves strictly less than fault-free — penalties
+// land on EnergyJoules only, never on the baseline.
+func TestDCSimChaosLowersSaving(t *testing.T) {
+	cfg, plan := chaosTestConfig(t)
+	faultFree, err := Oracle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := cfg
+	faulted.Chaos = plan
+	under, err := Oracle(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under.SavingPercent >= faultFree.SavingPercent {
+		t.Fatalf("faulted oracle saving %.4f%% not below fault-free %.4f%%",
+			under.SavingPercent, faultFree.SavingPercent)
+	}
+	if under.BaselineJoules != faultFree.BaselineJoules {
+		t.Fatalf("faults leaked into the baseline: %.1f J vs %.1f J",
+			under.BaselineJoules, faultFree.BaselineJoules)
+	}
+	if under.ChaosJoules <= 0 {
+		t.Fatal("no chaos penalty charged")
+	}
+	if under.EnergyJoules <= faultFree.EnergyJoules {
+		t.Fatalf("faulted energy %.1f J not above fault-free %.1f J",
+			under.EnergyJoules, faultFree.EnergyJoules)
+	}
+}
+
+// TestDCSimChaosDegradedCapacity checks that crashes actually shrink the
+// fleet the planner sizes against: with most of the fleet crashed over the
+// whole horizon, the plan's total posture drops accordingly.
+func TestDCSimChaosDegradedCapacity(t *testing.T) {
+	cfg, _ := chaosTestConfig(t)
+	crashed := 20
+	cfg.Chaos = &chaos.Plan{
+		Name: "crashed", HorizonSec: cfg.Trace.HorizonSec,
+		Faults: []chaos.Fault{{
+			Kind: chaos.ServerCrash, AtSec: 0, DurationSec: cfg.Trace.HorizonSec,
+			Count: crashed, Role: chaos.RoleSleep,
+		}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean posture categories cover only the surviving servers.
+	total := res.MeanActiveHosts + res.MeanZombieHosts + res.MeanSleepHosts
+	if total > float64(cfg.Trace.Machines-crashed)+1e-9 {
+		t.Fatalf("posture covers %.2f servers, only %d survive", total, cfg.Trace.Machines-crashed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/acpi"
+	"repro/internal/chaos"
 	"repro/internal/consolidation"
 	"repro/internal/energy"
 	"repro/internal/trace"
@@ -50,6 +51,14 @@ type Config struct {
 	// shard prices with its own model rack and the per-epoch charge is a
 	// pure function of the epoch's plan.
 	RackPricing bool
+	// Chaos replays the run under a deterministic fault schedule: crashed
+	// servers shrink the capacity the policy plans against and burn S0 idle
+	// power, fabric degradation windows scale the remote-memory churn, failed
+	// wakes bill wasted transitions, and crashed serving servers bill
+	// re-homing transfers (see chaos.go). Every chaos charge is a pure
+	// function of (plan, epoch span, epoch posture), so the parallel engine
+	// stays bit-identical — and an empty plan is bit-identical to no plan.
+	Chaos *chaos.Plan
 }
 
 // Validate checks the configuration.
@@ -80,6 +89,9 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -91,7 +103,10 @@ func (c *Config) applyDefaults() {
 	if c.OasisMemoryServerFraction <= 0 {
 		c.OasisMemoryServerFraction = 0.4
 	}
-	if c.TransitionCosts && c.Transitions == nil {
+	// Chaos pricing needs the transition model even when the steady-state
+	// run leaves TransitionCosts off (wasted wakes and re-homing are priced
+	// through it).
+	if (c.TransitionCosts || !c.Chaos.Empty()) && c.Transitions == nil {
 		c.Transitions = DefaultTransitionModel()
 	}
 }
@@ -138,6 +153,16 @@ type Result struct {
 	// RackPriced reports whether the run integrated epoch energy through
 	// the rack model's energy ledger instead of the abstract power tables.
 	RackPriced bool
+	// ChaosScenario names the fault plan the run was priced under ("" when
+	// no faults were injected); ChaosJoules is the energy charged to fault
+	// penalties (crashed-server burn, wasted wakes, re-homing transfers,
+	// controller rebuilds), included in EnergyJoules but never in the
+	// baseline. WastedTransitions counts failed wake attempts and
+	// ReHomedGiB the remote memory re-homed off crashed serving servers.
+	ChaosScenario     string
+	ChaosJoules       float64
+	WastedTransitions int
+	ReHomedGiB        float64
 }
 
 // epochSpan bounds one consolidation period within the trace horizon.
@@ -174,6 +199,9 @@ type epochStats struct {
 	transitions  int
 	migrations   int
 	migrationSec float64
+	chaosJ       float64
+	wasted       int
+	reHomedGiB   float64
 }
 
 // sortedByStart returns the trace tasks ordered by start time. The slice is
@@ -233,7 +261,7 @@ func (r *replayer) population(span epochSpan) []consolidation.VMDemand {
 // posture to this epoch's. It returns the epoch's plan so the caller can
 // thread it into the next epoch's delta.
 func simulateEpoch(cfg *Config, pricer *rackPricer, vms []consolidation.VMDemand, span epochSpan, prev consolidation.FleetPlan) (epochStats, consolidation.FleetPlan, error) {
-	plan := cfg.Policy.Plan(vms, cfg.ServerSpec, cfg.Trace.Machines)
+	plan := epochPlan(cfg, vms, span)
 	dt := float64(span.end - span.start)
 	stats := epochStats{
 		activeDt: float64(plan.ActiveHosts) * dt,
@@ -253,14 +281,38 @@ func simulateEpoch(cfg *Config, pricer *rackPricer, vms []consolidation.VMDemand
 		stats.baselineJ = baselinePower(*cfg, vms, cfg.Trace.Machines) * dt
 	}
 	if cfg.TransitionCosts {
-		c := cfg.Transitions.epochCost(cfg, prev, plan, vms, dt)
+		c := cfg.Transitions.CostWithFabric(cfg.Machine, cfg.Policy.Name(), chaosAlignPrev(cfg, prev, plan), plan, vms, dt, chaosFabricFactor(cfg, span))
 		stats.energyJ += c.Joules
 		stats.transitionJ = c.Joules
 		stats.transitions = c.Transitions
 		stats.migrations = c.Migrations
 		stats.migrationSec = c.MigrationSeconds
 	}
+	if !cfg.Chaos.Empty() {
+		ch := chaosEpochCost(cfg, prev, plan, vms, span)
+		stats.energyJ += ch.joules
+		stats.chaosJ = ch.joules
+		stats.transitions += ch.transitions
+		stats.wasted = ch.wasted
+		stats.reHomedGiB = ch.reHomedGiB
+	}
 	return stats, plan, nil
+}
+
+// epochPlan evaluates the policy on one epoch's population against the
+// capacity actually available: the full fleet, minus any servers the chaos
+// plan holds crashed at the epoch start. It is the single planning entry
+// point shared by the sequential walk and the parallel shards' lookback, so
+// both derive identical plans whatever the worker count.
+func epochPlan(cfg *Config, vms []consolidation.VMDemand, span epochSpan) consolidation.FleetPlan {
+	total := cfg.Trace.Machines
+	if crashed := cfg.Chaos.CrashedAt(span.start); crashed > 0 {
+		total -= crashed
+		if total < 1 {
+			total = 1
+		}
+	}
+	return cfg.Policy.Plan(vms, cfg.ServerSpec, total)
 }
 
 // initialPlan is the fleet posture before the first epoch: all servers awake
@@ -322,6 +374,9 @@ func mergeEpochStats(cfg Config, stats []epochStats) Result {
 		TransitionCosts: cfg.TransitionCosts,
 		RackPriced:      cfg.RackPricing,
 	}
+	if !cfg.Chaos.Empty() {
+		res.ChaosScenario = cfg.Chaos.Name
+	}
 	var horizonSec float64
 	for _, s := range stats {
 		res.EnergyJoules += s.energyJ
@@ -334,6 +389,9 @@ func mergeEpochStats(cfg Config, stats []epochStats) Result {
 		res.StateTransitions += s.transitions
 		res.Migrations += s.migrations
 		res.MigrationSeconds += s.migrationSec
+		res.ChaosJoules += s.chaosJ
+		res.WastedTransitions += s.wasted
+		res.ReHomedGiB += s.reHomedGiB
 		horizonSec += s.dt
 		res.Epochs++
 	}

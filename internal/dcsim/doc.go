@@ -38,4 +38,13 @@
 // forced on, and internal/autopilot measures its regret against it using the
 // same exported pricing rules (PosturePowerWatts, BaselinePowerWatts,
 // TransitionModel.Cost).
+//
+// Config.Chaos re-runs any of the above under a deterministic fault schedule
+// (internal/chaos): epochs plan against the then-surviving fleet, crashed
+// servers burn wedged at S0 idle, the churn bill is scaled by the epoch's
+// fabric degradation factor, and wasted wakes, re-homing transfers and
+// controller rebuilds are charged per epoch (see chaos.go). Every chaos
+// charge is a pure function of (plan, epoch span, posture), so the parallel
+// engine stays bit-identical — and the oracle can be re-run under the same
+// schedule the online loop suffered, giving the resilience regret.
 package dcsim

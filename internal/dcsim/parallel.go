@@ -74,9 +74,9 @@ func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats 
 			}
 			rep := newReplayer(byStart)
 			prev := initialPlan(cfg)
-			if cfg.TransitionCosts && sh.lo > 0 {
+			if (cfg.TransitionCosts || !cfg.Chaos.Empty()) && sh.lo > 0 {
 				lookback := spans[sh.lo-1]
-				prev = cfg.Policy.Plan(rep.population(lookback), cfg.ServerSpec, cfg.Trace.Machines)
+				prev = epochPlan(cfg, rep.population(lookback), lookback)
 			}
 			for i := sh.lo; i < sh.hi; i++ {
 				stats[i], prev, err = simulateEpoch(cfg, pricer, rep.population(spans[i]), spans[i], prev)

@@ -96,12 +96,6 @@ type TransitionBill struct {
 	MigrationSeconds float64
 }
 
-// epochCost prices the transition from the previous epoch's plan to the
-// current one.
-func (tm *TransitionModel) epochCost(cfg *Config, prev, plan consolidation.FleetPlan, vms []consolidation.VMDemand, dt float64) TransitionBill {
-	return tm.Cost(cfg.Machine, cfg.Policy.Name(), prev, plan, vms, dt)
-}
-
 // Cost prices moving the fleet from the prev posture to the next one, with
 // the given VM population running: the ACPI suspend/wake events of the plan
 // delta, the migration drains of the freed hosts (protocol selected by the
@@ -110,6 +104,15 @@ func (tm *TransitionModel) epochCost(cfg *Config, prev, plan consolidation.Fleet
 // dt also caps each freed host's drain, so a host is never charged for
 // draining longer than the interval it drains in.
 func (tm *TransitionModel) Cost(m *energy.MachineProfile, policy string, prev, plan consolidation.FleetPlan, vms []consolidation.VMDemand, dt float64) TransitionBill {
+	return tm.CostWithFabric(m, policy, prev, plan, vms, dt, 1)
+}
+
+// CostWithFabric is Cost with the remote-memory churn scaled by a fabric
+// latency multiplier — the chaos layer's degraded-fabric pricing. A factor of
+// exactly 1 reproduces Cost bit for bit (multiplying by 1.0 is exact in IEEE
+// arithmetic), which is what keeps an empty fault plan indistinguishable from
+// the no-chaos path.
+func (tm *TransitionModel) CostWithFabric(m *energy.MachineProfile, policy string, prev, plan consolidation.FleetPlan, vms []consolidation.VMDemand, dt, fabricFactor float64) TransitionBill {
 	d := consolidation.Delta(prev, plan, len(vms))
 	var c TransitionBill
 	c.Transitions = d.Transitions()
@@ -143,7 +146,7 @@ func (tm *TransitionModel) Cost(m *energy.MachineProfile, policy string, prev, p
 	// round trip of one page.
 	if plan.RemoteMemoryGiB > 0 && tm.RemoteFaultsPerGiBPerSec > 0 {
 		faults := tm.RemoteFaultsPerGiBPerSec * plan.RemoteMemoryGiB * dt
-		perFaultSec := float64(tm.Fabric.TransferNs(tm.Fabric.OneSidedLatencyNs, tm.RemotePageBytes)) / 1e9
+		perFaultSec := float64(tm.Fabric.TransferNs(tm.Fabric.OneSidedLatencyNs, tm.RemotePageBytes)) / 1e9 * fabricFactor
 		c.Joules += faults * perFaultSec * m.PowerWatts(acpi.S0, plan.ActiveCPUUtilization)
 	}
 	return c

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The fleet's injectable fault surface: the control-plane hooks the chaos
+// layer (and the chaos tests) drive failures through. Crashing a server
+// takes it out of every control-plane path — wakes, suspends, zombie pushes
+// and batch placement all refuse it — until it is revived; a FaultInjector
+// force-fails individual wake attempts (the stuck-zombie fault); and
+// KillController is the scripted controller loss, promoting the rack's
+// secondary mid-run exactly like FailoverRack. All of it is safe under
+// concurrent batches: the per-server state operations take the batch lock,
+// and the crash set is consulted under the fleet mutex.
+
+// ErrServerCrashed is returned by control-plane operations aimed at a
+// crashed server.
+var ErrServerCrashed = errors.New("fleet: server is crashed")
+
+// ErrWakeFailed is returned by Wake when the installed FaultInjector fails
+// the attempt; the server stays in its sleep state.
+var ErrWakeFailed = errors.New("fleet: wake attempt failed (injected fault)")
+
+// FaultInjector decides, per control-plane operation, whether an injected
+// fault fires. Implementations must be safe for concurrent use.
+type FaultInjector interface {
+	// WakeFails reports whether this wake attempt must fail. The server
+	// remains in its current sleep state and Wake returns ErrWakeFailed.
+	WakeFails(rack int, server string) bool
+}
+
+// SetFaultInjector installs the injector (nil removes it).
+func (f *Fleet) SetFaultInjector(fi FaultInjector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.injector = fi
+}
+
+// CrashServer marks one server as crashed: every subsequent control-plane
+// operation on it fails with ErrServerCrashed and batch placement skips its
+// capacity, until ReviveServer. Crashing an already-crashed server is an
+// error (the caller's model has diverged from the fleet's).
+func (f *Fleet) CrashServer(rack int, server string) error {
+	if err := f.checkRack(rack); err != nil {
+		return err
+	}
+	if _, err := f.racks[rack].Server(server); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed[server] {
+		return fmt.Errorf("fleet: %s already crashed", server)
+	}
+	if f.crashed == nil {
+		f.crashed = make(map[string]bool)
+	}
+	f.crashed[server] = true
+	return nil
+}
+
+// ReviveServer clears a server's crashed mark; the server resumes in
+// whatever sleep state it held when it crashed.
+func (f *Fleet) ReviveServer(rack int, server string) error {
+	if err := f.checkRack(rack); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.crashed[server] {
+		return fmt.Errorf("fleet: %s is not crashed", server)
+	}
+	delete(f.crashed, server)
+	return nil
+}
+
+// CrashedServers returns the crashed servers' full names, sorted.
+func (f *Fleet) CrashedServers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.crashed))
+	for name := range f.crashed {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KillController simulates the loss of one rack's global memory controller
+// mid-run: the secondary promotes itself, the state is rebuilt from the
+// mirrored log and every gateway borrowing from the rack is re-attached —
+// the FailoverRack path, named for what the chaos layer does to trigger it.
+func (f *Fleet) KillController(rack int, nowNs int64) error {
+	return f.FailoverRack(rack, nowNs)
+}
+
+// serverFault gates one control-plane operation on a server: crashed servers
+// refuse everything, and wake attempts additionally pass through the
+// installed FaultInjector. Callers hold no fleet locks.
+func (f *Fleet) serverFault(rack int, server string, wake bool) error {
+	f.mu.Lock()
+	crashed := f.crashed[server]
+	fi := f.injector
+	f.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("%w: %s", ErrServerCrashed, server)
+	}
+	if wake && fi != nil && fi.WakeFails(rack, server) {
+		return fmt.Errorf("%w: %s", ErrWakeFailed, server)
+	}
+	return nil
+}
+
+// crashedSnapshot returns a copy of the crashed set for one batch's
+// planning, nil when nothing is crashed (the common case pays one lock and
+// no allocation).
+func (f *Fleet) crashedSnapshot() map[string]bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.crashed) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(f.crashed))
+	for name := range f.crashed {
+		out[name] = true
+	}
+	return out
+}

@@ -30,4 +30,13 @@
 //     agents to the rebuilt controller, so borrowed memory survives the loss
 //     of the lender's control plane — the data never moved, only the
 //     metadata owner did.
+//
+// The fleet additionally exposes an injectable fault surface for the chaos
+// layer (see chaos.go): CrashServer / ReviveServer take a server out of
+// every control-plane path and out of batch placement, SetFaultInjector
+// force-fails individual wake attempts (ErrWakeFailed, the stuck-zombie
+// fault), and KillController is the scripted controller loss. The per-server
+// state operations are serialised against the batch entry points, so
+// placements, fail-overs and faults can race safely under -race
+// (TestFleetChaosUnderRace).
 package fleet

@@ -44,6 +44,11 @@ type Fleet struct {
 	ledger    []Borrow
 	overflows []*rackOverflow
 	hooks     VMHooks
+	// crashed and injector are the fault surface (see chaos.go): crashed
+	// servers are refused by every control-plane path and skipped by batch
+	// placement; the injector force-fails individual wake attempts.
+	crashed  map[string]bool
+	injector FaultInjector
 }
 
 // gwKey identifies a gateway agent: the borrower rack's identity on the
@@ -76,6 +81,7 @@ func New(cfg Config) (*Fleet, error) {
 		cfg:      cfg,
 		vmRack:   make(map[string]int),
 		gateways: make(map[gwKey]*memctl.Agent),
+		crashed:  make(map[string]bool),
 	}
 	for i := 0; i < cfg.Racks; i++ {
 		name := fmt.Sprintf("rack-%02d", i)
@@ -112,19 +118,33 @@ func (f *Fleet) RackOf(vmID string) (int, bool) {
 }
 
 // PushToZombie suspends a server of one rack into Sz, feeding its memory into
-// the fleet-wide pool.
+// the fleet-wide pool. Serialised against the batch entry points, so posture
+// changes and placements can race safely (TestFleetChaosUnderRace).
 func (f *Fleet) PushToZombie(rack int, server string) error {
 	if err := f.checkRack(rack); err != nil {
 		return err
 	}
+	if err := f.serverFault(rack, server, false); err != nil {
+		return err
+	}
+	f.batchMu.Lock()
+	defer f.batchMu.Unlock()
 	return f.racks[rack].PushToZombie(server)
 }
 
-// Wake resumes a server of one rack.
+// Wake resumes a server of one rack. A crashed server refuses the wake, and
+// an installed FaultInjector can force-fail the attempt (ErrWakeFailed) —
+// the server then stays in its sleep state, exactly the stuck-zombie fault
+// of the chaos layer. Serialised against the batch entry points.
 func (f *Fleet) Wake(rack int, server string) error {
 	if err := f.checkRack(rack); err != nil {
 		return err
 	}
+	if err := f.serverFault(rack, server, true); err != nil {
+		return err
+	}
+	f.batchMu.Lock()
+	defer f.batchMu.Unlock()
 	return f.racks[rack].Wake(server)
 }
 
@@ -135,8 +155,11 @@ func (f *Fleet) checkRack(i int) error {
 	return nil
 }
 
-// AdvanceClock moves simulated time forward on every rack.
+// AdvanceClock moves simulated time forward on every rack. Serialised
+// against the batch entry points and the per-server state operations.
 func (f *Fleet) AdvanceClock(deltaNs int64) {
+	f.batchMu.Lock()
+	defer f.batchMu.Unlock()
 	for _, r := range f.racks {
 		r.AdvanceClock(deltaNs)
 	}

@@ -57,7 +57,11 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 		results[i].VM = spec.ID
 	}
 
-	plans, err := f.partition(specs, opts, results)
+	// One crash snapshot per batch: the partitioner plans against it and the
+	// execution shards exclude exactly the same dead hosts, so a crash
+	// landing mid-batch cannot split the two views.
+	crashed := f.crashedSnapshot()
+	plans, err := f.partition(specs, opts, results, crashed)
 	if err != nil {
 		return nil, err
 	}
@@ -75,10 +79,27 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 		return nil, err
 	}
 
+	// The same crash snapshot the partitioner planned against keeps the rack
+	// schedulers off dead servers at execution time.
+	shardOpts := opts
+	if crashed != nil {
+		if shardOpts.ExcludeHosts == nil {
+			shardOpts.ExcludeHosts = crashed
+		} else {
+			merged := make(map[string]bool, len(shardOpts.ExcludeHosts)+len(crashed))
+			for h := range shardOpts.ExcludeHosts {
+				merged[h] = true
+			}
+			for h := range crashed {
+				merged[h] = true
+			}
+			shardOpts.ExcludeHosts = merged
+		}
+	}
 	f.runRackShards(len(f.racks), func(ri int) {
 		rack := f.racks[ri]
 		for _, si := range plans[ri].specIdx {
-			guest, err := rack.CreateVM(specs[si], opts)
+			guest, err := rack.CreateVM(specs[si], shardOpts)
 			if err != nil {
 				results[si].Err = err.Error()
 				continue
@@ -132,8 +153,10 @@ func (f *Fleet) rackIndex(name string) int {
 
 // partition assigns every batch entry a rack and plans the cross-rack
 // borrows, mirroring the capacity checks core.Rack.CreateVM performs at
-// execution time so phase 2 never surprises phase 1.
-func (f *Fleet) partition(specs []vm.VM, opts core.CreateVMOptions, results []Placement) ([]rackPlan, error) {
+// execution time so phase 2 never surprises phase 1. crashed is the batch's
+// crash snapshot (nil when nothing is crashed); the caller feeds the same
+// snapshot to the execution shards.
+func (f *Fleet) partition(specs []vm.VM, opts core.CreateVMOptions, results []Placement, crashed map[string]bool) ([]rackPlan, error) {
 	n := len(f.racks)
 	bufSize := f.bufferSize()
 	plans := make([]rackPlan, n)
@@ -142,11 +165,21 @@ func (f *Fleet) partition(specs []vm.VM, opts core.CreateVMOptions, results []Pl
 	// Capacity snapshots: the scheduler's host view plus the free remote
 	// pool of every rack, in whole buffers. A rack's pool serves its own
 	// VMs and peer borrows out of the same bucket, exactly like the live
-	// controller.
+	// controller. Crashed servers are dropped from the host view, so the
+	// partitioner never lands a VM on a dead machine.
 	hosts := make([][]placement.Host, n)
 	freeBufs := make([]int64, n)
 	for i, r := range f.racks {
 		hosts[i] = r.HostCapacities()
+		if crashed != nil {
+			alive := hosts[i][:0]
+			for _, h := range hosts[i] {
+				if !crashed[string(h.ID)] {
+					alive = append(alive, h)
+				}
+			}
+			hosts[i] = alive
+		}
 		freeBufs[i] = r.FreeRemoteMemory() / bufSize
 	}
 	borrowable := func(home int) int64 {

@@ -34,6 +34,7 @@ package zombieland
 import (
 	"repro/internal/acpi"
 	"repro/internal/autopilot"
+	"repro/internal/chaos"
 	"repro/internal/consolidation"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -293,4 +294,58 @@ func RenderRegretComparison(reports []RegretReport) string {
 // count.
 func NewAutopilotFleetExecutor(f *Fleet) *AutopilotFleetExecutor {
 	return autopilot.NewFleetExecutor(f)
+}
+
+// ChaosPlan is a seeded, reproducible fault schedule: server crashes, failed
+// S3->S0 wakes (stuck zombies), controller losses, RDMA-fabric degradation
+// windows and trace perturbations, injected deterministically through the
+// fleet, autopilot and dcsim layers. Build one with NewChaosPlan or
+// ChaosScenario.
+type ChaosPlan = chaos.Plan
+
+// ChaosPlanConfig parameterises NewChaosPlan (fault counts, windows, seed).
+type ChaosPlanConfig = chaos.PlanConfig
+
+// ChaosFault is one scheduled failure event of a ChaosPlan.
+type ChaosFault = chaos.Fault
+
+// ChaosReport is the resilience report of one faulted online run: savings
+// retained vs the fault-free run, SLO violations, wasted transitions,
+// re-homed remote memory, and the oracle re-run under the same schedule.
+type ChaosReport = chaos.Report
+
+// FleetFaultInjector force-fails individual control-plane operations on a
+// live Fleet (install with Fleet.SetFaultInjector).
+type FleetFaultInjector = fleet.FaultInjector
+
+// NewChaosPlan generates a reproducible fault schedule from the config.
+func NewChaosPlan(cfg ChaosPlanConfig) (*ChaosPlan, error) { return chaos.New(cfg) }
+
+// ChaosScenario builds one of the bundled severity presets ("off", "light",
+// "heavy") for a given fleet size and horizon.
+func ChaosScenario(name string, horizonSec int64, machines int, seed int64) (*ChaosPlan, error) {
+	return chaos.Scenario(name, horizonSec, machines, seed)
+}
+
+// ChaosScenarioNames lists the bundled chaos scenarios in severity order.
+func ChaosScenarioNames() []string { return chaos.ScenarioNames() }
+
+// RunChaos replays one online configuration under a fault plan and returns
+// the resilience report (faulted vs fault-free vs the oracle under the same
+// schedule).
+func RunChaos(cfg AutopilotConfig, plan *ChaosPlan) (ChaosReport, error) {
+	return autopilot.RunChaos(cfg, plan)
+}
+
+// CompareChaosScenarios runs the same online configuration under every given
+// fault plan, in order — how much of the paper's saving survives each
+// severity level.
+func CompareChaosScenarios(cfg AutopilotConfig, plans []*ChaosPlan) ([]ChaosReport, error) {
+	return autopilot.CompareChaos(cfg, plans)
+}
+
+// RenderChaosComparison formats a set of chaos reports as one table, a row
+// per scenario.
+func RenderChaosComparison(reports []ChaosReport) string {
+	return chaos.RenderComparison(reports)
 }
