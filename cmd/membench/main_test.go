@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (bless the golden file with: go test ./cmd/... -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s (re-bless with -update after checking the diff):\n--- got ---\n%s", golden, got)
+	}
+}
+
+func benchCfg() benchConfig {
+	return benchConfig{
+		servers:   3,
+		zombies:   2,
+		memMiB:    64,
+		localMiB:  1,
+		spanMiB:   8,
+		ops:       2000,
+		block:     4096,
+		writeFrac: 0.6,
+		seed:      1,
+		transport: "inproc",
+	}
+}
+
+// TestGoldenMembench pins the default in-process report: the traffic mix,
+// the local/remote split, the grant count, the charged time and the latency
+// percentiles are all simulated, so the bytes are stable across machines.
+func TestGoldenMembench(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, benchCfg()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "membench", buf.Bytes())
+}
+
+// TestGoldenMembenchChaos pins the ledger transport under a fabric
+// degradation window: same traffic counters as the in-process run (the
+// differential invariant), but the middle third of the charges carry the
+// 2.5x factor, which the p99 line exposes.
+func TestGoldenMembenchChaos(t *testing.T) {
+	cfg := benchCfg()
+	cfg.transport = "ledger"
+	cfg.chaosOn = true
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "membench_chaos", buf.Bytes())
+}
+
+// TestMembenchTCPMatchesInproc runs the loopback-TCP transport and demands
+// the body of the report (everything below the header naming the transport)
+// be byte-identical to the in-process run: same counters, same charges.
+func TestMembenchTCPMatchesInproc(t *testing.T) {
+	body := func(transport string) string {
+		cfg := benchCfg()
+		cfg.transport = transport
+		var buf bytes.Buffer
+		if err := run(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		_, rest, ok := strings.Cut(buf.String(), "\n")
+		if !ok {
+			t.Fatalf("no header line in output: %q", buf.String())
+		}
+		// The grant-call count differs by design: TCP pre-seeds its buffers.
+		return strings.ReplaceAll(rest, "(0 grant calls)", "(1 grant calls)")
+	}
+	inproc := body("inproc")
+	tcp := body("tcp")
+	if inproc != tcp {
+		t.Errorf("tcp report drifted from inproc:\n--- inproc ---\n%s\n--- tcp ---\n%s", inproc, tcp)
+	}
+	if !strings.Contains(inproc, "read-back ok") {
+		t.Errorf("verification failed:\n%s", inproc)
+	}
+}

@@ -7,9 +7,11 @@ import (
 	"sync"
 
 	"repro/internal/acpi"
+	"repro/internal/chaos"
 	"repro/internal/energy"
 	"repro/internal/hypervisor"
 	"repro/internal/memctl"
+	"repro/internal/memplane"
 	"repro/internal/pagepolicy"
 	"repro/internal/placement"
 	"repro/internal/rdma"
@@ -83,6 +85,9 @@ type GuestVM struct {
 	// borrowed holds the cross-rack buffers obtained from the overflow.
 	buffers  []*memctl.RemoteBuffer
 	borrowed []*memctl.RemoteBuffer
+	// plane is the VM's byte-serving data plane, built lazily by
+	// Rack.MemplaneOf and closed by DestroyVM.
+	plane *memplane.Plane
 }
 
 // BorrowedBuffers returns how many cross-rack buffers back the VM.
@@ -141,6 +146,11 @@ type Rack struct {
 	// overflow, when set, supplies remote memory the rack itself cannot
 	// (cross-rack borrowing; see RemoteOverflow).
 	overflow RemoteOverflow
+
+	// dataChaos and dataNow arm data planes built by MemplaneOf with a fault
+	// schedule (SetDataChaos).
+	dataChaos *chaos.Plan
+	dataNow   func() int64
 
 	nowNs int64
 }
@@ -624,10 +634,18 @@ func (r *Rack) DestroyVM(id string) error {
 	delete(host.vms, id)
 	r.mu.Unlock()
 
-	if len(guest.buffers) > 0 {
+	if guest.plane != nil {
+		// The plane was seeded with the VM's home-rack buffers and owns them:
+		// its Close releases the reservation together with any growth grants.
+		if err := guest.plane.Close(); err != nil {
+			return err
+		}
+	} else if len(guest.buffers) > 0 {
 		if err := host.Agent.ReleaseBuffers(guest.buffers); err != nil {
 			return err
 		}
+	}
+	if len(guest.buffers) > 0 {
 		r.admission.Release(guest.RemoteBytes - guest.BorrowedBytes)
 	}
 	if len(guest.borrowed) > 0 {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chaos"
+	"repro/internal/memctl"
+	"repro/internal/memplane"
+	"repro/internal/vm"
+)
+
+// MemplaneOf returns (building on first use) the VM's remote-memory data
+// plane: an address space scaled like the VM's paging context whose pages
+// live in the host's local arena up to the placement's local fraction and
+// overflow into the VM's own RAM-ext reservation — the plane is seeded with
+// the buffers CreateVM already granted, so data-plane bytes land in exactly
+// the remote memory the placement reserved (no double booking against the
+// rack's admission control). It grows through the host agent's guaranteed
+// GS_alloc_ext path only past that reservation. Once the plane exists it
+// owns the reservation's handles: its Close (run by DestroyVM) releases
+// them. Like real remote memory, the reservation aliases the paging
+// context's backing store — drive a VM through paging replay or the data
+// plane, not both.
+func (r *Rack) MemplaneOf(vmID string) (*memplane.Plane, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	guest, ok := r.vms[vmID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownVM, vmID)
+	}
+	if guest.plane != nil {
+		return guest.plane, nil
+	}
+	host := r.servers[guest.Host]
+	pageSize := int64(vm.DefaultPageSize)
+	p, err := memplane.New(memplane.Config{
+		VM:           vmID,
+		LocalBytes:   int64(guest.Paging.LocalFrames()) * pageSize,
+		AddressBytes: int64(guest.Paging.Pages()) * pageSize,
+		PageSize:     pageSize,
+		Agent:        host.Agent,
+		Buffers:      guest.buffers,
+		Cost:         r.cfg.CostModel,
+		Chaos:        r.dataChaos,
+		Now:          r.dataNow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	guest.plane = p
+	return p, nil
+}
+
+// SetDataChaos arms the data planes built after this call with a chaos plan:
+// remote charges degrade during FabricDegrade windows, looked up at now().
+// Planes already built keep their configuration.
+func (r *Rack) SetDataChaos(plan *chaos.Plan, now func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dataChaos = plan
+	r.dataNow = now
+}
+
+// dataPlanes snapshots the live planes, in VM-name order.
+func (r *Rack) dataPlanes() []*memplane.Plane {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*memplane.Plane, 0, len(r.vms))
+	for _, id := range sortedVMIDsLocked(r.vms) {
+		if p := r.vms[id].plane; p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortedVMIDsLocked(vms map[string]*GuestVM) []string {
+	ids := make([]string, 0, len(vms))
+	for id := range vms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// CrashDataHost marks a server crashed on every live data plane: remote
+// operations against its frames time out until ReviveDataHost or a re-home.
+// It does not touch the control plane or the device posture — the fleet's
+// crash bookkeeping handles those.
+func (r *Rack) CrashDataHost(server string) {
+	for _, p := range r.dataPlanes() {
+		p.CrashHost(memctl.ServerID(server))
+	}
+}
+
+// ReviveDataHost clears a crash mark on every live data plane.
+func (r *Rack) ReviveDataHost(server string) {
+	for _, p := range r.dataPlanes() {
+		p.ReviveHost(memctl.ServerID(server))
+	}
+}
+
+// RehomeDataHost migrates every live page served by the (crashed) server onto
+// healthy hosts, plane by plane in VM order, and returns the aggregate
+// migration report.
+func (r *Rack) RehomeDataHost(server string) (memplane.RehomeReport, error) {
+	var total memplane.RehomeReport
+	for _, p := range r.dataPlanes() {
+		rep, err := p.Rehome(memctl.ServerID(server))
+		total.Pages += rep.Pages
+		total.Bytes += rep.Bytes
+		total.Ns += rep.Ns
+		if err != nil {
+			return total, fmt.Errorf("core: re-homing %s off %s: %w", p.VM(), server, err)
+		}
+	}
+	return total, nil
+}

@@ -51,14 +51,18 @@ func (f *Fleet) CrashServer(rack int, server string) error {
 		return err
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.crashed[server] {
+		f.mu.Unlock()
 		return fmt.Errorf("fleet: %s already crashed", server)
 	}
 	if f.crashed == nil {
 		f.crashed = make(map[string]bool)
 	}
 	f.crashed[server] = true
+	f.mu.Unlock()
+	// Surface the crash on the data plane too: remote operations against the
+	// server's frames now time out until ReviveServer or a re-home.
+	f.racks[rack].CrashDataHost(server)
 	return nil
 }
 
@@ -69,11 +73,13 @@ func (f *Fleet) ReviveServer(rack int, server string) error {
 		return err
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if !f.crashed[server] {
+		f.mu.Unlock()
 		return fmt.Errorf("fleet: %s is not crashed", server)
 	}
 	delete(f.crashed, server)
+	f.mu.Unlock()
+	f.racks[rack].ReviveDataHost(server)
 	return nil
 }
 

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memctl"
+	"repro/internal/memplane"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// dataFleet stands up a 1-rack fleet with two zombie lenders and one
+// memory-hungry VM, returning the fleet and the VM's ID.
+func dataFleet(t *testing.T) (*Fleet, string) {
+	t.Helper()
+	f, err := New(testConfig(1, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, server := range f.Rack(0).Servers()[1:] {
+		if err := f.PushToZombie(0, server); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := vm.New("vm-data", 1792<<20, 1536<<20)
+	if _, err := f.PlaceVMs([]vm.VM{spec}, core.CreateVMOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return f, spec.ID
+}
+
+// TestFleetDataTraffic proves RunWorkloads' DataBytes mode pushes real bytes
+// through the data plane: the request's access stream lands as remote traffic
+// in the plane's counters, and a direct write/read round-trip through the
+// fleet handle returns the written bytes.
+func TestFleetDataTraffic(t *testing.T) {
+	f, vmID := dataFleet(t)
+	guest, err := f.Rack(0).VM(vmID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guest.Paging.LocalFrames() >= guest.Paging.Pages() {
+		t.Fatal("test VM has no remote pages; enlarge the spec")
+	}
+	results := f.RunWorkloads([]WorkloadRequest{{
+		VM:   vmID,
+		Kind: workload.MicroBench,
+		// Ten full passes over the span: enough distinct pages to overflow
+		// the local arena (coverage ~1-e^-10 of the span) without the replay
+		// dominating the suite's wall-clock under -race.
+		Iterations: 10,
+		Seed:       7,
+		// Span the whole paging scale so the stream reaches past the local
+		// frames into remote territory.
+		DataBytes: int64(guest.Paging.Pages()) * 4096,
+	}})
+	if results[0].Err != "" {
+		t.Fatalf("data replay failed: %s", results[0].Err)
+	}
+	data := results[0].Data
+	if data.Writes == 0 || data.Reads == 0 {
+		t.Fatalf("no traffic recorded: %+v", data)
+	}
+	if data.RemoteOps == 0 || data.RemoteBytesWritten == 0 {
+		t.Fatalf("traffic never left the local arena: %+v", data)
+	}
+	if data.ChargedNs <= 0 {
+		t.Fatalf("no charges booked: %+v", data)
+	}
+
+	// Direct round-trip through the fleet handle.
+	p, err := f.MemplaneOf(vmID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("zombie memory serves bytes")
+	addr := int64(guest.Paging.Pages()-2) * p.PageSize() // past the local frames
+	if _, _, err := p.Write(addr, src); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(src))
+	if _, _, err := p.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("read %q, want %q", got, src)
+	}
+	// Destroying the VM closes the plane and releases its grants.
+	if err := f.DestroyVM(vmID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Write(addr, src); !errors.Is(err, memplane.ErrClosed) {
+		t.Fatalf("plane should be closed after DestroyVM, got %v", err)
+	}
+}
+
+// TestFleetCrashRehomeData drives traffic, crashes a serving zombie, observes
+// real timeouts, re-homes the memory and proves the bytes survived.
+func TestFleetCrashRehomeData(t *testing.T) {
+	f, vmID := dataFleet(t)
+	p, err := f.MemplaneOf(vmID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill more distinct pages than the plane has local frames: the overflow
+	// forces remote grants, so the tail lands on the zombies.
+	guest, err := f.Rack(0).VM(vmID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := p.PageSize()
+	total := int64(guest.Paging.LocalFrames()) + 100
+	if max := int64(guest.Paging.Pages()); total > max {
+		t.Fatalf("paging scale too small: %d local frames of %d pages", guest.Paging.LocalFrames(), max)
+	}
+	buf := make([]byte, ps)
+	for pg := int64(0); pg < total; pg++ {
+		for i := range buf {
+			buf[i] = byte(pg + int64(i)*5)
+		}
+		if _, _, err := p.Write(pg*ps, buf); err != nil {
+			t.Fatalf("write page %d: %v", pg, err)
+		}
+	}
+	// Find a server actually serving pages.
+	var victim string
+	for _, server := range f.Rack(0).Servers()[1:] {
+		if len(p.Table().PagesOn(vmID, memctl.ServerID(server))) > 0 {
+			victim = server
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no zombie serves any page; the plane never went remote")
+	}
+
+	// Re-homing an alive server is refused.
+	if _, err := f.RehomeServerMemory(0, victim); err == nil || !strings.Contains(err.Error(), "not crashed") {
+		t.Fatalf("rehome before crash: got %v", err)
+	}
+	if err := f.CrashServer(0, victim); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic against the dead host times out for real.
+	hurt := p.Table().PagesOn(vmID, memctl.ServerID(victim))[0]
+	if _, _, err := p.Read(hurt*ps, buf); !errors.Is(err, memplane.ErrRemoteTimeout) {
+		t.Fatalf("read of crashed host: got %v, want ErrRemoteTimeout", err)
+	}
+	rep, err := f.RehomeServerMemory(0, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pages == 0 || rep.Bytes != int64(rep.Pages)*ps {
+		t.Fatalf("rehome report %+v", rep)
+	}
+	if got := p.Table().PagesOn(vmID, memctl.ServerID(victim)); len(got) != 0 {
+		t.Fatalf("%d pages still on the crashed host", len(got))
+	}
+	if err := f.ReviveServer(0, victim); err != nil {
+		t.Fatal(err)
+	}
+	// Every page reads back exactly what was written before the crash.
+	for pg := int64(0); pg < total; pg++ {
+		want := make([]byte, ps)
+		for i := range want {
+			want[i] = byte(pg + int64(i)*5)
+		}
+		if _, _, err := p.Read(pg*ps, buf); err != nil {
+			t.Fatalf("read page %d after rehome: %v", pg, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("page %d lost its contents across the migration", pg)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/hypervisor"
+	"repro/internal/memplane"
 	"repro/internal/workload"
 )
 
@@ -13,6 +14,12 @@ type WorkloadRequest struct {
 	Kind       workload.Kind
 	Iterations int
 	Seed       int64
+	// DataBytes, when positive, switches the replay from the simulated paging
+	// context to the VM's data plane: the workload's access stream is driven
+	// as real page-sized reads and writes through memplane, so the bytes
+	// actually traverse the zombie servers' granted buffers. The value sizes
+	// the traffic's address span (capped at the VM's paging scale).
+	DataBytes int64
 }
 
 // WorkloadResult is the outcome of one request, in request order.
@@ -20,8 +27,12 @@ type WorkloadResult struct {
 	VM   string
 	Rack string
 	Kind workload.Kind
-	// Stats carries the VM's accumulated paging counters after the replay.
+	// Stats carries the VM's accumulated paging counters after the replay
+	// (paging mode only).
 	Stats hypervisor.Stats
+	// Data carries the VM's accumulated data-plane counters after the replay
+	// (DataBytes mode only).
+	Data memplane.Stats
 	// Err is non-empty when the replay failed; other requests proceed.
 	Err string
 }
@@ -56,6 +67,14 @@ func (f *Fleet) RunWorkloads(reqs []WorkloadRequest) []WorkloadResult {
 		rack := f.racks[ri]
 		for _, i := range byRack[ri] {
 			req := reqs[i]
+			if req.DataBytes > 0 {
+				data, err := runDataTraffic(rack, req)
+				results[i].Data = data
+				if err != nil {
+					results[i].Err = err.Error()
+				}
+				continue
+			}
 			stats, err := rack.RunWorkload(req.VM, req.Kind, req.Iterations, req.Seed)
 			if err != nil {
 				results[i].Err = err.Error()

@@ -39,6 +39,14 @@ type Agent struct {
 	// served maps the controller's buffer IDs to the local regions backing
 	// the memory this server lends.
 	served map[BufferID]*rdma.MemoryRegion
+	// scavenged holds the regions lent through AS_get_free_mem, keyed by
+	// rkey: the controller assigns buffer IDs only after the callback
+	// returns, so the rkey is the one name both sides share.
+	scavenged map[uint32]*rdma.MemoryRegion
+	// pendingReclaim tombstones buffer IDs the controller reclaimed while
+	// their delegation was still in flight (announced but not yet recorded
+	// in served); delegate drops them instead of recording stale entries.
+	pendingReclaim map[BufferID]struct{}
 	// specs remembers the spec of every served buffer (for re-registration).
 	servedBytes int64
 
@@ -66,6 +74,10 @@ type Agent struct {
 type RemoteBuffer struct {
 	Buffer
 	agent *Agent
+	// gen is the generation of the controller that issued the buffer. A
+	// rebuilt controller restarts ID numbering, so a release is only safe
+	// when the generations still match.
+	gen uint64
 }
 
 // AgentConfig configures an Agent.
@@ -93,16 +105,18 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, fmt.Errorf("memctl: agent %s reserved memory %d outside [0,%d]", cfg.ID, cfg.ReservedMem, cfg.TotalMem)
 	}
 	a := &Agent{
-		id:          cfg.ID,
-		controller:  cfg.Controller,
-		device:      cfg.Device,
-		totalMem:    cfg.TotalMem,
-		reservedMem: cfg.ReservedMem,
-		served:      make(map[BufferID]*rdma.MemoryRegion),
-		used:        make(map[BufferID]*RemoteBuffer),
-		qps:         make(map[ServerID]*rdma.QueuePair),
-		cq:          rdma.NewCompletionQueue(),
-		resolve:     cfg.ResolveDevice,
+		id:             cfg.ID,
+		controller:     cfg.Controller,
+		device:         cfg.Device,
+		totalMem:       cfg.TotalMem,
+		reservedMem:    cfg.ReservedMem,
+		served:         make(map[BufferID]*rdma.MemoryRegion),
+		scavenged:      make(map[uint32]*rdma.MemoryRegion),
+		pendingReclaim: make(map[BufferID]struct{}),
+		used:           make(map[BufferID]*RemoteBuffer),
+		qps:            make(map[ServerID]*rdma.QueuePair),
+		cq:             rdma.NewCompletionQueue(),
+		resolve:        cfg.ResolveDevice,
 	}
 	if err := cfg.Controller.RegisterServer(cfg.ID, cfg.TotalMem, a, a); err != nil {
 		return nil, err
@@ -112,6 +126,10 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 
 // ID returns the server ID the agent runs on.
 func (a *Agent) ID() ServerID { return a.id }
+
+// ControllerBufferSize returns the rack-wide buffer size the agent's
+// controller hands out (consumers size grant requests with it).
+func (a *Agent) ControllerBufferSize() int64 { return a.controller.BufferSize() }
 
 // FreeMemory returns the memory the agent could lend right now.
 func (a *Agent) FreeMemory() int64 {
@@ -252,9 +270,21 @@ func (a *Agent) delegate(wantBytes int64, announce func([]BufferSpec) ([]BufferI
 	}
 	a.mu.Lock()
 	for i, id := range ids {
+		var mr *rdma.MemoryRegion
 		if i < len(regions) {
-			a.served[id] = regions[i]
+			mr = regions[i]
 		}
+		if _, gone := a.pendingReclaim[id]; gone {
+			// A concurrent WakeAndReclaim already took this buffer back from
+			// the controller; recording it now would leave a stale served
+			// entry and leak its region.
+			delete(a.pendingReclaim, id)
+			if a.device != nil && mr != nil {
+				a.device.DeregisterMemory(mr)
+			}
+			continue
+		}
+		a.served[id] = mr
 	}
 	a.mu.Unlock()
 	// Every spec has a positive size, so the controller accepted all of them
@@ -305,7 +335,7 @@ func (a *Agent) DelegateWhileActive(keepBytes int64) (int, error) {
 // The controller notifies any user servers first; on return the memory is
 // local again.
 func (a *Agent) WakeAndReclaim(nbBuffers int) (int, error) {
-	ids, err := a.controller.Reclaim(a.id, nbBuffers)
+	bufs, err := a.controller.ReclaimBuffers(a.id, nbBuffers)
 	if err != nil {
 		return 0, err
 	}
@@ -313,19 +343,31 @@ func (a *Agent) WakeAndReclaim(nbBuffers int) (int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	bufSize := a.controller.BufferSize()
-	for _, id := range ids {
-		if mr, ok := a.served[id]; ok {
+	for _, b := range bufs {
+		if mr, ok := a.served[b.ID]; ok {
 			if a.device != nil && mr != nil {
 				a.device.DeregisterMemory(mr)
 			}
-			delete(a.served, id)
+			delete(a.served, b.ID)
+		} else if mr, ok := a.scavenged[b.RKey]; ok {
+			// Lent through AS_get_free_mem: the region was never filed under
+			// a buffer ID, only under its rkey.
+			if a.device != nil && mr != nil {
+				a.device.DeregisterMemory(mr)
+			}
+			delete(a.scavenged, b.RKey)
+		} else {
+			// A delegation announced this buffer but has not recorded it yet;
+			// tombstone the ID so delegate drops it instead of resurrecting a
+			// buffer the controller no longer knows.
+			a.pendingReclaim[b.ID] = struct{}{}
 		}
 		a.servedBytes -= bufSize
 	}
 	if a.servedBytes < 0 {
 		a.servedBytes = 0
 	}
-	return len(ids), nil
+	return len(bufs), nil
 }
 
 // USReclaim implements ReclaimNotifier: the controller reclaims buffers this
@@ -355,15 +397,20 @@ func (a *Agent) ASGetFreeMem() []BufferSpec {
 	defer a.mu.Unlock()
 	bufSize := a.controller.BufferSize()
 	n := (a.freeMemoryLocked() / 2) / bufSize
-	specs, _, err := a.buildSpecs(n)
+	specs, regions, err := a.buildSpecs(n)
 	if err != nil {
 		return nil
 	}
 	// Track them as served immediately; the controller will add them to its
-	// database as active buffers.
+	// database as active buffers. The controller assigns IDs only after this
+	// callback returns, so the regions are filed by rkey for WakeAndReclaim
+	// to find.
 	a.servedBytes += int64(len(specs)) * bufSize
-	// Note: the controller assigns IDs; we cannot map regions to IDs here, so
-	// regions for scavenged buffers are tracked by the controller's RKey only.
+	for i := range specs {
+		if regions[i] != nil {
+			a.scavenged[specs[i].RKey] = regions[i]
+		}
+	}
 	return specs
 }
 
@@ -428,16 +475,27 @@ func ReleaseHandles(handles []*RemoteBuffer) error {
 	return nil
 }
 
-// ReleaseBuffers returns remote buffers to the controller.
+// ReleaseBuffers returns remote buffers to the controller. Handles issued by
+// a controller that has since failed over are dropped instead of released:
+// the rebuilt database reconstructed the lent memory as free and restarted
+// ID numbering, so a stale handle's ID may name someone else's allocation.
 func (a *Agent) ReleaseBuffers(handles []*RemoteBuffer) error {
 	ids := make([]BufferID, 0, len(handles))
 	a.mu.Lock()
+	ctrl := a.controller
+	gen := ctrl.Generation()
 	for _, h := range handles {
-		ids = append(ids, h.ID)
 		delete(a.used, h.ID)
+		if h.gen != 0 && h.gen != gen {
+			continue
+		}
+		ids = append(ids, h.ID)
 	}
 	a.mu.Unlock()
-	return a.controller.Release(a.id, ids)
+	if len(ids) == 0 {
+		return nil
+	}
+	return ctrl.Release(a.id, ids)
 }
 
 // adopt wraps allocated buffers into handles and records them as used.
@@ -446,7 +504,7 @@ func (a *Agent) adopt(bufs []Buffer) []*RemoteBuffer {
 	defer a.mu.Unlock()
 	out := make([]*RemoteBuffer, 0, len(bufs))
 	for _, b := range bufs {
-		h := &RemoteBuffer{Buffer: b, agent: a}
+		h := &RemoteBuffer{Buffer: b, agent: a, gen: a.controller.Generation()}
 		a.used[b.ID] = h
 		out = append(out, h)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ReclaimNotifier is implemented by remote memory manager agents. The
@@ -90,6 +91,12 @@ type GlobalController struct {
 	servers    map[ServerID]*serverRecord
 	mirror     Mirror
 	seq        uint64
+	// gen identifies this controller instance. A rebuilt controller (after a
+	// fail-over) restarts buffer-ID numbering, so handles issued by a dead
+	// primary can collide with the rebuilt database; agents compare the
+	// handle's generation against their controller's to drop such stale
+	// handles instead of releasing someone else's allocation.
+	gen uint64
 
 	// extAllocated tracks guaranteed (RAM Ext) bytes per user for admission
 	// control: the sum of guarantees can never exceed the delegatable memory
@@ -134,12 +141,22 @@ func NewGlobalController(opts ...Option) *GlobalController {
 		db:           newBufferDB(),
 		servers:      make(map[ServerID]*serverRecord),
 		extAllocated: make(map[ServerID]int64),
+		gen:          controllerGen.Add(1),
 	}
 	for _, o := range opts {
 		o(g)
 	}
 	return g
 }
+
+// controllerGen hands every controller instance a distinct generation.
+var controllerGen atomic.Uint64
+
+// Generation returns the controller instance's generation. Buffer handles
+// remember the generation that issued them; a mismatch means the issuing
+// primary died and the handle's ID may name a different allocation in the
+// rebuilt database.
+func (g *GlobalController) Generation() uint64 { return g.gen }
 
 // BufferSize returns the rack-wide buffer size.
 func (g *GlobalController) BufferSize() int64 { return g.bufferSize }
@@ -295,6 +312,23 @@ func (g *GlobalController) DelegateActive(host ServerID, buffers []BufferSpec) (
 // servers are reclaimed with US_reclaim. The reclaimed buffer IDs are removed
 // from the database and returned to the caller.
 func (g *GlobalController) Reclaim(host ServerID, nbBuffers int) ([]BufferID, error) {
+	bufs, err := g.ReclaimBuffers(host, nbBuffers)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]BufferID, len(bufs))
+	for i, b := range bufs {
+		ids[i] = b.ID
+	}
+	return ids, nil
+}
+
+// ReclaimBuffers is Reclaim returning the full buffer records instead of bare
+// IDs. Agents need the rkeys: buffers lent through AS_get_free_mem get their
+// IDs assigned by the controller after the callback returns, so the rkey is
+// the only key under which the lending agent can file (and later deregister)
+// the backing RDMA region.
+func (g *GlobalController) ReclaimBuffers(host ServerID, nbBuffers int) ([]Buffer, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	rec, ok := g.servers[host]
@@ -308,12 +342,17 @@ func (g *GlobalController) Reclaim(host ServerID, nbBuffers int) ([]BufferID, er
 	}
 	// Unallocated first.
 	var chosen []BufferID
+	var bufs []Buffer
+	take := func(b *Buffer) {
+		chosen = append(chosen, b.ID)
+		bufs = append(bufs, *b)
+	}
 	for _, id := range all {
 		if len(chosen) >= nbBuffers {
 			break
 		}
 		if b, _ := g.db.get(id); !b.Allocated() {
-			chosen = append(chosen, id)
+			take(b)
 		}
 	}
 	// Then allocated ones, notifying their users.
@@ -323,7 +362,7 @@ func (g *GlobalController) Reclaim(host ServerID, nbBuffers int) ([]BufferID, er
 			break
 		}
 		if b, _ := g.db.get(id); b.Allocated() && !containsID(chosen, id) {
-			chosen = append(chosen, id)
+			take(b)
 			toNotify = append(toNotify, id)
 		}
 	}
@@ -336,7 +375,7 @@ func (g *GlobalController) Reclaim(host ServerID, nbBuffers int) ([]BufferID, er
 	g.db.retype(host, ActiveBuffer)
 	g.stats.BuffersReturned += uint64(len(chosen))
 	g.record(Operation{Kind: "reclaim", Server: host, IDs: chosen})
-	return chosen, nil
+	return bufs, nil
 }
 
 // notifyUsersLocked groups the buffers by user and invokes each user agent's

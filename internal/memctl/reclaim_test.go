@@ -1,0 +1,149 @@
+package memctl
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWakeAndReclaimReleasesScavengedRegions pins a region leak on the
+// scavenge path: AS_get_free_mem registers RDMA regions for the buffers an
+// active server offers, but the controller assigns their IDs only after the
+// callback returns, so the agent cannot file them under served[id]. A later
+// WakeAndReclaim must still find and deregister them (by rkey), otherwise
+// every scavenge leaks its regions for the lifetime of the device.
+func TestWakeAndReclaimReleasesScavengedRegions(t *testing.T) {
+	r := newTestRack(t, "user", "helper")
+	// No zombies: the guaranteed allocation scavenges the active helper.
+	handles, err := r.agents["user"].RequestExt(4 * testBufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.devices["helper"].Regions(); got == 0 {
+		t.Fatal("scavenge should have registered regions on the helper")
+	}
+	// Return the buffers so the reclaim below is the quiet, no-notify path.
+	if err := ReleaseHandles(handles); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.agents["helper"].WakeAndReclaim(-1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.devices["helper"].Regions(); got != 0 {
+		t.Fatalf("helper still holds %d regions after reclaiming everything (scavenged-region leak)", got)
+	}
+	if got, want := r.agents["helper"].FreeMemory(), int64(12*testBufSize); got != want {
+		t.Fatalf("helper free memory = %d, want %d", got, want)
+	}
+}
+
+// TestReclaimRacingDelegate hammers the window between a delegation's
+// controller announcement and the agent recording the granted IDs: a
+// concurrent WakeAndReclaim can reclaim those very IDs first. The agent must
+// not end up with stale served entries or leaked regions — after a final
+// full reclaim the server is exactly as it started.
+func TestReclaimRacingDelegate(t *testing.T) {
+	r := newTestRack(t, "user", "helper")
+	helper := r.agents["helper"]
+
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := helper.DelegateWhileActive(0); err != nil {
+				t.Errorf("delegate: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := helper.WakeAndReclaim(-1); err != nil {
+				t.Errorf("reclaim: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiesce: reclaim whatever the last delegation round left behind.
+	if _, err := helper.WakeAndReclaim(-1); err != nil {
+		t.Fatal(err)
+	}
+	if got := helper.ServedBuffers(); got != 0 {
+		t.Fatalf("%d stale served entries after full reclaim", got)
+	}
+	if got := r.devices["helper"].Regions(); got != 0 {
+		t.Fatalf("%d leaked regions after full reclaim", got)
+	}
+	if got, want := helper.FreeMemory(), int64(12*testBufSize); got != want {
+		t.Fatalf("helper free memory = %d, want %d", got, want)
+	}
+	if err := r.ctr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleHandleReleaseAfterFailover pins the fail-over collision fix: a
+// rebuilt controller restarts buffer-ID numbering, so a handle issued by the
+// dead primary can carry the same ID as a fresh allocation made by another
+// server after the take-over. Releasing the stale handle must be a no-op —
+// not an error, and above all not a release of the other server's buffer.
+func TestStaleHandleReleaseAfterFailover(t *testing.T) {
+	r := newTestRack(t, "user-a", "user-b", "zombie")
+	if _, err := r.agents["zombie"].DelegateAndGoZombie(); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := r.agents["user-a"].RequestExt(2 * testBufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary dies; every agent retargets to the rebuilt controller.
+	if !r.sec.Tick(10_000_000_000) {
+		t.Fatal("secondary should promote after missed heartbeats")
+	}
+	rebuilt := r.sec.Rebuild(WithBufferSize(testBufSize))
+	for _, id := range []ServerID{"user-a", "user-b", "zombie"} {
+		if err := r.agents[id].Retarget(rebuilt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Another server allocates from the rebuilt pool; with ID numbering
+	// restarted its buffers collide with the stale handles' IDs.
+	fresh, err := r.agents["user-b"].RequestExt(2 * testBufSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collision := false
+	for _, s := range stale {
+		for _, f := range fresh {
+			if s.ID == f.ID {
+				collision = true
+			}
+		}
+	}
+	if !collision {
+		t.Fatalf("test needs colliding IDs to bite: stale %v vs fresh %v", stale, fresh)
+	}
+
+	// Releasing the stale handles must not error and must not free user-b's
+	// allocation out from under it.
+	if err := r.agents["user-a"].ReleaseBuffers(stale); err != nil {
+		t.Fatalf("stale release after fail-over: %v", err)
+	}
+	held := rebuilt.BuffersOf("user-b")
+	if len(held) != len(fresh) {
+		t.Fatalf("user-b holds %d buffers after the stale release, want %d", len(held), len(fresh))
+	}
+	// Fresh handles still release cleanly.
+	if err := r.agents["user-b"].ReleaseBuffers(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package memplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/memctl"
+)
+
+// Errors returned by the page table.
+var (
+	ErrAlreadyMapped = errors.New("memplane: page is already mapped")
+	ErrNotMapped     = errors.New("memplane: page is not mapped")
+	ErrFrameAliased  = errors.New("memplane: frame is already mapped by another page")
+)
+
+// FrameKind distinguishes local frames (backed by the plane's arena) from
+// remote frames (backed by a memctl-granted buffer on another server).
+type FrameKind uint8
+
+// The two frame kinds.
+const (
+	FrameLocal FrameKind = iota
+	FrameRemote
+)
+
+// String names the kind.
+func (k FrameKind) String() string {
+	if k == FrameLocal {
+		return "local"
+	}
+	return "remote"
+}
+
+// Frame is the physical backing of one virtual page: either an offset into a
+// plane's local arena, or a slice of a remote buffer granted through the
+// memctl protocol ({ServerID, BufferID, offset}).
+type Frame struct {
+	Kind FrameKind
+
+	// Arena names the local arena a FrameLocal offset belongs to (the owning
+	// plane's VM ID), so two planes sharing a page table cannot alias each
+	// other's local offsets.
+	Arena string
+	// LocalOff is the byte offset into the arena (FrameLocal only).
+	LocalOff int64
+
+	// Host serves the remote buffer (FrameRemote only).
+	Host memctl.ServerID
+	// Buffer is the controller's buffer ID (FrameRemote only).
+	Buffer memctl.BufferID
+	// Offset is the frame's byte offset inside the buffer (FrameRemote only).
+	Offset int64
+
+	// rb is the live handle used by byte-moving transports.
+	rb *memctl.RemoteBuffer
+}
+
+// Remote reports whether the frame lives on another server.
+func (f Frame) Remote() bool { return f.Kind == FrameRemote }
+
+// String renders the frame for diagnostics.
+func (f Frame) String() string {
+	if f.Kind == FrameLocal {
+		return fmt.Sprintf("local{%s+%d}", f.Arena, f.LocalOff)
+	}
+	return fmt.Sprintf("remote{%s buf=%d off=%d}", f.Host, f.Buffer, f.Offset)
+}
+
+// frameKey is the identity of a frame for aliasing checks.
+type frameKey struct {
+	kind   FrameKind
+	arena  string
+	host   memctl.ServerID
+	buffer memctl.BufferID
+	off    int64
+}
+
+func keyOf(f Frame) frameKey {
+	if f.Kind == FrameLocal {
+		return frameKey{kind: FrameLocal, arena: f.Arena, off: f.LocalOff}
+	}
+	return frameKey{kind: FrameRemote, host: f.Host, buffer: f.Buffer, off: f.Offset}
+}
+
+// entryKey addresses one virtual page of one VM.
+type entryKey struct {
+	vm   string
+	page int64
+}
+
+// PageTable translates (VM, page) to frames. It enforces the one invariant
+// everything else rests on: no frame is ever mapped by two pages — two VMs
+// (or two pages of one VM) can never alias the same physical backing. It is
+// safe for concurrent use.
+type PageTable struct {
+	mu       sync.RWMutex
+	pageSize int64
+	entries  map[entryKey]Frame
+	owners   map[frameKey]entryKey
+}
+
+// NewPageTable creates an empty table with the given page size.
+func NewPageTable(pageSize int64) *PageTable {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &PageTable{
+		pageSize: pageSize,
+		entries:  make(map[entryKey]Frame),
+		owners:   make(map[frameKey]entryKey),
+	}
+}
+
+// PageSize returns the table's page size.
+func (t *PageTable) PageSize() int64 { return t.pageSize }
+
+// Map installs a translation. It fails with ErrAlreadyMapped if the page has
+// a frame and with ErrFrameAliased if the frame already backs another page.
+func (t *PageTable) Map(vm string, page int64, f Frame) error {
+	if page < 0 {
+		return fmt.Errorf("memplane: negative page %d", page)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ek := entryKey{vm: vm, page: page}
+	if _, dup := t.entries[ek]; dup {
+		return fmt.Errorf("%w: %s page %d", ErrAlreadyMapped, vm, page)
+	}
+	fk := keyOf(f)
+	if owner, taken := t.owners[fk]; taken {
+		return fmt.Errorf("%w: %s already backs %s page %d", ErrFrameAliased, f, owner.vm, owner.page)
+	}
+	t.entries[ek] = f
+	t.owners[fk] = ek
+	return nil
+}
+
+// Unmap removes a translation, returning the frame it held.
+func (t *PageTable) Unmap(vm string, page int64) (Frame, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ek := entryKey{vm: vm, page: page}
+	f, ok := t.entries[ek]
+	if !ok {
+		return Frame{}, fmt.Errorf("%w: %s page %d", ErrNotMapped, vm, page)
+	}
+	delete(t.entries, ek)
+	delete(t.owners, keyOf(f))
+	return f, nil
+}
+
+// Remap atomically replaces the frame behind a mapped page (re-homing after a
+// crash), returning the old frame. The new frame must not alias another page.
+func (t *PageTable) Remap(vm string, page int64, f Frame) (Frame, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ek := entryKey{vm: vm, page: page}
+	old, ok := t.entries[ek]
+	if !ok {
+		return Frame{}, fmt.Errorf("%w: %s page %d", ErrNotMapped, vm, page)
+	}
+	fk := keyOf(f)
+	if owner, taken := t.owners[fk]; taken && owner != ek {
+		return Frame{}, fmt.Errorf("%w: %s already backs %s page %d", ErrFrameAliased, f, owner.vm, owner.page)
+	}
+	delete(t.owners, keyOf(old))
+	t.entries[ek] = f
+	t.owners[fk] = ek
+	return old, nil
+}
+
+// Lookup returns the frame backing a page.
+func (t *PageTable) Lookup(vm string, page int64) (Frame, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, ok := t.entries[entryKey{vm: vm, page: page}]
+	return f, ok
+}
+
+// Len returns the number of live translations.
+func (t *PageTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Pages returns the mapped pages of a VM, sorted.
+func (t *PageTable) Pages(vm string) []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int64
+	for ek := range t.entries {
+		if ek.vm == vm {
+			out = append(out, ek.page)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PagesOn returns the mapped pages of a VM whose frames live on the given
+// host, sorted — the migration set when that host crashes.
+func (t *PageTable) PagesOn(vm string, host memctl.ServerID) []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []int64
+	for ek, f := range t.entries {
+		if ek.vm == vm && f.Kind == FrameRemote && f.Host == host {
+			out = append(out, ek.page)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckInvariants verifies the table's internal consistency: the entry and
+// owner indexes are exact mirrors, and no frame backs two pages.
+func (t *PageTable) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.entries) != len(t.owners) {
+		return fmt.Errorf("memplane: %d entries but %d frame owners", len(t.entries), len(t.owners))
+	}
+	for ek, f := range t.entries {
+		owner, ok := t.owners[keyOf(f)]
+		if !ok {
+			return fmt.Errorf("memplane: frame %s of %s page %d missing from owner index", f, ek.vm, ek.page)
+		}
+		if owner != ek {
+			return fmt.Errorf("memplane: frame %s mapped by %s page %d is owned by %s page %d",
+				f, ek.vm, ek.page, owner.vm, owner.page)
+		}
+	}
+	return nil
+}

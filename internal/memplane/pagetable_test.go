@@ -1,0 +1,128 @@
+package memplane
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/memctl"
+)
+
+func localFrame(arena string, off int64) Frame {
+	return Frame{Kind: FrameLocal, Arena: arena, LocalOff: off}
+}
+
+func remoteFrame(host string, buf memctl.BufferID, off int64) Frame {
+	return Frame{Kind: FrameRemote, Host: memctl.ServerID(host), Buffer: buf, Offset: off}
+}
+
+func TestPageTableMapUnmap(t *testing.T) {
+	pt := NewPageTable(4096)
+	if err := pt.Map("vm-a", 0, localFrame("vm-a", 0)); err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	if err := pt.Map("vm-a", 0, localFrame("vm-a", 4096)); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("remap without unmap: got %v, want ErrAlreadyMapped", err)
+	}
+	f, ok := pt.Lookup("vm-a", 0)
+	if !ok || f.LocalOff != 0 {
+		t.Fatalf("lookup: got %v %v", f, ok)
+	}
+	if _, ok := pt.Lookup("vm-b", 0); ok {
+		t.Fatal("vm-b must not see vm-a's mapping")
+	}
+	got, err := pt.Unmap("vm-a", 0)
+	if err != nil || got.LocalOff != 0 {
+		t.Fatalf("unmap: %v %v", got, err)
+	}
+	if _, err := pt.Unmap("vm-a", 0); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("double unmap: got %v, want ErrNotMapped", err)
+	}
+	if err := pt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTableRejectsAliasing(t *testing.T) {
+	pt := NewPageTable(4096)
+	shared := remoteFrame("zombie-01", 7, 8192)
+	if err := pt.Map("vm-a", 3, shared); err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	// The same remote frame must not back another VM's page...
+	if err := pt.Map("vm-b", 3, shared); !errors.Is(err, ErrFrameAliased) {
+		t.Fatalf("cross-VM alias: got %v, want ErrFrameAliased", err)
+	}
+	// ...nor another page of the same VM.
+	if err := pt.Map("vm-a", 4, shared); !errors.Is(err, ErrFrameAliased) {
+		t.Fatalf("same-VM alias: got %v, want ErrFrameAliased", err)
+	}
+	// Local frames of different arenas with equal offsets do NOT alias.
+	if err := pt.Map("vm-a", 5, localFrame("vm-a", 0)); err != nil {
+		t.Fatalf("map local: %v", err)
+	}
+	if err := pt.Map("vm-b", 5, localFrame("vm-b", 0)); err != nil {
+		t.Fatalf("distinct arenas must not alias: %v", err)
+	}
+	// Same arena + same offset does.
+	if err := pt.Map("vm-b", 6, localFrame("vm-a", 0)); !errors.Is(err, ErrFrameAliased) {
+		t.Fatalf("same-arena alias: got %v, want ErrFrameAliased", err)
+	}
+	if err := pt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTableRemap(t *testing.T) {
+	pt := NewPageTable(4096)
+	oldF := remoteFrame("zombie-01", 1, 0)
+	newF := remoteFrame("zombie-02", 2, 0)
+	if err := pt.Map("vm", 9, oldF); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pt.Remap("vm", 9, newF)
+	if err != nil {
+		t.Fatalf("remap: %v", err)
+	}
+	if got.Host != "zombie-01" {
+		t.Fatalf("remap returned %v, want the old frame", got)
+	}
+	// The old frame is free again.
+	if err := pt.Map("vm", 10, oldF); err != nil {
+		t.Fatalf("old frame should be reusable: %v", err)
+	}
+	// Remapping an unmapped page fails.
+	if _, err := pt.Remap("vm", 99, oldF); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("remap unmapped: got %v", err)
+	}
+	// Remapping onto a frame owned elsewhere fails.
+	if _, err := pt.Remap("vm", 10, newF); !errors.Is(err, ErrFrameAliased) {
+		t.Fatalf("remap alias: got %v", err)
+	}
+	if err := pt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageTablePagesOn(t *testing.T) {
+	pt := NewPageTable(4096)
+	for i, f := range []Frame{
+		remoteFrame("z1", 1, 0),
+		remoteFrame("z2", 2, 0),
+		remoteFrame("z1", 1, 4096),
+		localFrame("vm", 0),
+	} {
+		if err := pt.Map("vm", int64(3-i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := pt.PagesOn("vm", "z1")
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("PagesOn(z1) = %v, want [1 3]", got)
+	}
+	if pages := pt.Pages("vm"); len(pages) != 4 || pages[0] != 0 || pages[3] != 3 {
+		t.Fatalf("Pages = %v", pages)
+	}
+	if pt.Len() != 4 {
+		t.Fatalf("Len = %d", pt.Len())
+	}
+}

@@ -1,0 +1,67 @@
+package memplane
+
+import (
+	"fmt"
+
+	"repro/internal/rdma"
+)
+
+// Transport moves bytes between the plane and a remote frame. The returned
+// latency is the fabric charge in nanoseconds, BEFORE any chaos degradation
+// (the plane applies the degradation factor itself so that every transport
+// prices faults identically).
+type Transport interface {
+	// WriteRemote copies src into the frame at off.
+	WriteRemote(f Frame, off int64, src []byte) (int64, error)
+	// ReadRemote copies len(dst) bytes from the frame at off into dst.
+	ReadRemote(f Frame, off int64, dst []byte) (int64, error)
+	// MovesBytes reports whether the transport actually serves data; the
+	// ledger transport only does the cost arithmetic.
+	MovesBytes() bool
+}
+
+// InProcessTransport serves frames through the live memctl handles: every
+// operation is a one-sided RDMA verb against the granted buffer's registered
+// region, so bytes really land in (and come back out of) the serving host's
+// memory, priced by the fabric's cost model.
+type InProcessTransport struct{}
+
+// WriteRemote implements Transport with a one-sided RDMA WRITE.
+func (InProcessTransport) WriteRemote(f Frame, off int64, src []byte) (int64, error) {
+	if f.rb == nil {
+		return 0, fmt.Errorf("memplane: frame %s has no live buffer handle", f)
+	}
+	return f.rb.WriteRemote(f.Offset+off, src)
+}
+
+// ReadRemote implements Transport with a one-sided RDMA READ.
+func (InProcessTransport) ReadRemote(f Frame, off int64, dst []byte) (int64, error) {
+	if f.rb == nil {
+		return 0, fmt.Errorf("memplane: frame %s has no live buffer handle", f)
+	}
+	return f.rb.ReadRemote(f.Offset+off, dst)
+}
+
+// MovesBytes implements Transport.
+func (InProcessTransport) MovesBytes() bool { return true }
+
+// LedgerTransport is the pure-accounting path the repo had before the data
+// plane existed: it charges exactly what the fabric would (TransferNs over
+// the one-sided base latency) but moves no bytes. The differential tests pin
+// the byte-moving transports bit-identical to it.
+type LedgerTransport struct {
+	Model rdma.CostModel
+}
+
+// WriteRemote implements Transport by pricing the transfer only.
+func (l LedgerTransport) WriteRemote(f Frame, off int64, src []byte) (int64, error) {
+	return l.Model.TransferNs(l.Model.OneSidedLatencyNs, len(src)), nil
+}
+
+// ReadRemote implements Transport by pricing the transfer only.
+func (l LedgerTransport) ReadRemote(f Frame, off int64, dst []byte) (int64, error) {
+	return l.Model.TransferNs(l.Model.OneSidedLatencyNs, len(dst)), nil
+}
+
+// MovesBytes implements Transport.
+func (LedgerTransport) MovesBytes() bool { return false }

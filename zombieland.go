@@ -40,6 +40,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fleet"
 	"repro/internal/hypervisor"
+	"repro/internal/memplane"
 	"repro/internal/migration"
 	"repro/internal/pagepolicy"
 	"repro/internal/placement"
@@ -153,6 +154,32 @@ type FleetWorkloadResult = fleet.WorkloadResult
 
 // NewFleet builds a multi-rack fleet from a per-rack template configuration.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// Memplane is a VM's remote-memory data plane: an address-translating page
+// table over a local arena plus frames carved out of memctl-granted buffers,
+// so reads and writes past the local fraction move real bytes through zombie
+// servers' DRAM. Obtain one from Fleet.MemplaneOf / Rack.MemplaneOf (wired
+// into the VM's placement), or build a standalone one with NewMemplane.
+type Memplane = memplane.Plane
+
+// MemplaneConfig parameterises NewMemplane.
+type MemplaneConfig = memplane.Config
+
+// MemplaneStats summarises a data plane's traffic: op and byte counters split
+// local/remote, the simulated charges, and fault counters.
+type MemplaneStats = memplane.Stats
+
+// MemplaneRehomeReport summarises one re-homing pass: how many live pages
+// were migrated off a crashed host, their bytes, and the charged time.
+type MemplaneRehomeReport = memplane.RehomeReport
+
+// ErrRemoteTimeout is returned by data-plane operations against a crashed
+// host (and by chaos-injected remote faults).
+var ErrRemoteTimeout = memplane.ErrRemoteTimeout
+
+// NewMemplane builds a standalone data plane from an explicit configuration
+// (local arena size, page size, granted buffers or a growth agent).
+func NewMemplane(cfg MemplaneConfig) (*Memplane, error) { return memplane.New(cfg) }
 
 // NewRack builds a rack of servers wired with the zombie technology.
 func NewRack(cfg RackConfig) (*Rack, error) { return core.NewRack(cfg) }
