@@ -1,0 +1,76 @@
+// Command fleetd serves the zombieland control plane as a long-running HTTP
+// service: create fleets, place VMs, replay workloads through the data
+// plane, run autopilot loops with streamed tick telemetry, apply chaos
+// scenarios and scrape savings/regret reports — concurrent isolated
+// sessions behind a logging/recovery/auth/rate-limit middleware stack.
+//
+// Usage:
+//
+//	fleetd                                     # serve on :8870, no auth, no quota
+//	fleetd -addr 127.0.0.1:9000 -token secret  # bearer auth
+//	fleetd -quota 50 -quota-window 1           # 50 requests/tenant/second (429 beyond)
+//	fleetd -ttl 900                            # evict sessions idle > 15 min
+//
+// Quickstart (see README.md for the full transcript):
+//
+//	curl -s -XPOST localhost:8870/v1/fleets -d '{"racks":2,"servers":4,"zombies_per_rack":1}'
+//	curl -s -XPOST localhost:8870/v1/fleets/f-1/vms -d '{"count":2,"gib":24}'
+//	curl -s -XPOST localhost:8870/v1/fleets/f-1/autopilot -d '{}'
+//	curl -sN  localhost:8870/v1/fleets/f-1/autopilot/events
+//	curl -s   localhost:8870/v1/fleets/f-1/report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	zombieland "repro"
+	"repro/internal/cliflag"
+)
+
+func main() {
+	addr := flag.String("addr", ":8870", "listen address")
+	token := flag.String("token", "", "bearer token every request must present (empty disables auth)")
+	quota := flag.Int("quota", 0, "per-tenant request budget per quota window (0 disables rate limiting)")
+	quotaWindow := flag.Int("quota-window", 1, "quota window in seconds")
+	ttl := flag.Int("ttl", 0, "evict sessions idle longer than this many seconds (0 disables)")
+	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions")
+	maxServers := flag.Int("max-servers", 256, "maximum racks*servers per created fleet")
+	flag.Parse()
+
+	if err := run(*addr, *token, *quota, *quotaWindow, *ttl, *maxSessions, *maxServers); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, token string, quota, quotaWindow, ttl, maxSessions, maxServers int) error {
+	// Upfront flag validation with the valid ranges (shared helpers, the
+	// same messages as fleetsim/onlinesim), before any server state exists.
+	if err := cliflag.FirstError(
+		cliflag.NonNegativeInt("-quota", quota),
+		cliflag.PositiveInt("-quota-window", quotaWindow),
+		cliflag.NonNegativeInt("-ttl", ttl),
+		cliflag.PositiveInt("-max-sessions", maxSessions),
+		cliflag.PositiveInt("-max-servers", maxServers),
+	); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "fleetd ", log.LstdFlags)
+	srv := zombieland.NewGateway(zombieland.GatewayConfig{
+		Token:       token,
+		QuotaLimit:  quota,
+		QuotaWindow: time.Duration(quotaWindow) * time.Second,
+		SessionTTL:  time.Duration(ttl) * time.Second,
+		MaxSessions: maxSessions,
+		MaxServers:  maxServers,
+		Logger:      logger,
+	})
+	defer srv.Close()
+	logger.Printf("serving on %s (auth %v, quota %d/%ds, ttl %ds)", addr, token != "", quota, quotaWindow, ttl)
+	return srv.ListenAndServe(addr)
+}

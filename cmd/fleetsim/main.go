@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	zombieland "repro"
+	"repro/internal/cliflag"
 	"repro/internal/metrics"
 )
 
@@ -76,22 +77,17 @@ func parseMix(csv string) ([]zombieland.Workload, error) {
 }
 
 func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int, chaosOn bool) error {
-	// Upfront flag validation with the valid ranges, so a bad invocation
-	// fails before any fleet state is built.
-	if racks < 1 {
-		return fmt.Errorf("-racks %d out of range (need >= 1)", racks)
-	}
-	if servers < 1 {
-		return fmt.Errorf("-servers %d out of range (need >= 1)", servers)
-	}
-	if vms < 1 {
-		return fmt.Errorf("-vms %d out of range (need >= 1)", vms)
-	}
-	if workers < 1 {
-		return fmt.Errorf("-workers %d out of range (need >= 1)", workers)
-	}
-	if zombies < 0 {
-		return fmt.Errorf("-zombies %d out of range (need >= 0)", zombies)
+	// Upfront flag validation with the valid ranges (shared helpers, the
+	// same messages as onlinesim/fleetload), so a bad invocation fails
+	// before any fleet state is built.
+	if err := cliflag.FirstError(
+		cliflag.PositiveInt("-racks", racks),
+		cliflag.PositiveInt("-servers", servers),
+		cliflag.PositiveInt("-vms", vms),
+		cliflag.PositiveInt("-workers", workers),
+		cliflag.NonNegativeInt("-zombies", zombies),
+	); err != nil {
+		return err
 	}
 	if zombies >= servers {
 		return fmt.Errorf("-zombies %d must leave at least one active server per rack (-servers %d)", zombies, servers)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/acpi"
 	"repro/internal/autopilot"
 	"repro/internal/chaos"
+	"repro/internal/cliflag"
 	"repro/internal/consolidation"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -62,29 +63,24 @@ func main() {
 }
 
 func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified bool, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int, chaosMode string, chaosSeed int64) error {
-	// Upfront flag validation with the valid ranges, so a bad invocation
-	// fails before any simulation state is built.
-	if machines < 1 {
-		return fmt.Errorf("-machines %d out of range (need >= 1)", machines)
-	}
-	if tasks < 1 {
-		return fmt.Errorf("-tasks %d out of range (need >= 1)", tasks)
-	}
-	if hours <= 0 {
-		return fmt.Errorf("-hours %g out of range (need > 0)", hours)
-	}
-	if tick < 1 {
-		return fmt.Errorf("-tick %d out of range (need >= 1 second)", tick)
+	// Upfront flag validation with the valid ranges (shared helpers, the
+	// same messages as fleetsim/fleetload), so a bad invocation fails
+	// before any simulation state is built.
+	if err := cliflag.FirstError(
+		cliflag.PositiveInt("-machines", machines),
+		cliflag.PositiveInt("-tasks", tasks),
+		cliflag.PositiveFloat("-hours", hours),
+		cliflag.PositiveInt64("-tick", tick, "second"),
+	); err != nil {
+		return err
 	}
 	if execute {
-		if racks < 1 {
-			return fmt.Errorf("-racks %d out of range (need >= 1)", racks)
-		}
-		if servers < 1 {
-			return fmt.Errorf("-servers %d out of range (need >= 1)", servers)
-		}
-		if memGiB < 1 {
-			return fmt.Errorf("-mem-gib %d out of range (need >= 1)", memGiB)
+		if err := cliflag.FirstError(
+			cliflag.PositiveInt("-racks", racks),
+			cliflag.PositiveInt("-servers", servers),
+			cliflag.PositiveInt("-mem-gib", memGiB),
+		); err != nil {
+			return err
 		}
 		if racks*servers != machines {
 			return fmt.Errorf("-racks %d x -servers %d = %d servers, but the trace fleet has %d machines",

@@ -1,0 +1,169 @@
+// The serving-layer walk-through: run the zombieland control plane as an
+// HTTP gateway on loopback and drive one session's full lifecycle with plain
+// requests — create a rack fleet with a zombie lending its DRAM, place a VM
+// whose reservation splits local/remote, replay a workload, stream an
+// autopilot run's tick telemetry as NDJSON, read the consolidated report and
+// tear the fleet down. Run with: go run ./examples/gateway
+//
+// The same walk-through is compiled and output-asserted in CI as
+// Example_gateway in examples_test.go; cmd/fleetd serves the same gateway as
+// a standalone daemon.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	zombieland "repro"
+)
+
+func main() {
+	// The gateway behind a loopback listener — the same handler stack that
+	// cmd/fleetd serves, bearer auth included.
+	srv := zombieland.NewGateway(zombieland.GatewayConfig{Token: "demo"})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	do := func(method, path, body string) (int, []byte) {
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		req.Header.Set("Authorization", "Bearer demo")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			panic(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	// One rack of three small servers; the tail server suspends into Sz and
+	// lends its DRAM to the rack pool.
+	var created struct {
+		ID        string  `json:"id"`
+		Zombies   int     `json:"zombies"`
+		RemoteGiB float64 `json:"remote_gib"`
+	}
+	status, body := do(http.MethodPost, "/v1/fleets",
+		`{"racks":1,"servers":3,"mem_gib":2,"workers":1,"zombies_per_rack":1}`)
+	if err := json.Unmarshal(body, &created); err != nil {
+		panic(err)
+	}
+	fmt.Printf("create (%d): fleet %s, %d zombie lending %.2f GiB\n",
+		status, created.ID, created.Zombies, created.RemoteGiB)
+
+	// A 1.25 GiB reservation against a host with 1 GiB free: the placement
+	// splits, and the overflow lives in the zombie's granted buffers.
+	var placed struct {
+		Placed     int `json:"placed"`
+		Placements []struct {
+			VM        string  `json:"vm"`
+			Host      string  `json:"host"`
+			LocalGiB  float64 `json:"local_gib"`
+			RemoteGiB float64 `json:"remote_gib"`
+		} `json:"placements"`
+	}
+	status, body = do(http.MethodPost, "/v1/fleets/"+created.ID+"/vms",
+		`{"count":1,"gib":1.25,"vcpus":1}`)
+	if err := json.Unmarshal(body, &placed); err != nil {
+		panic(err)
+	}
+	p := placed.Placements[0]
+	fmt.Printf("place (%d): %s on %s, %.2f GiB local + %.2f GiB remote\n",
+		status, p.VM, p.Host, p.LocalGiB, p.RemoteGiB)
+
+	// Replay a workload through the RAM Ext paging path.
+	var ran struct {
+		Results []struct {
+			Kind        string `json:"kind"`
+			Accesses    uint64 `json:"accesses"`
+			MajorFaults uint64 `json:"major_faults"`
+		} `json:"results"`
+	}
+	status, body = do(http.MethodPost, "/v1/fleets/"+created.ID+"/workloads",
+		fmt.Sprintf(`{"items":[{"vm":%q,"kind":"micro-benchmark","iterations":1,"seed":7}]}`, p.VM))
+	if err := json.Unmarshal(body, &ran); err != nil {
+		panic(err)
+	}
+	fmt.Printf("workload (%d): %s, %d accesses, %d major faults\n",
+		status, ran.Results[0].Kind, ran.Results[0].Accesses, ran.Results[0].MajorFaults)
+
+	// Start an autopilot run and follow its tick telemetry as NDJSON: the
+	// buffered events replay first, then one terminal "done" line with the
+	// regret vs the offline oracle.
+	status, _ = do(http.MethodPost, "/v1/fleets/"+created.ID+"/autopilot",
+		`{"machines":10,"tasks":60,"hours":1,"seed":7,"tick_sec":600}`)
+	fmt.Printf("autopilot (%d): started\n", status)
+
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/fleets/"+created.ID+"/autopilot/events", nil)
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Authorization", "Bearer demo")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	ticks := 0
+	var done struct {
+		Policy        string  `json:"policy"`
+		RegretPercent float64 `json:"regret_percent"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			panic(err)
+		}
+		if line.Type == "done" {
+			if err := json.Unmarshal(sc.Bytes(), &done); err != nil {
+				panic(err)
+			}
+			break
+		}
+		ticks++
+	}
+	resp.Body.Close()
+	fmt.Printf("events: %d ticks, then done — %s regret %.2f%% vs the oracle\n",
+		ticks, done.Policy, done.RegretPercent)
+
+	// The consolidated report: live fleet state plus the run's outcome.
+	var report struct {
+		Fleet struct {
+			VMs       int     `json:"vms"`
+			RemoteGiB float64 `json:"remote_gib"`
+		} `json:"fleet"`
+		Autopilot struct {
+			Running bool `json:"running"`
+			Ticks   int  `json:"ticks"`
+		} `json:"autopilot"`
+	}
+	status, body = do(http.MethodGet, "/v1/fleets/"+created.ID+"/report", "")
+	if err := json.Unmarshal(body, &report); err != nil {
+		panic(err)
+	}
+	fmt.Printf("report (%d): %d VM, %.2f GiB remote still free, autopilot running=%v over %d ticks\n",
+		status, report.Fleet.VMs, report.Fleet.RemoteGiB, report.Autopilot.Running, report.Autopilot.Ticks)
+
+	status, _ = do(http.MethodDelete, "/v1/fleets/"+created.ID, "")
+	fmt.Printf("delete (%d): session retired\n", status)
+}

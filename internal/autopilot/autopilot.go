@@ -49,6 +49,39 @@ type Config struct {
 	// is replayed through Regret or RunChaos; the online loop itself is
 	// inherently sequential. Any value yields bit-identical reports.
 	Workers int
+	// OnTick, when set, observes the control loop: it is called after every
+	// re-planning pass with a snapshot of the posture just installed and the
+	// run's cumulative counters. Telemetry only — the callback cannot
+	// influence the run, and a nil hook leaves the loop bit-identical. Under
+	// RunChaos the hook observes the faulted run only (the fault-free twin
+	// runs silently), so a subscriber sees one coherent event sequence.
+	OnTick func(TickEvent)
+}
+
+// TickEvent is the telemetry snapshot OnTick receives after each re-planning
+// tick: the instant, the posture the policy just installed, and the run's
+// cumulative stream and energy counters up to that instant.
+type TickEvent struct {
+	// AtSec is the tick instant; Tick its ordinal (1-based).
+	AtSec int64
+	Tick  int
+	// The posture installed for the next interval.
+	ActiveHosts     int
+	ZombieHosts     int
+	MemoryServers   int
+	SleepHosts      int
+	RemoteMemoryGiB float64
+	// Running is the admitted population present at the tick.
+	Running int
+	// Cumulative stream counters as of this tick.
+	Arrivals       int
+	Admitted       int
+	Rejected       int
+	EmergencyWakes int
+	// Cumulative energy ledger as of this tick (the interval just billed
+	// included), in joules.
+	EnergyJoules   float64
+	BaselineJoules float64
 }
 
 // Validate checks the configuration.
@@ -496,6 +529,24 @@ func (l *loop) tick(now, horizon int64) error {
 	l.res.Ticks++
 	l.intervalStart = now
 	l.cum = append(l.cum[:0], l.vms...)
+	if l.cfg.OnTick != nil {
+		l.cfg.OnTick(TickEvent{
+			AtSec:           now,
+			Tick:            l.res.Ticks,
+			ActiveHosts:     l.posture.ActiveHosts,
+			ZombieHosts:     l.posture.ZombieHosts,
+			MemoryServers:   l.posture.MemoryServers,
+			SleepHosts:      l.posture.SleepHosts,
+			RemoteMemoryGiB: l.posture.RemoteMemoryGiB,
+			Running:         len(l.vms),
+			Arrivals:        l.res.Arrivals,
+			Admitted:        l.res.Admitted,
+			Rejected:        l.res.Rejected,
+			EmergencyWakes:  l.res.EmergencyWakes,
+			EnergyJoules:    l.res.EnergyJoules,
+			BaselineJoules:  l.res.BaselineJoules,
+		})
+	}
 	return nil
 }
 

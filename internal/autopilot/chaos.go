@@ -310,6 +310,7 @@ func RunChaos(cfg Config, plan *chaos.Plan) (chaos.Report, error) {
 	ffCfg := cfg
 	ffCfg.Chaos = nil
 	ffCfg.Policy = freshPolicy(cfg.Policy)
+	ffCfg.OnTick = nil // the hook observes the faulted run only
 	ff, err := Regret(ffCfg)
 	if err != nil {
 		return chaos.Report{}, err
@@ -387,6 +388,7 @@ func CompareChaos(cfg Config, plans []*chaos.Plan) ([]chaos.Report, error) {
 	ffCfg := cfg
 	ffCfg.Chaos = nil
 	ffCfg.Policy = freshPolicy(cfg.Policy)
+	ffCfg.OnTick = nil // the hook observes the faulted runs only
 	ff, err := Regret(ffCfg)
 	if err != nil {
 		return nil, err

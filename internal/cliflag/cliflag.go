@@ -1,0 +1,61 @@
+// Package cliflag holds the shared flag-validation helpers of the command
+// line tools. Every cmd/ binary validates its numeric flags upfront — before
+// any fleet or simulation state is built — and the error strings are pinned
+// by CLI tests, so the helpers produce one canonical message format:
+//
+//	-racks 0 out of range (need >= 1)
+//	-hours 0 out of range (need > 0)
+//
+// A new command gets the same messages (and the same corner-case handling)
+// for free instead of hand-rolling its own drifting copies.
+package cliflag
+
+import "fmt"
+
+// PositiveInt checks an integer flag that must be at least 1. The name is
+// the flag's spelling including the leading dash ("-racks").
+func PositiveInt(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s %d out of range (need >= 1)", name, v)
+	}
+	return nil
+}
+
+// PositiveInt64 is PositiveInt for 64-bit flags. The unit, when non-empty,
+// is appended to the message ("-tick 0 out of range (need >= 1 second)").
+func PositiveInt64(name string, v int64, unit string) error {
+	if v < 1 {
+		if unit != "" {
+			return fmt.Errorf("%s %d out of range (need >= 1 %s)", name, v, unit)
+		}
+		return fmt.Errorf("%s %d out of range (need >= 1)", name, v)
+	}
+	return nil
+}
+
+// PositiveFloat checks a float flag that must be strictly positive.
+func PositiveFloat(name string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("%s %g out of range (need > 0)", name, v)
+	}
+	return nil
+}
+
+// NonNegativeInt checks an integer flag that must be at least 0.
+func NonNegativeInt(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s %d out of range (need >= 0)", name, v)
+	}
+	return nil
+}
+
+// FirstError returns the first non-nil error, so a command can list every
+// flag check in one place and fail on the first violation in flag order.
+func FirstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

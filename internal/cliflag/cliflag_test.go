@@ -1,0 +1,81 @@
+package cliflag
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPositiveInt(t *testing.T) {
+	cases := []struct {
+		v    int
+		want string // empty means no error
+	}{
+		{1, ""},
+		{100, ""},
+		{0, "-racks 0 out of range (need >= 1)"},
+		{-3, "-racks -3 out of range (need >= 1)"},
+	}
+	for _, c := range cases {
+		err := PositiveInt("-racks", c.v)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("PositiveInt(-racks, %d) = %v, want nil", c.v, err)
+			}
+			continue
+		}
+		if err == nil || err.Error() != c.want {
+			t.Errorf("PositiveInt(-racks, %d) = %v, want %q", c.v, err, c.want)
+		}
+	}
+}
+
+func TestPositiveInt64(t *testing.T) {
+	if err := PositiveInt64("-tick", 300, "second"); err != nil {
+		t.Errorf("valid tick rejected: %v", err)
+	}
+	want := "-tick 0 out of range (need >= 1 second)"
+	if err := PositiveInt64("-tick", 0, "second"); err == nil || err.Error() != want {
+		t.Errorf("PositiveInt64(-tick, 0, second) = %v, want %q", err, want)
+	}
+	want = "-requests -1 out of range (need >= 1)"
+	if err := PositiveInt64("-requests", -1, ""); err == nil || err.Error() != want {
+		t.Errorf("PositiveInt64(-requests, -1) = %v, want %q", err, want)
+	}
+}
+
+func TestPositiveFloat(t *testing.T) {
+	if err := PositiveFloat("-hours", 0.5); err != nil {
+		t.Errorf("valid hours rejected: %v", err)
+	}
+	want := "-hours 0 out of range (need > 0)"
+	if err := PositiveFloat("-hours", 0); err == nil || err.Error() != want {
+		t.Errorf("PositiveFloat(-hours, 0) = %v, want %q", err, want)
+	}
+	if err := PositiveFloat("-hours", -2.5); err == nil {
+		t.Error("negative hours accepted")
+	}
+}
+
+func TestNonNegativeInt(t *testing.T) {
+	if err := NonNegativeInt("-zombies", 0); err != nil {
+		t.Errorf("zero rejected: %v", err)
+	}
+	want := "-zombies -1 out of range (need >= 0)"
+	if err := NonNegativeInt("-zombies", -1); err == nil || err.Error() != want {
+		t.Errorf("NonNegativeInt(-zombies, -1) = %v, want %q", err, want)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := FirstError(nil, nil, nil); err != nil {
+		t.Errorf("all-nil FirstError = %v", err)
+	}
+	e1 := errors.New("first")
+	e2 := errors.New("second")
+	if err := FirstError(nil, e1, e2); err != e1 {
+		t.Errorf("FirstError = %v, want %v (flag order)", err, e1)
+	}
+	if err := FirstError(); err != nil {
+		t.Errorf("empty FirstError = %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package gateway
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// middleware is one layer of the stack; the router composes them outermost
+// first: logging(recovery(auth(quota(mux)))).
+type middleware func(http.Handler) http.Handler
+
+// statusWriter captures the response status for the request log while
+// passing Flush through, so streaming handlers behind the stack still flush
+// chunk by chunk.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withLogging writes one line per request: method, path, status, duration.
+// A nil logger keeps the wrapper (the statusWriter feeds recovery too) but
+// discards the line.
+func withLogging(logger *log.Logger, now func() time.Time) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := now()
+			next.ServeHTTP(sw, r)
+			if logger != nil {
+				logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, now().Sub(start))
+			}
+		})
+	}
+}
+
+// withRecovery turns a handler panic into a 500 instead of killing the
+// server; the stack goes to the logger.
+func withRecovery(logger *log.Logger) middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if logger != nil {
+						logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+					}
+					writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// withAuth demands the bearer token on every route but /healthz. An empty
+// configured token disables auth.
+func withAuth(token string) middleware {
+	return func(next http.Handler) http.Handler {
+		if token == "" {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="fleetd"`)
+				writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// withQuota enforces the per-tenant rate limit on every route but /healthz.
+// The tenant key is the presented bearer token (clients of a shared token
+// share a budget), or the remote host when auth is off.
+func withQuota(q *quotaCache) middleware {
+	return func(next http.Handler) http.Handler {
+		if q == nil || q.limit == 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			tenant, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || tenant == "" {
+				tenant = r.RemoteAddr
+			}
+			if !q.allow(tenant) {
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(q.retryAfter().Seconds())))
+				writeError(w, http.StatusTooManyRequests, "tenant quota exceeded")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// chain composes the middleware stack around a handler, first wrapper
+// outermost.
+func chain(h http.Handler, mws ...middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}

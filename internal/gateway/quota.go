@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// quotaCache is the hot-path per-tenant rate limiter: a fixed window of
+// limit requests per window, one bucket per tenant. The bucket state is a
+// single uint64 — the window index in the high 32 bits, the request count in
+// the low 32 — advanced by compare-and-swap, and the tenant map is a
+// sync.Map, so the check is lock-free and allocation-free once a tenant's
+// bucket exists (pinned by TestQuotaCacheFastPathAllocs). Only a brand-new
+// tenant pays the one bucket allocation.
+type quotaCache struct {
+	limit    uint32
+	windowNs int64
+	now      func() time.Time
+	buckets  sync.Map // tenant string -> *quotaBucket
+}
+
+type quotaBucket struct {
+	state atomic.Uint64
+}
+
+// newQuotaCache builds a limiter allowing limit requests per window per
+// tenant. A non-positive limit disables the limiter (allow always returns
+// true); a non-positive window defaults to one second.
+func newQuotaCache(limit int, window time.Duration, now func() time.Time) *quotaCache {
+	if window <= 0 {
+		window = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	q := &quotaCache{windowNs: window.Nanoseconds(), now: now}
+	if limit > 0 {
+		q.limit = uint32(limit)
+	}
+	return q
+}
+
+// allow consumes one request from the tenant's current window and reports
+// whether it fit the quota.
+func (q *quotaCache) allow(tenant string) bool {
+	if q.limit == 0 {
+		return true
+	}
+	b, ok := q.buckets.Load(tenant)
+	if !ok {
+		// Slow path: first request of a tenant allocates its bucket once.
+		b, _ = q.buckets.LoadOrStore(tenant, &quotaBucket{})
+	}
+	bucket := b.(*quotaBucket)
+	window := uint64(q.now().UnixNano()/q.windowNs) & 0xffffffff
+	for {
+		s := bucket.state.Load()
+		if s>>32 == window {
+			count := uint32(s)
+			if count >= q.limit {
+				return false
+			}
+			if bucket.state.CompareAndSwap(s, s+1) {
+				return true
+			}
+			continue
+		}
+		// A new window: reset the count to this one request.
+		if bucket.state.CompareAndSwap(s, window<<32|1) {
+			return true
+		}
+	}
+}
+
+// retryAfter is the Retry-After hint for a rejected request: the time left
+// in the current window, rounded up to whole seconds (minimum 1).
+func (q *quotaCache) retryAfter() time.Duration {
+	rest := q.windowNs - q.now().UnixNano()%q.windowNs
+	d := time.Duration(rest).Round(time.Second)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gateway
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-count test skips itself when it does.
+const raceEnabled = false

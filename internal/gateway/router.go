@@ -1,0 +1,151 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+)
+
+// Config parameterises a gateway Server.
+type Config struct {
+	// Token is the bearer token every request must present; empty disables
+	// auth (and the quota then keys tenants by remote host).
+	Token string
+	// QuotaLimit is the per-tenant request budget per QuotaWindow; 0
+	// disables rate limiting. QuotaWindow defaults to one second.
+	QuotaLimit  int
+	QuotaWindow time.Duration
+	// SessionTTL evicts sessions idle longer than this; 0 disables
+	// eviction. EvictEvery is the evictor scan period (default TTL/4).
+	SessionTTL time.Duration
+	EvictEvery time.Duration
+	// MaxSessions bounds the live-session registry (default 64).
+	MaxSessions int
+	// MaxServers bounds racks*servers of a created fleet (default 256), so
+	// one tenant cannot allocate an unbounded simulated datacenter.
+	MaxServers int
+	// Logger receives the request log and panic stacks; nil discards both.
+	Logger *log.Logger
+
+	// now is the clock seam the tests inject; nil means time.Now.
+	now func() time.Time
+}
+
+func (c *Config) applyDefaults() {
+	if c.QuotaWindow <= 0 {
+		c.QuotaWindow = time.Second
+	}
+	if c.MaxServers <= 0 {
+		c.MaxServers = 256
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Server is the assembled gateway: the session manager, the quota cache and
+// the routed, middleware-wrapped handler.
+type Server struct {
+	cfg     Config
+	manager *Manager
+	quota   *quotaCache
+	handler http.Handler
+}
+
+// New assembles a gateway from the configuration.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:     cfg,
+		manager: NewManager(cfg.SessionTTL, cfg.EvictEvery, cfg.MaxSessions, cfg.now),
+		quota:   newQuotaCache(cfg.QuotaLimit, cfg.QuotaWindow, cfg.now),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/fleets", s.handleCreateFleet)
+	mux.HandleFunc("GET /v1/fleets", s.handleListFleets)
+	mux.HandleFunc("DELETE /v1/fleets/{id}", s.handleDeleteFleet)
+	mux.HandleFunc("POST /v1/fleets/{id}/vms", s.handlePlaceVMs)
+	mux.HandleFunc("POST /v1/fleets/{id}/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/fleets/{id}/chaos", s.handleChaos)
+	mux.HandleFunc("POST /v1/fleets/{id}/autopilot", s.handleAutopilotStart)
+	mux.HandleFunc("GET /v1/fleets/{id}/autopilot/events", s.handleAutopilotEvents)
+	mux.HandleFunc("GET /v1/fleets/{id}/report", s.handleReport)
+
+	s.handler = chain(mux,
+		withLogging(cfg.Logger, cfg.now),
+		withRecovery(cfg.Logger),
+		withAuth(cfg.Token),
+		withQuota(s.quota),
+	)
+	return s
+}
+
+// Handler returns the routed handler behind the full middleware stack.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Manager exposes the session registry (the race and eviction tests assert
+// against it).
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Close stops the background evictor.
+func (s *Server) Close() { s.manager.Close() }
+
+// ListenAndServe serves the gateway on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.handler, ReadHeaderTimeout: 10 * time.Second}
+	return srv.ListenAndServe()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// session resolves the {id} path value; a miss writes the 404 and returns
+// nil.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	id := r.PathValue("id")
+	sess, ok := s.manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown fleet %q", id))
+		return nil
+	}
+	return sess
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is out; a broken pipe is the client's problem
+}
+
+// decodeJSON reads a request body into v, rejecting trailing garbage and
+// unknown fields — a malformed body is a 400 with the decoder's reason.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed JSON body: %v", err))
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "malformed JSON body: trailing data")
+		return false
+	}
+	return true
+}

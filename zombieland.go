@@ -32,6 +32,8 @@
 package zombieland
 
 import (
+	"net/http"
+
 	"repro/internal/acpi"
 	"repro/internal/autopilot"
 	"repro/internal/chaos"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/fleet"
+	"repro/internal/gateway"
 	"repro/internal/hypervisor"
 	"repro/internal/memplane"
 	"repro/internal/migration"
@@ -376,3 +379,42 @@ func CompareChaosScenarios(cfg AutopilotConfig, plans []*ChaosPlan) ([]ChaosRepo
 func RenderChaosComparison(reports []ChaosReport) string {
 	return chaos.RenderComparison(reports)
 }
+
+// GatewayConfig parameterises the HTTP control-plane gateway: bearer token,
+// per-tenant quota, session idle TTL and registry/fleet-size caps.
+type GatewayConfig = gateway.Config
+
+// Gateway is the long-running HTTP control plane ("zombieland as a
+// service"): concurrent isolated fleet sessions behind a logging / panic
+// recovery / auth / rate-limit middleware stack, exposing fleet creation,
+// placement, workload replay, streaming autopilot runs, chaos scenarios and
+// savings/regret reports. Create one with NewGateway (cmd/fleetd is the
+// thin server wrapper).
+type Gateway = gateway.Server
+
+// GatewayLoadConfig parameterises the gateway load generator; see
+// RunGatewayLoad and cmd/fleetload.
+type GatewayLoadConfig = gateway.LoadConfig
+
+// GatewayLoadReport is the load generator's outcome: throughput, p50/p99/max
+// latency and per-endpoint breakdown — the BENCH_gateway.json payload
+// (schema v1).
+type GatewayLoadReport = gateway.LoadReport
+
+// NewGateway assembles the gateway; Handler() serves it on any mux or
+// httptest server, ListenAndServe on a TCP address.
+func NewGateway(cfg GatewayConfig) *Gateway { return gateway.New(cfg) }
+
+// NewGatewayHandler is the one-call form: the routed handler behind the full
+// middleware stack. The background session evictor keeps running for the
+// handler's lifetime.
+func NewGatewayHandler(cfg GatewayConfig) http.Handler { return gateway.New(cfg).Handler() }
+
+// ServeGateway serves the gateway on addr until the listener fails.
+func ServeGateway(addr string, cfg GatewayConfig) error {
+	return gateway.New(cfg).ListenAndServe(addr)
+}
+
+// RunGatewayLoad hammers a gateway with the seeded mixed endpoint profile
+// and returns the throughput/latency report.
+func RunGatewayLoad(cfg GatewayLoadConfig) (GatewayLoadReport, error) { return gateway.RunLoad(cfg) }
