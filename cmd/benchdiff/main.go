@@ -1,0 +1,168 @@
+// Command benchdiff compares two BENCH_fleet.json trajectories (the
+// committed baseline and a freshly measured report) and fails when the new
+// one regresses, benchstat style:
+//
+//   - ns/op: a configuration more than -max-ns-regress slower (10% by
+//     default) fails the diff. Wall-clock is only comparable on comparable
+//     hardware, so the check is skipped — with a note — when the two reports
+//     were measured at different GOMAXPROCS.
+//   - allocs/op: any increase fails. Allocation counts are deterministic per
+//     (name, workers) configuration, so there is no noise margin to grant;
+//     a hot path that starts allocating is a real regression even when the
+//     wall clock hides it.
+//
+// Entries are matched by (name, workers); configurations present on only one
+// side (a new benchmark, or a pool size measured only on wider hardware) are
+// reported and skipped.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_fleet.json -new /tmp/bench.json
+//	benchdiff -old BENCH_fleet.json -new /tmp/bench.json -max-ns-regress 0.25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Run mirrors the cmd/benchfleet schema entry; unknown fields are ignored so
+// the diff keeps working across additive schema growth.
+type Run struct {
+	Name        string `json:"name"`
+	Workers     int    `json:"workers"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// Report is the subset of the BENCH_fleet.json schema the diff needs.
+type Report struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Fleet      []Run  `json:"fleet"`
+	DCSim      []Run  `json:"dcsim"`
+	Autopilot  []Run  `json:"autopilot"`
+	Gateway    []Run  `json:"gateway"`
+}
+
+// runs flattens the report's sections into one slice.
+func (r *Report) runs() []Run {
+	var out []Run
+	out = append(out, r.Fleet...)
+	out = append(out, r.DCSim...)
+	out = append(out, r.Autopilot...)
+	out = append(out, r.Gateway...)
+	return out
+}
+
+// key identifies a benchmark configuration across reports.
+type key struct {
+	name    string
+	workers int
+}
+
+const schemaV3 = "zombieland-bench-fleet/v3"
+
+func main() {
+	oldPath := flag.String("old", "BENCH_fleet.json", "baseline trajectory (the committed file)")
+	newPath := flag.String("new", "", "freshly measured trajectory to compare against the baseline")
+	maxNsRegress := flag.Float64("max-ns-regress", 0.10,
+		"maximum tolerated ns/op regression as a fraction (0.10 = 10%); applied only when both reports share GOMAXPROCS")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	ok, err := diff(os.Stdout, *oldPath, *newPath, *maxNsRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// load reads and validates one trajectory file.
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != schemaV3 {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, schemaV3)
+	}
+	return &rep, nil
+}
+
+// diff compares the two trajectories, printing every verdict to out, and
+// reports whether the new trajectory passes.
+func diff(out io.Writer, oldPath, newPath string, maxNsRegress float64) (bool, error) {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	compareNs := oldRep.GOMAXPROCS == newRep.GOMAXPROCS
+	if !compareNs {
+		fmt.Fprintf(out, "note: baseline measured at GOMAXPROCS=%d, new at %d — ns/op not comparable, checking allocations only\n",
+			oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
+	}
+
+	baseline := make(map[key]Run)
+	for _, r := range oldRep.runs() {
+		baseline[key{r.Name, r.Workers}] = r
+	}
+
+	pass := true
+	matched := 0
+	for _, nr := range newRep.runs() {
+		br, ok := baseline[key{nr.Name, nr.Workers}]
+		if !ok {
+			fmt.Fprintf(out, "skip  %s/w=%d: no baseline entry\n", nr.Name, nr.Workers)
+			continue
+		}
+		matched++
+		if nr.AllocsPerOp > br.AllocsPerOp {
+			fmt.Fprintf(out, "FAIL  %s/w=%d: allocs/op %d -> %d (any growth fails)\n",
+				nr.Name, nr.Workers, br.AllocsPerOp, nr.AllocsPerOp)
+			pass = false
+			continue
+		}
+		if compareNs && br.NsPerOp > 0 {
+			ratio := float64(nr.NsPerOp)/float64(br.NsPerOp) - 1
+			if ratio > maxNsRegress {
+				fmt.Fprintf(out, "FAIL  %s/w=%d: ns/op %d -> %d (+%.1f%%, floor %.1f%%)\n",
+					nr.Name, nr.Workers, br.NsPerOp, nr.NsPerOp, ratio*100, maxNsRegress*100)
+				pass = false
+				continue
+			}
+			fmt.Fprintf(out, "ok    %s/w=%d: ns/op %d -> %d, allocs/op %d -> %d\n",
+				nr.Name, nr.Workers, br.NsPerOp, nr.NsPerOp, br.AllocsPerOp, nr.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(out, "ok    %s/w=%d: allocs/op %d -> %d\n",
+			nr.Name, nr.Workers, br.AllocsPerOp, nr.AllocsPerOp)
+	}
+	if matched == 0 {
+		fmt.Fprintln(out, "FAIL  no configuration matched between the reports")
+		pass = false
+	}
+	if pass {
+		fmt.Fprintf(out, "benchdiff: %d configurations compared, no regressions\n", matched)
+	}
+	return pass, nil
+}

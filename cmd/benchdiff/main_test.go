@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// report builds a minimal v3 trajectory fixture.
+func report(t *testing.T, dir, name string, gomaxprocs int, fleetNs, fleetAllocs int64) string {
+	t.Helper()
+	body := `{
+  "schema": "zombieland-bench-fleet/v3",
+  "gomaxprocs": ` + itoa(gomaxprocs) + `,
+  "fleet": [
+    {"name": "FleetWorkloads", "workers": 1, "ns_per_op": ` + itoa64(fleetNs) + `, "allocs_per_op": ` + itoa64(fleetAllocs) + `, "bytes_per_op": 100}
+  ],
+  "gateway": [
+    {"name": "GatewayQuotaAllow", "workers": 0, "ns_per_op": 20, "allocs_per_op": 0, "bytes_per_op": 0}
+  ]
+}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// TestDiffPasses checks a mild (within-floor) slowdown with flat allocations
+// passes.
+func TestDiffPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := report(t, dir, "old.json", 4, 1000, 50)
+	newPath := report(t, dir, "new.json", 4, 1050, 50)
+	var buf bytes.Buffer
+	ok, err := diff(&buf, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("diff failed unexpectedly:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Fatalf("missing pass summary:\n%s", buf.String())
+	}
+}
+
+// TestDiffFailsOnNsRegression checks a >10% slowdown fails.
+func TestDiffFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := report(t, dir, "old.json", 4, 1000, 50)
+	newPath := report(t, dir, "new.json", 4, 1200, 50)
+	var buf bytes.Buffer
+	ok, err := diff(&buf, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("diff passed a 20%% ns/op regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "ns/op") {
+		t.Fatalf("missing ns/op failure line:\n%s", buf.String())
+	}
+}
+
+// TestDiffFailsOnAnyAllocGrowth checks a single extra allocation fails even
+// when the wall clock improved.
+func TestDiffFailsOnAnyAllocGrowth(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := report(t, dir, "old.json", 4, 1000, 50)
+	newPath := report(t, dir, "new.json", 4, 900, 51)
+	var buf bytes.Buffer
+	ok, err := diff(&buf, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("diff passed an allocs/op regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocs/op 50 -> 51") {
+		t.Fatalf("missing allocs failure line:\n%s", buf.String())
+	}
+}
+
+// TestDiffSkipsNsAcrossHardware checks that reports measured at different
+// GOMAXPROCS only compare allocations: a big wall-clock delta passes, an
+// allocation delta still fails.
+func TestDiffSkipsNsAcrossHardware(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := report(t, dir, "old.json", 1, 1000, 50)
+	newPath := report(t, dir, "new.json", 4, 5000, 50)
+	var buf bytes.Buffer
+	ok, err := diff(&buf, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("cross-hardware diff failed on wall clock:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ns/op not comparable") {
+		t.Fatalf("missing cross-hardware note:\n%s", buf.String())
+	}
+
+	newPath = report(t, dir, "new2.json", 4, 5000, 60)
+	buf.Reset()
+	ok, err = diff(&buf, oldPath, newPath, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("cross-hardware diff ignored an allocs/op regression:\n%s", buf.String())
+	}
+}
+
+// TestDiffRejectsWrongSchema checks v2 files are refused.
+func TestDiffRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v2.json")
+	if err := os.WriteFile(path, []byte(`{"schema": "zombieland-bench-fleet/v2"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := report(t, dir, "good.json", 4, 1000, 50)
+	var buf bytes.Buffer
+	if _, err := diff(&buf, path, good, 0.10); err == nil {
+		t.Fatal("expected a schema error for a v2 baseline")
+	}
+}

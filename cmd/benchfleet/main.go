@@ -2,15 +2,19 @@
 // BENCH_fleet.json: it runs the fleet worker-pool benchmark (the same
 // scenario as BenchmarkFleetWorkloads, via fleet.NewBenchFleet) at pool
 // sizes 1, 2 and 4, the dcsim engine benchmarks (sequential, parallel,
-// transition-costed, sweep), and the online control plane (one autopilot run
-// per bundled policy, with the derived re-planning tick throughput), and
-// writes every ns/op together with the derived speedups.
+// transition-costed, sweep), the online control plane (one autopilot run
+// per bundled policy, with the derived re-planning tick throughput) and the
+// gateway quota cache's lock-free fast path, and writes every ns/op together
+// with allocations per operation and the derived speedups.
 //
 // Methodology: every configuration is measured with a fixed iteration count
 // after a warm-up replay, the configurations are interleaved round-robin
 // over several rounds, and the minimum per-operation time across rounds is
 // recorded — the estimator least sensitive to scheduler noise on shared
-// machines.
+// machines. Allocation counts (runtime.MemStats deltas over the timed loop,
+// divided by the iteration count) ride along with the round that produced
+// the minimum; unlike wall-clock they are deterministic, so any growth is a
+// real regression and cmd/benchdiff fails on it.
 //
 // The CI bench step runs it with -min-speedup 1.5: on a host with at least
 // four CPUs the Workers=4 fleet replay must beat Workers=1 by at least that
@@ -25,6 +29,8 @@
 //	benchfleet                       # write BENCH_fleet.json in the cwd
 //	benchfleet -out /tmp/bench.json  # write elsewhere
 //	benchfleet -min-speedup 1.5      # fail below 1.5x (multi-core hosts)
+//	benchfleet -cpuprofile cpu.pprof # also write a CPU profile of the run
+//	benchfleet -memprofile mem.pprof # also write an allocation profile
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/autopilot"
@@ -40,6 +47,7 @@ import (
 	"repro/internal/dcsim"
 	"repro/internal/energy"
 	"repro/internal/fleet"
+	"repro/internal/gateway"
 	"repro/internal/trace"
 )
 
@@ -48,13 +56,17 @@ import (
 const rounds = 3
 
 // Run is one recorded benchmark: a name, the worker-pool size it used, the
-// fixed per-round iteration count and the minimum per-operation time across
-// rounds.
+// fixed per-round iteration count, the minimum per-operation time across
+// rounds and the allocation profile of that round.
 type Run struct {
 	Name       string `json:"name"`
 	Workers    int    `json:"workers"`
 	Iterations int    `json:"iterations"`
 	NsPerOp    int64  `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp are heap allocations (count and bytes) per
+	// operation, measured as runtime.MemStats deltas over the timed loop.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
 // Report is the BENCH_fleet.json schema.
@@ -80,19 +92,53 @@ type Report struct {
 	// AutopilotTicksPerSec is the re-planning tick throughput of the fastest
 	// online policy — the online loop's entry on the perf trajectory.
 	AutopilotTicksPerSec float64 `json:"autopilot_ticks_per_sec"`
+	// Gateway pins the serving layer's hot path: the per-tenant quota check,
+	// whose allocs_per_op must stay 0 (the lock-free fast path).
+	Gateway []Run `json:"gateway"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_fleet.json", "path of the JSON trajectory to write")
 	minSpeedup := flag.Float64("min-speedup", 0,
 		"fail unless the Workers=4 fleet bench beats Workers=1 by this factor (0 disables; skipped when GOMAXPROCS=1)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file after the run")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfleet:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfleet:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	rep, err := collect()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchfleet:", err)
 		os.Exit(1)
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfleet:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfleet:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchfleet:", err)
@@ -122,13 +168,49 @@ func main() {
 	}
 }
 
+// sample is one round's measurement of a configuration.
+type sample struct {
+	ns, allocs, bytes int64
+}
+
+// timeIt runs fn iters times, returning per-operation wall clock and the
+// heap-allocation deltas of the timed loop. The MemStats reads bracket the
+// timing (the second read happens after the clock stops), so the
+// stop-the-world cost of ReadMemStats never lands in ns/op.
+func timeIt(iters int, fn func() error) (sample, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return sample{}, err
+		}
+	}
+	elapsed := int64(time.Since(start))
+	runtime.ReadMemStats(&after)
+	return sample{
+		ns:     elapsed / int64(iters),
+		allocs: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		bytes:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+	}, nil
+}
+
+// better keeps the sample with the lower ns/op (allocation counts ride along
+// with the winning round).
+func better(cur *sample, ok bool, s sample) sample {
+	if !ok || s.ns < cur.ns {
+		return s
+	}
+	return *cur
+}
+
 // measureFleet times one fleet configuration: build, warm up with one full
 // replay (the first pass on a fresh fleet faults every page in), then run a
 // fixed number of steady-state replays.
-func measureFleet(workers, iters int) (int64, error) {
+func measureFleet(workers, iters int) (sample, error) {
 	f, reqs, err := fleet.NewBenchFleet(fleet.DefaultBenchSpec(workers))
 	if err != nil {
-		return 0, err
+		return sample{}, err
 	}
 	replay := func() error {
 		for _, r := range f.RunWorkloads(reqs) {
@@ -139,20 +221,14 @@ func measureFleet(workers, iters int) (int64, error) {
 		return nil
 	}
 	if err := replay(); err != nil {
-		return 0, err
+		return sample{}, err
 	}
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if err := replay(); err != nil {
-			return 0, err
-		}
-	}
-	return int64(time.Since(start)) / int64(iters), nil
+	return timeIt(iters, replay)
 }
 
 func collect() (*Report, error) {
 	rep := &Report{
-		Schema:           "zombieland-bench-fleet/v2",
+		Schema:           "zombieland-bench-fleet/v3",
 		GoVersion:        runtime.Version(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		ParallelHardware: runtime.GOMAXPROCS(0) > 1,
@@ -162,28 +238,29 @@ func collect() (*Report, error) {
 	// interleaved round-robin; keep the minimum ns/op per pool size.
 	const fleetIters = 20
 	poolSizes := []int{1, 2, 4}
-	best := make(map[int]int64)
+	best := make(map[int]sample)
 	for round := 0; round < rounds; round++ {
 		for _, workers := range poolSizes {
-			nsPerOp, err := measureFleet(workers, fleetIters)
+			s, err := measureFleet(workers, fleetIters)
 			if err != nil {
 				return nil, err
 			}
-			if cur, ok := best[workers]; !ok || nsPerOp < cur {
-				best[workers] = nsPerOp
-			}
+			cur, ok := best[workers]
+			best[workers] = better(&cur, ok, s)
 		}
 	}
 	for _, workers := range poolSizes {
 		rep.Fleet = append(rep.Fleet, Run{
-			Name:       "FleetWorkloads",
-			Workers:    workers,
-			Iterations: fleetIters,
-			NsPerOp:    best[workers],
+			Name:        "FleetWorkloads",
+			Workers:     workers,
+			Iterations:  fleetIters,
+			NsPerOp:     best[workers].ns,
+			AllocsPerOp: best[workers].allocs,
+			BytesPerOp:  best[workers].bytes,
 		})
 	}
-	if best[4] > 0 {
-		rep.FleetSpeedup4v1 = float64(best[1]) / float64(best[4])
+	if best[4].ns > 0 {
+		rep.FleetSpeedup4v1 = float64(best[1].ns) / float64(best[4].ns)
 	}
 
 	// The dcsim engine benchmarks: the same trace and configuration as
@@ -226,34 +303,32 @@ func collect() (*Report, error) {
 		{"DCSimTransitions", 0, func() error { _, err := dcsim.Run(engineCfg(0, true)); return err }},
 		{"DCSimSweep", parWorkers, func() error { _, err := dcsim.Sweep(sweepCfg); return err }},
 	}
-	bestEngine := make(map[string]int64)
+	bestEngine := make(map[string]sample)
 	for round := 0; round < rounds; round++ {
 		for _, e := range engines {
 			if err := e.run(); err != nil { // warm-up
 				return nil, err
 			}
-			start := time.Now()
-			for i := 0; i < dcsimIters; i++ {
-				if err := e.run(); err != nil {
-					return nil, err
-				}
+			s, err := timeIt(dcsimIters, e.run)
+			if err != nil {
+				return nil, err
 			}
-			nsPerOp := int64(time.Since(start)) / dcsimIters
-			if cur, ok := bestEngine[e.name]; !ok || nsPerOp < cur {
-				bestEngine[e.name] = nsPerOp
-			}
+			cur, ok := bestEngine[e.name]
+			bestEngine[e.name] = better(&cur, ok, s)
 		}
 	}
 	for _, e := range engines {
 		rep.DCSim = append(rep.DCSim, Run{
-			Name:       e.name,
-			Workers:    e.workers,
-			Iterations: dcsimIters,
-			NsPerOp:    bestEngine[e.name],
+			Name:        e.name,
+			Workers:     e.workers,
+			Iterations:  dcsimIters,
+			NsPerOp:     bestEngine[e.name].ns,
+			AllocsPerOp: bestEngine[e.name].allocs,
+			BytesPerOp:  bestEngine[e.name].bytes,
 		})
 	}
-	if bestEngine["DCSimParallel"] > 0 {
-		rep.DCSimSpeedup = float64(bestEngine["DCSimSequential"]) / float64(bestEngine["DCSimParallel"])
+	if bestEngine["DCSimParallel"].ns > 0 {
+		rep.DCSimSpeedup = float64(bestEngine["DCSimSequential"].ns) / float64(bestEngine["DCSimParallel"].ns)
 	}
 
 	// The online control plane: one full autopilot run per bundled policy on
@@ -277,7 +352,7 @@ func collect() (*Report, error) {
 		{"hysteresis", func() autopilot.Policy { return autopilot.NewHysteresis(consolidation.NewZombieStack()) }},
 		{"ewma", func() autopilot.Policy { return autopilot.NewPredictiveEWMA(consolidation.NewZombieStack()) }},
 	}
-	bestOnline := make(map[string]int64)
+	bestOnline := make(map[string]sample)
 	var onlineTicks int
 	for round := 0; round < rounds; round++ {
 		for _, pol := range onlinePolicies {
@@ -289,31 +364,58 @@ func collect() (*Report, error) {
 				return nil, err
 			}
 			onlineTicks = res.Ticks
-			start := time.Now()
-			for it := 0; it < autopilotIters; it++ {
-				if _, err := autopilot.Run(onlineCfg(pol.make())); err != nil {
-					return nil, err
-				}
+			s, err := timeIt(autopilotIters, func() error {
+				_, err := autopilot.Run(onlineCfg(pol.make()))
+				return err
+			})
+			if err != nil {
+				return nil, err
 			}
-			nsPerOp := int64(time.Since(start)) / autopilotIters
-			if cur, ok := bestOnline[pol.name]; !ok || nsPerOp < cur {
-				bestOnline[pol.name] = nsPerOp
-			}
+			cur, ok := bestOnline[pol.name]
+			bestOnline[pol.name] = better(&cur, ok, s)
 		}
 	}
 	var fastest int64
 	for _, pol := range onlinePolicies {
 		rep.Autopilot = append(rep.Autopilot, Run{
-			Name:       "AutopilotRun/" + pol.name,
-			Iterations: autopilotIters,
-			NsPerOp:    bestOnline[pol.name],
+			Name:        "AutopilotRun/" + pol.name,
+			Iterations:  autopilotIters,
+			NsPerOp:     bestOnline[pol.name].ns,
+			AllocsPerOp: bestOnline[pol.name].allocs,
+			BytesPerOp:  bestOnline[pol.name].bytes,
 		})
-		if fastest == 0 || bestOnline[pol.name] < fastest {
-			fastest = bestOnline[pol.name]
+		if fastest == 0 || bestOnline[pol.name].ns < fastest {
+			fastest = bestOnline[pol.name].ns
 		}
 	}
 	if fastest > 0 && onlineTicks > 0 {
 		rep.AutopilotTicksPerSec = float64(onlineTicks) / (float64(fastest) / 1e9)
 	}
+
+	// The gateway quota fast path: one allow() check per op. The warmed
+	// bucket makes the loop lock-free and allocation-free; allocs_per_op is
+	// expected to stay exactly 0 and the benchdiff gate fails on any growth.
+	const quotaIters = 2_000_000
+	allow := gateway.QuotaBench()
+	var bestQuota sample
+	quotaOK := false
+	for round := 0; round < rounds; round++ {
+		s, err := timeIt(quotaIters, func() error {
+			allow()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestQuota = better(&bestQuota, quotaOK, s)
+		quotaOK = true
+	}
+	rep.Gateway = append(rep.Gateway, Run{
+		Name:        "GatewayQuotaAllow",
+		Iterations:  quotaIters,
+		NsPerOp:     bestQuota.ns,
+		AllocsPerOp: bestQuota.allocs,
+		BytesPerOp:  bestQuota.bytes,
+	})
 	return rep, nil
 }

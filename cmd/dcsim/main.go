@@ -14,6 +14,8 @@
 //	                              #   trace scales × consolidation periods ×
 //	                              #   transition-cost axis
 //	dcsim -sweep -scales 0.5,1,2 -periods 300,900 -workers 8
+//	dcsim -cpuprofile cpu.pprof   # profile the run (pprof CPU profile)
+//	dcsim -memprofile mem.pprof   # write an allocation profile on exit
 //
 // The parallel engine is bit-identical to the sequential one; -parallel only
 // changes how the work is scheduled. -transitions selects the accounting
@@ -30,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -52,11 +55,41 @@ func main() {
 	periods := flag.String("periods", "300", "comma-separated consolidation periods in seconds for -sweep")
 	transitions := flag.String("transitions", "off", "transition-cost accounting: off (steady state), on, or both")
 	rackmodel := flag.Bool("rackmodel", false, "price steady-state epochs through the rack model's energy ledger instead of the abstract power tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if err := run(os.Stdout, *machines, *tasks, *horizon, *seed, *parallel, *sweep, *workers, *scales, *periods, *transitions, *rackmodel); err != nil {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 

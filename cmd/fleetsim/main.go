@@ -9,7 +9,8 @@
 //
 //	fleetsim                                   # 4 racks x 4 servers
 //	fleetsim -racks 8 -servers 8 -vms 24       # bigger fleet
-//	fleetsim -workers 8                        # wider execution pool
+//	fleetsim -workers 8                        # fixed-size execution pool
+//	                                           #   (default 0: one worker per core)
 //	fleetsim -mix spark-sql,data-caching       # workload mix to rotate
 //	fleetsim -chaos                            # scripted faults: crash, controller
 //	                                           #   kill, failed wake — with fault log
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	zombieland "repro"
@@ -35,7 +37,7 @@ func main() {
 	vms := flag.Int("vms", 6, "VMs to place across the fleet")
 	vmGiB := flag.Float64("vm-gib", 28, "VM reserved memory in GiB")
 	mix := flag.String("mix", "spark-sql,elasticsearch", "comma-separated workload mix rotated across the VMs")
-	workers := flag.Int("workers", 4, "worker-pool size for placement and workload execution")
+	workers := flag.Int("workers", 0, "worker-pool size for placement and workload execution (0 = every core, runtime.GOMAXPROCS)")
 	hours := flag.Float64("hours", 1, "simulated hours to account energy over")
 	iterations := flag.Int("iterations", 2, "paging-replay iterations per workload")
 	chaosOn := flag.Bool("chaos", false, "inject a scripted fault sequence (server crash before placement, controller kill after, a failed wake) and print the fault log")
@@ -84,10 +86,13 @@ func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64,
 		cliflag.PositiveInt("-racks", racks),
 		cliflag.PositiveInt("-servers", servers),
 		cliflag.PositiveInt("-vms", vms),
-		cliflag.PositiveInt("-workers", workers),
+		cliflag.NonNegativeInt("-workers", workers),
 		cliflag.NonNegativeInt("-zombies", zombies),
 	); err != nil {
 		return err
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if zombies >= servers {
 		return fmt.Errorf("-zombies %d must leave at least one active server per rack (-servers %d)", zombies, servers)

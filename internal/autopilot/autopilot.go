@@ -9,6 +9,7 @@ import (
 	"repro/internal/consolidation"
 	"repro/internal/dcsim"
 	"repro/internal/energy"
+	"repro/internal/ident"
 	"repro/internal/trace"
 )
 
@@ -219,8 +220,10 @@ type loop struct {
 	total   int
 	planner consolidation.Policy
 
-	vms       []consolidation.VMDemand // sorted by ID
-	admitted  map[string]bool
+	vms []consolidation.VMDemand // sorted by ID
+	// admitted is a bitset over the trace's numeric task IDs — the arrival
+	// and departure paths test membership without hashing a VMID string.
+	admitted  ident.Set
 	bookedCPU float64
 	bookedMem float64
 	usedCPU   float64
@@ -269,11 +272,10 @@ func Run(cfg Config) (Result, error) {
 	cfg.applyDefaults()
 
 	l := &loop{
-		cfg:      &cfg,
-		total:    cfg.Trace.Machines,
-		planner:  cfg.Policy.Planner(),
-		admitted: make(map[string]bool),
-		posture:  consolidation.InitialPlan(cfg.Trace.Machines),
+		cfg:     &cfg,
+		total:   cfg.Trace.Machines,
+		planner: cfg.Policy.Planner(),
+		posture: consolidation.InitialPlan(cfg.Trace.Machines),
 	}
 	l.res = Result{
 		Policy:          cfg.Policy.Name(),
@@ -437,7 +439,7 @@ func (l *loop) arrive(t trace.Task) error {
 	}
 	l.insert(v)
 	l.cum = insertSorted(l.cum, v)
-	l.admitted[v.ID] = true
+	l.admitted.Add(ident.ID(t.ID))
 	l.res.Admitted++
 	l.refreshUtil()
 
@@ -494,12 +496,11 @@ func (l *loop) ensureActive(nowSec int64, required int) error {
 
 // depart retires one admitted task.
 func (l *loop) depart(t trace.Task) {
-	id := t.VMID()
-	if !l.admitted[id] {
+	if !l.admitted.Has(ident.ID(t.ID)) {
 		return // was rejected at admission
 	}
-	delete(l.admitted, id)
-	l.remove(id)
+	l.admitted.Remove(ident.ID(t.ID))
+	l.remove(t.VMID())
 	l.res.Departures++
 	l.refreshUtil()
 }

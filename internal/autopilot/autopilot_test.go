@@ -371,6 +371,7 @@ func fleetRackConfig() core.Config {
 // canonical diurnal trace — the hot path recorded in BENCH_fleet.json.
 func BenchmarkAutopilotTicks(b *testing.B) {
 	tr := diurnalTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := baseConfig(tr)

@@ -3,9 +3,9 @@ package consolidation
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/acpi"
+	"repro/internal/ident"
 )
 
 // VMDemand is the consolidation-level view of one VM (one trace task).
@@ -183,16 +183,26 @@ func (o *Oasis) Plan(vms []VMDemand, spec ServerSpec, totalServers int) FleetPla
 	if target <= 0 || target > 1 {
 		target = 0.9
 	}
-	// Split the fleet into busy and idle VMs.
-	var busy, idle []VMDemand
+	// Split the fleet into busy and idle demand in one pass. The sums
+	// accumulate in the same subsequence order the old busy/idle slices
+	// preserved, so the floats are bit-identical — without materialising
+	// either slice (Plan runs once per epoch in the simulator's hot loop).
+	var busyCPU, busyMem, usedCPU float64
+	var idleWSS, idleCold float64
+	var nBusy int
 	for _, v := range vms {
 		if v.Idle() {
-			idle = append(idle, v)
+			// Idle VMs keep only their working set on the active servers; the
+			// rest of their memory moves to memory servers.
+			idleWSS += v.WSSGiB()
+			idleCold += v.BookedMemGiB - v.WSSGiB()
 		} else {
-			busy = append(busy, v)
+			busyCPU += v.BookedCPU
+			busyMem += v.BookedMemGiB
+			usedCPU += v.UsedCPU
+			nBusy++
 		}
 	}
-	busyCPU, busyMem, usedCPU, _ := sumDemand(busy)
 	// Busy VMs are packed like Neat (full reservations local).
 	cpuHosts := int(math.Ceil(busyCPU / (spec.Cores * target)))
 	memHosts := int(math.Ceil(busyMem / (spec.MemGiB * target)))
@@ -200,15 +210,8 @@ func (o *Oasis) Plan(vms []VMDemand, spec ServerSpec, totalServers int) FleetPla
 	if memHosts > active {
 		active = memHosts
 	}
-	if len(busy) > 0 && active < 1 {
+	if nBusy > 0 && active < 1 {
 		active = 1
-	}
-	// Idle VMs keep only their working set on the active servers; the rest of
-	// their memory moves to memory servers.
-	var idleWSS, idleCold float64
-	for _, v := range idle {
-		idleWSS += v.WSSGiB()
-		idleCold += v.BookedMemGiB - v.WSSGiB()
 	}
 	// The working sets must still fit on active servers' memory.
 	extraForWSS := int(math.Ceil((busyMem + idleWSS) / (spec.MemGiB * target)))
@@ -363,18 +366,58 @@ type HostLoad struct {
 	Suspended bool
 }
 
-// StepPlan is the outcome of one pass of the Neat consolidation loop.
+// StepPlan is the outcome of one pass of the Neat consolidation loop. Hosts
+// and VMs are referenced by dense ident IDs interned into Names — one shared
+// namespace, so host and VM identifiers must not collide — and rendered back
+// to strings only at the API edge (DestinationOf, HostNames).
 type StepPlan struct {
+	// Names interns every host and VM identifier the plan references.
+	Names *ident.Registry
 	// UnderloadedHosts should be emptied and suspended.
-	UnderloadedHosts []string
+	UnderloadedHosts []ident.ID
 	// OverloadedHosts need some VMs migrated away.
-	OverloadedHosts []string
-	// Migrations maps VM IDs to destination host IDs.
-	Migrations map[string]string
+	OverloadedHosts []ident.ID
+	// Migrations lists VM moves in placement order.
+	Migrations []Migration
 	// Suspend lists hosts to suspend after their VMs leave.
-	Suspend []string
+	Suspend []ident.ID
 	// Wake lists suspended hosts that must be woken to receive VMs.
-	Wake []string
+	Wake []ident.ID
+	// migrated marks the VM IDs with a planned destination (membership
+	// queries without scanning Migrations).
+	migrated ident.Set
+}
+
+// Migration is one planned VM move.
+type Migration struct {
+	VM   ident.ID
+	Dest ident.ID
+}
+
+// HostNames renders a plan ID list back to names (the API/rendering edge).
+func (p *StepPlan) HostNames(ids []ident.ID) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = p.Names.Name(id)
+	}
+	return out
+}
+
+// DestinationOf returns the destination host planned for a VM, by name.
+func (p *StepPlan) DestinationOf(vmID string) (string, bool) {
+	id, ok := p.Names.Lookup(vmID)
+	if !ok || !p.migrated.Has(id) {
+		return "", false
+	}
+	for _, m := range p.Migrations {
+		if m.VM == id {
+			return p.Names.Name(m.Dest), true
+		}
+	}
+	return "", false
 }
 
 // StepConfig parameterises the step-wise loop.
@@ -410,7 +453,14 @@ func PlanSteps(hosts []HostLoad, cfg StepConfig) StepPlan {
 	if cfg.WSSFraction <= 0 {
 		cfg.WSSFraction = 0.3
 	}
-	plan := StepPlan{Migrations: make(map[string]string)}
+	plan := StepPlan{Names: ident.NewRegistry()}
+
+	// Hosts are interned first, in input order, so host ident IDs double as
+	// dense host indices for the bitsets below.
+	hostID := make([]ident.ID, len(hosts))
+	for i, h := range hosts {
+		hostID[i] = plan.Names.Intern(h.ID)
+	}
 
 	// Steps 1 and 2: classify hosts.
 	var under, over, normal []int
@@ -421,17 +471,17 @@ func PlanSteps(hosts []HostLoad, cfg StepConfig) StepPlan {
 		switch {
 		case h.CPUUtilization < cfg.UnderloadThreshold:
 			under = append(under, i)
-			plan.UnderloadedHosts = append(plan.UnderloadedHosts, h.ID)
+			plan.UnderloadedHosts = append(plan.UnderloadedHosts, hostID[i])
 		case h.CPUUtilization > cfg.OverloadThreshold:
 			over = append(over, i)
-			plan.OverloadedHosts = append(plan.OverloadedHosts, h.ID)
+			plan.OverloadedHosts = append(plan.OverloadedHosts, hostID[i])
 		default:
 			normal = append(normal, i)
 		}
 	}
 
 	// Step 3: select VMs to migrate — all VMs of underloaded hosts, and the
-	// largest CPU consumers of overloaded hosts.
+	// largest CPU consumer of each overloaded host (first wins on a tie).
 	type pending struct {
 		vm   VMDemand
 		from int
@@ -443,39 +493,43 @@ func PlanSteps(hosts []HostLoad, cfg StepConfig) StepPlan {
 		}
 	}
 	for _, i := range over {
-		vms := append([]VMDemand(nil), hosts[i].VMs...)
-		sort.Slice(vms, func(a, b int) bool { return vms[a].UsedCPU > vms[b].UsedCPU })
-		if len(vms) > 0 {
-			toMigrate = append(toMigrate, pending{vms[0], i})
+		best := -1
+		for vi, v := range hosts[i].VMs {
+			if best < 0 || v.UsedCPU > hosts[i].VMs[best].UsedCPU {
+				best = vi
+			}
+		}
+		if best >= 0 {
+			toMigrate = append(toMigrate, pending{hosts[i].VMs[best], i})
 		}
 	}
 
 	// Step 4: place the selected VMs on normal hosts; wake suspended hosts if
-	// nothing fits. Targets are chosen greedily by free memory.
-	free := make(map[int]float64, len(hosts))
+	// nothing fits. Targets are scanned in ascending host index order; free
+	// headroom is a dense slice and the target/wake sets are bitsets, so the
+	// per-VM scan neither hashes a string nor allocates.
+	free := make([]float64, len(hosts))
+	var isTarget ident.Set
 	for _, i := range normal {
 		free[i] = hosts[i].FreeMemGiB
+		isTarget.Add(ident.ID(i))
 	}
-	wakeSet := map[string]bool{}
+	var woken ident.Set
 	for _, p := range toMigrate {
 		need := p.vm.BookedMemGiB
 		if cfg.ZombieAware {
 			need = p.vm.WSSGiB() * cfg.WSSFraction
 		}
 		placed := false
-		// Deterministic target order: by index.
-		idxs := make([]int, 0, len(free))
-		for i := range free {
-			idxs = append(idxs, i)
-		}
-		sort.Ints(idxs)
-		for _, i := range idxs {
-			if i == p.from {
+		for i := range hosts {
+			if i == p.from || !isTarget.Has(ident.ID(i)) {
 				continue
 			}
 			if free[i] >= need {
 				free[i] -= need
-				plan.Migrations[p.vm.ID] = hosts[i].ID
+				vmID := plan.Names.Intern(p.vm.ID)
+				plan.Migrations = append(plan.Migrations, Migration{VM: vmID, Dest: hostID[i]})
+				plan.migrated.Add(vmID)
 				placed = true
 				break
 			}
@@ -484,11 +538,14 @@ func PlanSteps(hosts []HostLoad, cfg StepConfig) StepPlan {
 			// Wake a suspended host (the zombie with the fewest allocated
 			// buffers in the real system; here the first suspended host).
 			for i, h := range hosts {
-				if h.Suspended && !wakeSet[h.ID] {
-					wakeSet[h.ID] = true
-					plan.Wake = append(plan.Wake, h.ID)
-					plan.Migrations[p.vm.ID] = h.ID
+				if h.Suspended && !woken.Has(ident.ID(i)) {
+					woken.Add(ident.ID(i))
+					plan.Wake = append(plan.Wake, hostID[i])
+					vmID := plan.Names.Intern(p.vm.ID)
+					plan.Migrations = append(plan.Migrations, Migration{VM: vmID, Dest: hostID[i]})
+					plan.migrated.Add(vmID)
 					free[i] = hosts[i].FreeMemGiB - need
+					isTarget.Add(ident.ID(i))
 					placed = true
 					break
 				}
@@ -496,13 +553,10 @@ func PlanSteps(hosts []HostLoad, cfg StepConfig) StepPlan {
 		}
 		if !placed {
 			// The VM stays where it is; its source host cannot be suspended.
-			delete(plan.Migrations, p.vm.ID)
-			if p.from < len(hosts) {
-				for j, id := range plan.UnderloadedHosts {
-					if id == hosts[p.from].ID {
-						plan.UnderloadedHosts = append(plan.UnderloadedHosts[:j], plan.UnderloadedHosts[j+1:]...)
-						break
-					}
+			for j, id := range plan.UnderloadedHosts {
+				if id == hostID[p.from] {
+					plan.UnderloadedHosts = append(plan.UnderloadedHosts[:j], plan.UnderloadedHosts[j+1:]...)
+					break
 				}
 			}
 		}
@@ -512,20 +566,21 @@ func PlanSteps(hosts []HostLoad, cfg StepConfig) StepPlan {
 	for _, i := range under {
 		allMoved := true
 		for _, v := range hosts[i].VMs {
-			if _, ok := plan.Migrations[v.ID]; !ok {
+			id, ok := plan.Names.Lookup(v.ID)
+			if !ok || !plan.migrated.Has(id) {
 				allMoved = false
 				break
 			}
 		}
 		stillListed := false
 		for _, id := range plan.UnderloadedHosts {
-			if id == hosts[i].ID {
+			if id == hostID[i] {
 				stillListed = true
 				break
 			}
 		}
 		if allMoved && stillListed {
-			plan.Suspend = append(plan.Suspend, hosts[i].ID)
+			plan.Suspend = append(plan.Suspend, hostID[i])
 		}
 	}
 	return plan

@@ -226,25 +226,25 @@ func TestPlanStepsClassification(t *testing.T) {
 		{ID: "asleep", Suspended: true, FreeMemGiB: 16},
 	}
 	plan := PlanSteps(hosts, DefaultStepConfig(false))
-	if len(plan.UnderloadedHosts) != 1 || plan.UnderloadedHosts[0] != "under" {
-		t.Errorf("underloaded = %v", plan.UnderloadedHosts)
+	if names := plan.HostNames(plan.UnderloadedHosts); len(names) != 1 || names[0] != "under" {
+		t.Errorf("underloaded = %v", names)
 	}
-	if len(plan.OverloadedHosts) != 1 || plan.OverloadedHosts[0] != "over" {
-		t.Errorf("overloaded = %v", plan.OverloadedHosts)
+	if names := plan.HostNames(plan.OverloadedHosts); len(names) != 1 || names[0] != "over" {
+		t.Errorf("overloaded = %v", names)
 	}
 	// The underloaded host's VM and the overloaded host's biggest VM migrate.
-	if plan.Migrations["a"] != "normal" {
-		t.Errorf("vm a should move to the normal host, got %q", plan.Migrations["a"])
+	if dest, _ := plan.DestinationOf("a"); dest != "normal" {
+		t.Errorf("vm a should move to the normal host, got %q", dest)
 	}
-	if dest, ok := plan.Migrations["big"]; !ok || dest == "over" {
+	if dest, ok := plan.DestinationOf("big"); !ok || dest == "over" {
 		t.Errorf("vm big should migrate away, got %q", dest)
 	}
-	if _, ok := plan.Migrations["small"]; ok {
+	if _, ok := plan.DestinationOf("small"); ok {
 		t.Error("only the biggest VM of an overloaded host migrates per pass")
 	}
 	// The emptied underloaded host is suspended.
-	if len(plan.Suspend) != 1 || plan.Suspend[0] != "under" {
-		t.Errorf("suspend = %v", plan.Suspend)
+	if names := plan.HostNames(plan.Suspend); len(names) != 1 || names[0] != "under" {
+		t.Errorf("suspend = %v", names)
 	}
 }
 
@@ -258,11 +258,11 @@ func TestPlanStepsWakesSuspendedHost(t *testing.T) {
 		{ID: "zzz", Suspended: true, FreeMemGiB: 16},
 	}
 	plan := PlanSteps(hosts, DefaultStepConfig(false))
-	if len(plan.Wake) != 1 || plan.Wake[0] != "zzz" {
-		t.Errorf("wake = %v", plan.Wake)
+	if names := plan.HostNames(plan.Wake); len(names) != 1 || names[0] != "zzz" {
+		t.Errorf("wake = %v", names)
 	}
-	if plan.Migrations["a"] != "zzz" {
-		t.Errorf("vm a should land on the woken host, got %q", plan.Migrations["a"])
+	if dest, _ := plan.DestinationOf("a"); dest != "zzz" {
+		t.Errorf("vm a should land on the woken host, got %q", dest)
 	}
 }
 
@@ -277,12 +277,12 @@ func TestPlanStepsZombieAwareNeedsLessMemory(t *testing.T) {
 		{ID: "zzz", Suspended: true, FreeMemGiB: 16},
 	}
 	vanilla := PlanSteps(hosts, DefaultStepConfig(false))
-	if vanilla.Migrations["a"] != "zzz" {
-		t.Errorf("vanilla should need the suspended host, got %q", vanilla.Migrations["a"])
+	if dest, _ := vanilla.DestinationOf("a"); dest != "zzz" {
+		t.Errorf("vanilla should need the suspended host, got %q", dest)
 	}
 	zombie := PlanSteps(hosts, DefaultStepConfig(true))
-	if zombie.Migrations["a"] != "tight" {
-		t.Errorf("zombie-aware placement should fit on the tight host, got %q", zombie.Migrations["a"])
+	if dest, _ := zombie.DestinationOf("a"); dest != "tight" {
+		t.Errorf("zombie-aware placement should fit on the tight host, got %q", dest)
 	}
 	if len(zombie.Wake) != 0 {
 		t.Errorf("zombie-aware plan should not wake anyone, woke %v", zombie.Wake)
@@ -300,7 +300,7 @@ func TestPlanStepsUnplaceableVMKeepsHostUp(t *testing.T) {
 	if len(plan.Suspend) != 0 {
 		t.Errorf("host with an unplaceable VM must stay up, suspend=%v", plan.Suspend)
 	}
-	if _, ok := plan.Migrations["a"]; ok {
+	if _, ok := plan.DestinationOf("a"); ok {
 		t.Error("the unplaceable VM must not be migrated")
 	}
 }
@@ -308,8 +308,11 @@ func TestPlanStepsUnplaceableVMKeepsHostUp(t *testing.T) {
 func TestDefaultStepConfigDefaults(t *testing.T) {
 	cfg := StepConfig{}
 	plan := PlanSteps([]HostLoad{{ID: "h", CPUUtilization: 0.5}}, cfg)
-	if plan.Migrations == nil {
-		t.Error("plan should always have a migrations map")
+	if plan.Names == nil {
+		t.Error("plan should always carry its name registry")
+	}
+	if len(plan.Migrations) != 0 {
+		t.Errorf("nothing to migrate, got %d moves", len(plan.Migrations))
 	}
 	got := DefaultStepConfig(true)
 	if got.UnderloadThreshold != 0.2 || got.WSSFraction != 0.3 || !got.ZombieAware {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/energy"
 	"repro/internal/hypervisor"
+	"repro/internal/ident"
 	"repro/internal/memctl"
 	"repro/internal/memplane"
 	"repro/internal/pagepolicy"
@@ -40,6 +41,10 @@ const (
 // Server is one general-purpose server of the rack.
 type Server struct {
 	Name string
+	// ID is the server's dense identity in the rack's name registry; the
+	// rack's hot paths index slices and bitsets by it instead of hashing
+	// Name.
+	ID ident.ID
 
 	Platform *acpi.Platform
 	Device   *rdma.Device
@@ -140,8 +145,16 @@ type Rack struct {
 	scheduler  *placement.Scheduler
 	admission  *placement.AdmissionController
 
-	servers map[string]*Server
-	vms     map[string]*GuestVM
+	// names interns every server and VM identity of the rack; servers and
+	// vms are dense slices indexed by ident.ID (servers are interned first,
+	// so their IDs are exactly [0, len(servers))). sortedServers caches the
+	// name-sorted order once — servers never join after construction — so
+	// the per-placement host view never sorts or hashes strings.
+	names         *ident.Registry
+	servers       []*Server
+	sortedServers []*Server
+	vms           []*GuestVM // nil holes for destroyed VMs; index by ident.ID
+	vmCount       int
 
 	// overflow, when set, supplies remote memory the rack itself cannot
 	// (cross-rack borrowing; see RemoteOverflow).
@@ -184,8 +197,7 @@ func NewRack(cfg Config) (*Rack, error) {
 		fabric:    rdma.NewFabric(cfg.CostModel),
 		secondary: memctl.NewSecondaryController(),
 		scheduler: placement.NewScheduler(),
-		servers:   make(map[string]*Server),
-		vms:       make(map[string]*GuestVM),
+		names:     ident.NewRegistry(),
 	}
 	opts := []memctl.Option{memctl.WithMirror(r.secondary)}
 	if cfg.BufferSize > 0 {
@@ -195,7 +207,7 @@ func NewRack(cfg Config) (*Rack, error) {
 	r.admission = placement.NewAdmissionController(0)
 
 	resolve := func(id memctl.ServerID) *rdma.Device {
-		s, ok := r.servers[string(id)]
+		s, ok := r.server(string(id))
 		if !ok {
 			return nil
 		}
@@ -223,36 +235,64 @@ func NewRack(cfg Config) (*Rack, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.servers[name] = &Server{
+		r.servers = append(r.servers, &Server{
 			Name:     name,
+			ID:       r.names.Intern(name),
 			Platform: platform,
 			Device:   dev,
 			Agent:    agent,
 			Energy:   energy.NewAccumulator(cfg.MachineProfile),
 			role:     RoleActive,
 			vms:      make(map[string]*GuestVM),
-		}
+		})
 	}
+	r.sortedServers = append([]*Server(nil), r.servers...)
+	sort.Slice(r.sortedServers, func(i, j int) bool {
+		return r.sortedServers[i].Name < r.sortedServers[j].Name
+	})
 	return r, nil
 }
 
-// Servers returns the server names, sorted.
-func (r *Rack) Servers() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.servers))
-	for n := range r.servers {
-		names = append(names, n)
+// server returns the named server. The registry and the dense server slice
+// are immutable after construction, so no rack lock is needed.
+func (r *Rack) server(name string) (*Server, bool) {
+	id, ok := r.names.Lookup(name)
+	if !ok || int(id) >= len(r.servers) {
+		return nil, false
 	}
-	sort.Strings(names)
+	return r.servers[id], true
+}
+
+// vmLocked returns the named VM; the caller holds r.mu.
+func (r *Rack) vmLocked(id string) (*GuestVM, bool) {
+	vid, ok := r.names.Lookup(id)
+	if !ok || int(vid) >= len(r.vms) || r.vms[vid] == nil {
+		return nil, false
+	}
+	return r.vms[vid], true
+}
+
+// setVMLocked stores a VM under its dense ID; the caller holds r.mu.
+func (r *Rack) setVMLocked(vid ident.ID, g *GuestVM) {
+	for int(vid) >= len(r.vms) {
+		r.vms = append(r.vms, nil)
+	}
+	r.vms[vid] = g
+}
+
+// Servers returns the server names, sorted (from the construction-time
+// cache; the server set never changes).
+func (r *Rack) Servers() []string {
+	names := make([]string, len(r.sortedServers))
+	for i, s := range r.sortedServers {
+		names[i] = s.Name
+	}
 	return names
 }
 
 // Server returns the named server.
 func (r *Rack) Server(name string) (*Server, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.servers[name]
+	s, ok := r.server(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownServer, name)
 	}
@@ -274,9 +314,7 @@ func (r *Rack) SetRemoteOverflow(o RemoteOverflow) {
 // ResolveDevice returns the RDMA device of the named server, or nil. The
 // fleet layer uses it to wire gateway agents into a peer rack's fabric.
 func (r *Rack) ResolveDevice(name string) *rdma.Device {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.servers[name]
+	s, ok := r.server(name)
 	if !ok {
 		return nil
 	}
@@ -331,9 +369,7 @@ func (r *Rack) FreeRemoteMemory() int64 { return r.controller.FreeMemory() }
 // delegated to the controller, the platform transitions to Sz, and the RDMA
 // device stops initiating but keeps serving one-sided operations.
 func (r *Rack) PushToZombie(name string) error {
-	r.mu.Lock()
-	s, ok := r.servers[name]
-	r.mu.Unlock()
+	s, ok := r.server(name)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownServer, name)
 	}
@@ -364,9 +400,7 @@ func (r *Rack) PushToZombie(name string) error {
 // Suspend suspends a server into a conventional sleep state (S3/S4/S5): its
 // memory becomes unreachable, so nothing is delegated.
 func (r *Rack) Suspend(name string, state acpi.SleepState) error {
-	r.mu.Lock()
-	s, ok := r.servers[name]
-	r.mu.Unlock()
+	s, ok := r.server(name)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownServer, name)
 	}
@@ -391,9 +425,7 @@ func (r *Rack) Suspend(name string, state acpi.SleepState) error {
 // Wake resumes a suspended or zombie server to S0 and reclaims its delegated
 // memory (all of it).
 func (r *Rack) Wake(name string) error {
-	r.mu.Lock()
-	s, ok := r.servers[name]
-	r.mu.Unlock()
+	s, ok := r.server(name)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownServer, name)
 	}
@@ -426,18 +458,13 @@ func (r *Rack) syncAdmissionCapacity() {
 	r.admission.SetCapacity(r.controller.FreeMemory() + r.admission.Committed())
 }
 
-// placementHosts builds the scheduler's host view.
+// placementHosts builds the scheduler's host view, walking the cached
+// name-sorted server list (no per-call sort, no name materialisation).
 func (r *Rack) placementHosts() []placement.Host {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.servers))
-	for n := range r.servers {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	hosts := make([]placement.Host, 0, len(names))
-	for _, n := range names {
-		s := r.servers[n]
+	hosts := make([]placement.Host, 0, len(r.sortedServers))
+	for _, s := range r.sortedServers {
 		var usedCPU int
 		var usedMem int64
 		for _, g := range s.vms {
@@ -445,7 +472,7 @@ func (r *Rack) placementHosts() []placement.Host {
 			usedMem += g.LocalBytes
 		}
 		hosts = append(hosts, placement.Host{
-			ID:          placement.HostID(n),
+			ID:          placement.HostID(s.Name),
 			TotalCPUs:   r.cfg.Board.TotalCores(),
 			UsedCPUs:    usedCPU,
 			TotalMemory: int64(r.cfg.Board.MemoryBytes) - r.cfg.HostReservedBytes - r.lentBytes(s),
@@ -475,8 +502,8 @@ type CreateVMOptions struct {
 	SimPages int
 	// ExcludeHosts drops the named servers from the placement candidates —
 	// the fleet layer uses it to keep placement off crashed servers. Shared
-	// read-only across concurrent shards.
-	ExcludeHosts map[string]bool
+	// read-only across concurrent shards; nil excludes nothing.
+	ExcludeHosts *ident.NameSet
 }
 
 // CreateVM places a VM on the rack, allocating its remote memory (if any)
@@ -487,7 +514,7 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 		return nil, err
 	}
 	r.mu.Lock()
-	if _, dup := r.vms[spec.ID]; dup {
+	if _, dup := r.vmLocked(spec.ID); dup {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("core: VM %s already exists", spec.ID)
 	}
@@ -502,10 +529,10 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 		remoteAvail += overflow.AvailableBytes()
 	}
 	hosts := r.placementHosts()
-	if len(opts.ExcludeHosts) > 0 {
+	if opts.ExcludeHosts.Len() > 0 {
 		alive := hosts[:0]
 		for _, h := range hosts {
-			if !opts.ExcludeHosts[string(h.ID)] {
+			if !opts.ExcludeHosts.Has(string(h.ID)) {
 				alive = append(alive, h)
 			}
 		}
@@ -520,9 +547,7 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 		return nil, err
 	}
 
-	r.mu.Lock()
-	host := r.servers[string(decision.Host)]
-	r.mu.Unlock()
+	host, _ := r.server(string(decision.Host))
 
 	guest := &GuestVM{Spec: spec, Host: host.Name, LocalBytes: decision.LocalBytes, RemoteBytes: decision.RemoteBytes}
 
@@ -601,7 +626,8 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 
 	r.mu.Lock()
 	host.vms[spec.ID] = guest
-	r.vms[spec.ID] = guest
+	r.setVMLocked(r.names.Intern(spec.ID), guest)
+	r.vmCount++
 	r.mu.Unlock()
 
 	// Hosting VMs makes the server a user of remote memory (or plainly
@@ -623,14 +649,17 @@ func (r *Rack) CreateVM(spec vm.VM, opts CreateVMOptions) (*GuestVM, error) {
 // to the rack's controller, borrowed ones back through the overflow supplier.
 func (r *Rack) DestroyVM(id string) error {
 	r.mu.Lock()
-	guest, ok := r.vms[id]
+	guest, ok := r.vmLocked(id)
 	if !ok {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownVM, id)
 	}
-	host := r.servers[guest.Host]
+	host, _ := r.server(guest.Host)
 	overflow := r.overflow
-	delete(r.vms, id)
+	if vid, ok := r.names.Lookup(id); ok {
+		r.vms[vid] = nil
+		r.vmCount--
+	}
 	delete(host.vms, id)
 	r.mu.Unlock()
 
@@ -663,20 +692,23 @@ func (r *Rack) DestroyVM(id string) error {
 func (r *Rack) VM(id string) (*GuestVM, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.vms[id]
+	g, ok := r.vmLocked(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownVM, id)
 	}
 	return g, nil
 }
 
-// VMs returns the names of every VM on the rack, sorted.
+// VMs returns the names of every VM on the rack, sorted (the rendering edge:
+// live VM IDs map back to names here, not in the hot paths).
 func (r *Rack) VMs() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.vms))
-	for n := range r.vms {
-		names = append(names, n)
+	names := make([]string, 0, r.vmCount)
+	for vid, g := range r.vms {
+		if g != nil {
+			names = append(names, r.names.Name(ident.ID(vid)))
+		}
 	}
 	sort.Strings(names)
 	return names
@@ -714,13 +746,9 @@ type EnergyReport struct {
 
 // EnergyReportAll returns the energy report of every server, sorted by name.
 func (r *Rack) EnergyReportAll() []EnergyReport {
-	names := r.Servers()
-	out := make([]EnergyReport, 0, len(names))
-	for _, n := range names {
-		r.mu.Lock()
-		s := r.servers[n]
-		r.mu.Unlock()
-		out = append(out, EnergyReport{Server: n, State: s.Platform.State(), Joules: s.Energy.Joules()})
+	out := make([]EnergyReport, 0, len(r.sortedServers))
+	for _, s := range r.sortedServers {
+		out = append(out, EnergyReport{Server: s.Name, State: s.Platform.State(), Joules: s.Energy.Joules()})
 	}
 	return out
 }

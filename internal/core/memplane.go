@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/chaos"
+	"repro/internal/ident"
 	"repro/internal/memctl"
 	"repro/internal/memplane"
 	"repro/internal/vm"
@@ -25,14 +26,14 @@ import (
 func (r *Rack) MemplaneOf(vmID string) (*memplane.Plane, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	guest, ok := r.vms[vmID]
+	guest, ok := r.vmLocked(vmID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownVM, vmID)
 	}
 	if guest.plane != nil {
 		return guest.plane, nil
 	}
-	host := r.servers[guest.Host]
+	host, _ := r.server(guest.Host)
 	pageSize := int64(vm.DefaultPageSize)
 	p, err := memplane.New(memplane.Config{
 		VM:           vmID,
@@ -66,22 +67,22 @@ func (r *Rack) SetDataChaos(plan *chaos.Plan, now func() int64) {
 func (r *Rack) dataPlanes() []*memplane.Plane {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]*memplane.Plane, 0, len(r.vms))
-	for _, id := range sortedVMIDsLocked(r.vms) {
-		if p := r.vms[id].plane; p != nil {
-			out = append(out, p)
+	type named struct {
+		name  string
+		plane *memplane.Plane
+	}
+	live := make([]named, 0, r.vmCount)
+	for vid, g := range r.vms {
+		if g != nil && g.plane != nil {
+			live = append(live, named{r.names.Name(ident.ID(vid)), g.plane})
 		}
 	}
-	return out
-}
-
-func sortedVMIDsLocked(vms map[string]*GuestVM) []string {
-	ids := make([]string, 0, len(vms))
-	for id := range vms {
-		ids = append(ids, id)
+	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
+	out := make([]*memplane.Plane, len(live))
+	for i, n := range live {
+		out[i] = n.plane
 	}
-	sort.Strings(ids)
-	return ids
+	return out
 }
 
 // CrashDataHost marks a server crashed on every live data plane: remote

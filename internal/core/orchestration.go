@@ -24,10 +24,8 @@ func (r *Rack) MigrateVM(vmID, destName string) (migration.Result, error) {
 	if err != nil {
 		return migration.Result{}, err
 	}
-	r.mu.Lock()
-	dest, ok := r.servers[destName]
-	src := r.servers[guest.Host]
-	r.mu.Unlock()
+	dest, ok := r.server(destName)
+	src, _ := r.server(guest.Host)
 	if !ok {
 		return migration.Result{}, fmt.Errorf("%w: %s", ErrUnknownServer, destName)
 	}
@@ -129,11 +127,9 @@ func (r *Rack) ConsolidateOnce() (ConsolidationReport, error) {
 	report := ConsolidationReport{Migrated: make(map[string]string)}
 
 	// Build the planner's view of the rack.
-	names := r.Servers()
-	loads := make([]consolidation.HostLoad, 0, len(names))
-	for _, n := range names {
+	loads := make([]consolidation.HostLoad, 0, len(r.sortedServers))
+	for _, s := range r.sortedServers {
 		r.mu.Lock()
-		s := r.servers[n]
 		var vms []consolidation.VMDemand
 		var usedCPU float64
 		var usedLocal int64
@@ -153,7 +149,7 @@ func (r *Rack) ConsolidateOnce() (ConsolidationReport, error) {
 		state := s.Platform.State()
 		r.mu.Unlock()
 		loads = append(loads, consolidation.HostLoad{
-			ID:             n,
+			ID:             s.Name,
 			CPUUtilization: usedCPU / float64(r.cfg.Board.TotalCores()),
 			VMs:            vms,
 			FreeMemGiB:     float64(freeLocal) / float64(1<<30),
@@ -162,25 +158,25 @@ func (r *Rack) ConsolidateOnce() (ConsolidationReport, error) {
 	}
 
 	plan := consolidation.PlanSteps(loads, consolidation.DefaultStepConfig(true))
-	report.Underloaded = plan.UnderloadedHosts
-	report.Overloaded = plan.OverloadedHosts
+	report.Underloaded = plan.HostNames(plan.UnderloadedHosts)
+	report.Overloaded = plan.HostNames(plan.OverloadedHosts)
 
 	// Wake the hosts the planner needs before migrating onto them.
-	for _, name := range plan.Wake {
+	for _, name := range plan.HostNames(plan.Wake) {
 		if err := r.Wake(name); err != nil {
 			return report, fmt.Errorf("core: consolidation wake %s: %w", name, err)
 		}
 		report.Woken = append(report.Woken, name)
 	}
 
-	// Execute the migrations in deterministic order.
-	vmIDs := make([]string, 0, len(plan.Migrations))
-	for id := range plan.Migrations {
-		vmIDs = append(vmIDs, id)
-	}
-	sort.Strings(vmIDs)
-	for _, id := range vmIDs {
-		dest := plan.Migrations[id]
+	// Execute the migrations in deterministic order: sorted by VM name, the
+	// same order the old map-keyed plan was executed in.
+	moves := append([]consolidation.Migration(nil), plan.Migrations...)
+	sort.Slice(moves, func(i, j int) bool {
+		return plan.Names.Name(moves[i].VM) < plan.Names.Name(moves[j].VM)
+	})
+	for _, m := range moves {
+		id, dest := plan.Names.Name(m.VM), plan.Names.Name(m.Dest)
 		if _, err := r.MigrateVM(id, dest); err != nil {
 			// A failed migration keeps the VM where it is; the source host
 			// simply cannot be suspended this round.
@@ -191,7 +187,7 @@ func (r *Rack) ConsolidateOnce() (ConsolidationReport, error) {
 
 	// Suspend the emptied hosts into the zombie state so their memory keeps
 	// serving the rack.
-	for _, name := range plan.Suspend {
+	for _, name := range plan.HostNames(plan.Suspend) {
 		s, err := r.Server(name)
 		if err != nil {
 			continue
@@ -229,20 +225,12 @@ func (r *Rack) FailoverController(nowNs int64) (*memctl.GlobalController, error)
 	rebuilt := r.secondary.Rebuild(opts...)
 	r.mu.Lock()
 	r.controller = rebuilt
-	names := make([]string, 0, len(r.servers))
-	for n := range r.servers {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	r.mu.Unlock()
 	// Every agent re-establishes its channel with the promoted controller so
 	// reclaim notifications and scavenging keep working after the take-over.
-	for _, n := range names {
-		r.mu.Lock()
-		agent := r.servers[n].Agent
-		r.mu.Unlock()
-		if err := agent.Retarget(rebuilt); err != nil {
-			return nil, fmt.Errorf("core: fail-over retarget %s: %w", n, err)
+	for _, s := range r.sortedServers {
+		if err := s.Agent.Retarget(rebuilt); err != nil {
+			return nil, fmt.Errorf("core: fail-over retarget %s: %w", s.Name, err)
 		}
 	}
 	r.syncAdmissionCapacity()

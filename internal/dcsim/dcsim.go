@@ -1,8 +1,10 @@
 package dcsim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"repro/internal/acpi"
 	"repro/internal/chaos"
@@ -204,11 +206,27 @@ type epochStats struct {
 	reHomedGiB   float64
 }
 
-// sortedByStart returns the trace tasks ordered by start time. The slice is
-// shared read-only by every replayer of a run.
-func sortedByStart(tr *trace.Trace) []trace.Task {
-	byStart := append([]trace.Task(nil), tr.Tasks...)
-	sort.Slice(byStart, func(i, j int) bool { return byStart[i].StartSec < byStart[j].StartSec })
+// replayTask pairs a trace task with its consolidation-layer identity,
+// formatted once per run instead of once per VM per epoch.
+type replayTask struct {
+	task trace.Task
+	vmid string
+}
+
+// sortedByStart returns the trace tasks ordered by start time (task ID breaks
+// ties, so the order is fully deterministic), each carrying its precomputed
+// VM identity. The slice is shared read-only by every replayer of a run.
+func sortedByStart(tr *trace.Trace) []replayTask {
+	byStart := make([]replayTask, len(tr.Tasks))
+	for i, t := range tr.Tasks {
+		byStart[i] = replayTask{task: t, vmid: t.VMID()}
+	}
+	slices.SortFunc(byStart, func(a, b replayTask) int {
+		if c := cmp.Compare(a.task.StartSec, b.task.StartSec); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.task.ID, b.task.ID)
+	})
 	return byStart
 }
 
@@ -217,41 +235,58 @@ func sortedByStart(tr *trace.Trace) []trace.Task {
 // only depends on the epoch end and retirement only on the epoch start, so
 // the population it derives for an epoch is independent of where the walk
 // began.
+//
+// The running set is kept sorted by VM ID at admission time and the
+// population is materialised into a buffer reused across epochs, so the
+// steady-state epoch loop performs no allocation and no per-epoch sort. The
+// sort key is the lexicographic VM ID — the exact order the per-epoch sort
+// used to produce — so the policies and the energy integrals see populations
+// in the same order and accumulate bit-identical floats.
 type replayer struct {
-	byStart []trace.Task
+	byStart []replayTask
 	next    int
-	running map[int]trace.Task
+	running []replayTask
+	buf     []consolidation.VMDemand
 }
 
 // newReplayer walks the shared start-ordered task slice from the beginning.
-func newReplayer(byStart []trace.Task) *replayer {
-	return &replayer{byStart: byStart, running: make(map[int]trace.Task)}
+func newReplayer(byStart []replayTask) *replayer {
+	return &replayer{byStart: byStart}
 }
 
 // population admits tasks starting before the epoch end, retires finished
-// ones, and returns the epoch's VM population sorted by ID.
+// ones, and returns the epoch's VM population sorted by ID. The returned
+// slice is valid until the next population call.
 func (r *replayer) population(span epochSpan) []consolidation.VMDemand {
-	for r.next < len(r.byStart) && r.byStart[r.next].StartSec < span.end {
-		r.running[r.byStart[r.next].ID] = r.byStart[r.next]
+	for r.next < len(r.byStart) && r.byStart[r.next].task.StartSec < span.end {
+		rt := r.byStart[r.next]
+		i, _ := slices.BinarySearchFunc(r.running, rt, func(a, b replayTask) int {
+			return strings.Compare(a.vmid, b.vmid)
+		})
+		r.running = slices.Insert(r.running, i, rt)
 		r.next++
 	}
-	for id, t := range r.running {
-		if t.EndSec <= span.start {
-			delete(r.running, id)
+	live := r.running[:0]
+	for _, rt := range r.running {
+		if rt.task.EndSec > span.start {
+			live = append(live, rt)
 		}
 	}
-	vms := make([]consolidation.VMDemand, 0, len(r.running))
-	for _, t := range r.running {
-		vms = append(vms, consolidation.VMDemand{
-			ID:           t.VMID(),
-			BookedCPU:    t.BookedCPU,
-			BookedMemGiB: t.BookedMemGiB,
-			UsedCPU:      t.UsedCPU,
-			UsedMemGiB:   t.UsedMemGiB,
+	r.running = live
+	if cap(r.buf) < len(r.running) {
+		r.buf = make([]consolidation.VMDemand, 0, cap(r.running))
+	}
+	r.buf = r.buf[:0]
+	for _, rt := range r.running {
+		r.buf = append(r.buf, consolidation.VMDemand{
+			ID:           rt.vmid,
+			BookedCPU:    rt.task.BookedCPU,
+			BookedMemGiB: rt.task.BookedMemGiB,
+			UsedCPU:      rt.task.UsedCPU,
+			UsedMemGiB:   rt.task.UsedMemGiB,
 		})
 	}
-	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
-	return vms
+	return r.buf
 }
 
 // simulateEpoch evaluates the policy on one epoch's population, integrates

@@ -9,8 +9,6 @@ package dcsim
 
 import (
 	"sync"
-
-	"repro/internal/trace"
 )
 
 // shard is a half-open range [lo, hi) of epoch indices.
@@ -59,7 +57,7 @@ func shardEpochs(n, workers int) []shard {
 // Rack pricing keeps the same contract: every shard owns a private model
 // rack, and the per-epoch ledger charge is a pure function of the epoch's
 // plan, so where the shard starts does not matter.
-func simulateShards(cfg *Config, byStart []trace.Task, spans []epochSpan, stats []epochStats, workers int) error {
+func simulateShards(cfg *Config, byStart []replayTask, spans []epochSpan, stats []epochStats, workers int) error {
 	shards := shardEpochs(len(spans), workers)
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup

@@ -122,11 +122,12 @@ func TestReplayerMidStreamStart(t *testing.T) {
 	walked := newReplayer(byStart)
 	var full [][]consolidation.VMDemand
 	for _, span := range spans {
-		full = append(full, walked.population(span))
+		// population reuses its buffer across epochs; copy to keep a record.
+		full = append(full, append([]consolidation.VMDemand(nil), walked.population(span)...))
 	}
 	for _, start := range []int{1, len(spans) / 2, len(spans) - 1} {
 		fresh := newReplayer(byStart)
-		got := fresh.population(spans[start])
+		got := append([]consolidation.VMDemand(nil), fresh.population(spans[start])...)
 		if !reflect.DeepEqual(full[start], got) {
 			t.Fatalf("epoch %d: fresh replayer sees %d VMs, sequential walk saw %d",
 				start, len(got), len(full[start]))

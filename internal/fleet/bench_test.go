@@ -28,6 +28,7 @@ func BenchmarkFleetWorkloads(b *testing.B) {
 					b.Fatal(res.Err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				results := f.RunWorkloads(reqs)
@@ -46,6 +47,7 @@ func BenchmarkFleetWorkloads(b *testing.B) {
 func BenchmarkFleetPlacement(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				f, err := New(testConfig(4, 4, workers))

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/ident"
 )
 
 // The fleet's injectable fault surface: the control-plane hooks the chaos
@@ -51,14 +53,11 @@ func (f *Fleet) CrashServer(rack int, server string) error {
 		return err
 	}
 	f.mu.Lock()
-	if f.crashed[server] {
+	if f.crashed.Has(server) {
 		f.mu.Unlock()
 		return fmt.Errorf("fleet: %s already crashed", server)
 	}
-	if f.crashed == nil {
-		f.crashed = make(map[string]bool)
-	}
-	f.crashed[server] = true
+	f.crashed.Add(server)
 	f.mu.Unlock()
 	// Surface the crash on the data plane too: remote operations against the
 	// server's frames now time out until ReviveServer or a re-home.
@@ -73,11 +72,11 @@ func (f *Fleet) ReviveServer(rack int, server string) error {
 		return err
 	}
 	f.mu.Lock()
-	if !f.crashed[server] {
+	if !f.crashed.Has(server) {
 		f.mu.Unlock()
 		return fmt.Errorf("fleet: %s is not crashed", server)
 	}
-	delete(f.crashed, server)
+	f.crashed.Remove(server)
 	f.mu.Unlock()
 	f.racks[rack].ReviveDataHost(server)
 	return nil
@@ -87,10 +86,8 @@ func (f *Fleet) ReviveServer(rack int, server string) error {
 func (f *Fleet) CrashedServers() []string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make([]string, 0, len(f.crashed))
-	for name := range f.crashed {
-		out = append(out, name)
-	}
+	out := make([]string, 0, f.crashed.Len())
+	out = append(out, f.crashed.Names()...)
 	sort.Strings(out)
 	return out
 }
@@ -108,7 +105,7 @@ func (f *Fleet) KillController(rack int, nowNs int64) error {
 // installed FaultInjector. Callers hold no fleet locks.
 func (f *Fleet) serverFault(rack int, server string, wake bool) error {
 	f.mu.Lock()
-	crashed := f.crashed[server]
+	crashed := f.crashed.Has(server)
 	fi := f.injector
 	f.mu.Unlock()
 	if crashed {
@@ -122,16 +119,13 @@ func (f *Fleet) serverFault(rack int, server string, wake bool) error {
 
 // crashedSnapshot returns a copy of the crashed set for one batch's
 // planning, nil when nothing is crashed (the common case pays one lock and
-// no allocation).
-func (f *Fleet) crashedSnapshot() map[string]bool {
+// no allocation). The copy shares the fleet's server-name registry; only the
+// membership bits are cloned.
+func (f *Fleet) crashedSnapshot() *ident.NameSet {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if len(f.crashed) == 0 {
+	if f.crashed.Len() == 0 {
 		return nil
 	}
-	out := make(map[string]bool, len(f.crashed))
-	for name := range f.crashed {
-		out[name] = true
-	}
-	return out
+	return f.crashed.Clone()
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/ident"
 	"repro/internal/memctl"
 	"repro/internal/rdma"
 )
@@ -38,16 +39,22 @@ type Fleet struct {
 	batchMu sync.Mutex
 
 	// mu guards the fleet bookkeeping below.
-	mu        sync.Mutex
-	vmRack    map[string]int
+	mu sync.Mutex
+	// vmNames interns fleet-placed VM IDs; vmRack is dense by that ID with
+	// the hosting rack index (-1 = not placed / destroyed). The hot
+	// per-request lookup in RunWorkloads is one read-locked intern-table
+	// probe and a slice index instead of a string-map hash.
+	vmNames   *ident.Registry
+	vmRack    []int32
 	gateways  map[gwKey]*memctl.Agent
 	ledger    []Borrow
 	overflows []*rackOverflow
 	hooks     VMHooks
 	// crashed and injector are the fault surface (see chaos.go): crashed
 	// servers are refused by every control-plane path and skipped by batch
-	// placement; the injector force-fails individual wake attempts.
-	crashed  map[string]bool
+	// placement; the injector force-fails individual wake attempts. The
+	// crash set is a bitset over the fleet's server-name registry.
+	crashed  *ident.NameSet
 	injector FaultInjector
 }
 
@@ -79,9 +86,9 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	f := &Fleet{
 		cfg:      cfg,
-		vmRack:   make(map[string]int),
+		vmNames:  ident.NewRegistry(),
 		gateways: make(map[gwKey]*memctl.Agent),
-		crashed:  make(map[string]bool),
+		crashed:  ident.NewNameSet(ident.NewRegistry()),
 	}
 	for i := 0; i < cfg.Racks; i++ {
 		name := fmt.Sprintf("rack-%02d", i)
@@ -113,8 +120,26 @@ func (f *Fleet) Rack(i int) *core.Rack { return f.racks[i] }
 func (f *Fleet) RackOf(vmID string) (int, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	i, ok := f.vmRack[vmID]
-	return i, ok
+	return f.vmRackLocked(vmID)
+}
+
+// vmRackLocked resolves a VM's rack index; the caller holds f.mu.
+func (f *Fleet) vmRackLocked(vmID string) (int, bool) {
+	id, ok := f.vmNames.Lookup(vmID)
+	if !ok || int(id) >= len(f.vmRack) || f.vmRack[id] < 0 {
+		return 0, false
+	}
+	return int(f.vmRack[id]), true
+}
+
+// setVMRackLocked records (or clears, with rack == -1) a VM's rack index;
+// the caller holds f.mu.
+func (f *Fleet) setVMRackLocked(vmID string, rack int) {
+	id := f.vmNames.Intern(vmID)
+	for int(id) >= len(f.vmRack) {
+		f.vmRack = append(f.vmRack, -1)
+	}
+	f.vmRack[id] = int32(rack)
 }
 
 // PushToZombie suspends a server of one rack into Sz, feeding its memory into
@@ -290,7 +315,7 @@ func (f *Fleet) DestroyVM(vmID string) error {
 	f.batchMu.Lock()
 	defer f.batchMu.Unlock()
 	f.mu.Lock()
-	rack, ok := f.vmRack[vmID]
+	rack, ok := f.vmRackLocked(vmID)
 	f.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("fleet: unknown VM %s", vmID)
@@ -299,7 +324,7 @@ func (f *Fleet) DestroyVM(vmID string) error {
 		return err
 	}
 	f.mu.Lock()
-	delete(f.vmRack, vmID)
+	f.setVMRackLocked(vmID, -1)
 	onDeparture := f.hooks.OnDeparture
 	f.mu.Unlock()
 	if onDeparture != nil {

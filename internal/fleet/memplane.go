@@ -14,7 +14,7 @@ import (
 // servers' granted buffers.
 func (f *Fleet) MemplaneOf(vmID string) (*memplane.Plane, error) {
 	f.mu.Lock()
-	rack, ok := f.vmRack[vmID]
+	rack, ok := f.vmRackLocked(vmID)
 	f.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("fleet: unknown VM %s", vmID)
@@ -39,7 +39,7 @@ func (f *Fleet) RehomeServerMemory(rack int, server string) (memplane.RehomeRepo
 		return memplane.RehomeReport{}, err
 	}
 	f.mu.Lock()
-	crashed := f.crashed[server]
+	crashed := f.crashed.Has(server)
 	f.mu.Unlock()
 	if !crashed {
 		return memplane.RehomeReport{}, fmt.Errorf("fleet: %s is not crashed; crash it before re-homing its memory", server)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/ident"
 	"repro/internal/memctl"
 	"repro/internal/placement"
 	"repro/internal/vm"
@@ -86,15 +87,24 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 		if shardOpts.ExcludeHosts == nil {
 			shardOpts.ExcludeHosts = crashed
 		} else {
-			merged := make(map[string]bool, len(shardOpts.ExcludeHosts)+len(crashed))
-			for h := range shardOpts.ExcludeHosts {
-				merged[h] = true
+			// The caller's exclusion set is scoped by its own registry; merge
+			// name-wise into a fresh set (cold path — both sets are tiny).
+			merged := ident.NewNameSet(ident.NewRegistry())
+			for _, h := range shardOpts.ExcludeHosts.Names() {
+				merged.Add(h)
 			}
-			for h := range crashed {
-				merged[h] = true
+			for _, h := range crashed.Names() {
+				merged.Add(h)
 			}
 			shardOpts.ExcludeHosts = merged
 		}
+	}
+	// Each shard records the rack index of its own placements; shards write
+	// disjoint entries, so no lock is needed and the bookkeeping loop below
+	// never rescans rack names.
+	rackIdx := make([]int32, len(specs))
+	for i := range rackIdx {
+		rackIdx[i] = -1
 	}
 	f.runRackShards(len(f.racks), func(ri int) {
 		rack := f.racks[ri]
@@ -110,6 +120,7 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 			results[si].RemoteBytes = guest.RemoteBytes
 			results[si].BorrowedBytes = guest.BorrowedBytes
 			results[si].BorrowedFrom = guest.BorrowedFrom
+			rackIdx[si] = int32(ri)
 		}
 	})
 
@@ -126,7 +137,7 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 	}
 	for i := range results {
 		if results[i].Err == "" {
-			f.vmRack[results[i].VM] = f.rackIndex(results[i].Rack)
+			f.setVMRackLocked(results[i].VM, int(rackIdx[i]))
 		}
 	}
 	onArrival := f.hooks.OnArrival
@@ -141,22 +152,12 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 	return results, nil
 }
 
-// rackIndex maps a rack name back to its index.
-func (f *Fleet) rackIndex(name string) int {
-	for i, n := range f.names {
-		if n == name {
-			return i
-		}
-	}
-	return -1
-}
-
 // partition assigns every batch entry a rack and plans the cross-rack
 // borrows, mirroring the capacity checks core.Rack.CreateVM performs at
 // execution time so phase 2 never surprises phase 1. crashed is the batch's
 // crash snapshot (nil when nothing is crashed); the caller feeds the same
 // snapshot to the execution shards.
-func (f *Fleet) partition(specs []vm.VM, opts core.CreateVMOptions, results []Placement, crashed map[string]bool) ([]rackPlan, error) {
+func (f *Fleet) partition(specs []vm.VM, opts core.CreateVMOptions, results []Placement, crashed *ident.NameSet) ([]rackPlan, error) {
 	n := len(f.racks)
 	bufSize := f.bufferSize()
 	plans := make([]rackPlan, n)
@@ -171,10 +172,10 @@ func (f *Fleet) partition(specs []vm.VM, opts core.CreateVMOptions, results []Pl
 	freeBufs := make([]int64, n)
 	for i, r := range f.racks {
 		hosts[i] = r.HostCapacities()
-		if crashed != nil {
+		if crashed.Len() > 0 {
 			alive := hosts[i][:0]
 			for _, h := range hosts[i] {
-				if !crashed[string(h.ID)] {
+				if !crashed.Has(string(h.ID)) {
 					alive = append(alive, h)
 				}
 			}

@@ -49,12 +49,13 @@ func (f *Fleet) RunWorkloads(reqs []WorkloadRequest) []WorkloadResult {
 
 	results := make([]WorkloadResult, len(reqs))
 	byRack := make([][]int, len(f.racks))
+	// One lock acquisition for the whole routing pass: the per-request work
+	// under it is a registry probe and a slice index.
+	f.mu.Lock()
 	for i, req := range reqs {
 		results[i].VM = req.VM
 		results[i].Kind = req.Kind
-		f.mu.Lock()
-		ri, ok := f.vmRack[req.VM]
-		f.mu.Unlock()
+		ri, ok := f.vmRackLocked(req.VM)
 		if !ok {
 			results[i].Err = fmt.Sprintf("fleet: unknown VM %s", req.VM)
 			continue
@@ -62,6 +63,7 @@ func (f *Fleet) RunWorkloads(reqs []WorkloadRequest) []WorkloadResult {
 		results[i].Rack = f.names[ri]
 		byRack[ri] = append(byRack[ri], i)
 	}
+	f.mu.Unlock()
 
 	f.runRackShards(len(f.racks), func(ri int) {
 		rack := f.racks[ri]

@@ -1,0 +1,16 @@
+package gateway
+
+import "time"
+
+// QuotaBench exposes the quota cache's lock-free fast path to the repo's
+// benchmark harness (cmd/benchfleet): it builds a limiter with an
+// effectively unlimited per-window quota, pre-warms one tenant bucket (the
+// only allocation the fast path ever makes), and returns a function that
+// performs a single allow() check. The returned op must stay
+// allocation-free — BENCH_fleet.json records its allocs_per_op and the CI
+// diff gate fails on any growth, mirroring TestQuotaCacheFastPathAllocs.
+func QuotaBench() func() bool {
+	q := newQuotaCache(1<<30, time.Second, nil)
+	q.allow("bench-tenant")
+	return func() bool { return q.allow("bench-tenant") }
+}
