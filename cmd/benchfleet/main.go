@@ -48,6 +48,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fleet"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -416,6 +417,33 @@ func collect() (*Report, error) {
 		NsPerOp:     bestQuota.ns,
 		AllocsPerOp: bestQuota.allocs,
 		BytesPerOp:  bestQuota.bytes,
+	})
+
+	// The obs instrumented hot path: one counter increment, one labelled
+	// increment and one histogram observation per op — the metrics work of
+	// accounting a single request with observability enabled. Like the quota
+	// fast path it must stay at 0 allocs_per_op; benchdiff fails on growth.
+	const obsIters = 2_000_000
+	obsOp := obs.Bench()
+	var bestObs sample
+	obsOK := false
+	for round := 0; round < rounds; round++ {
+		s, err := timeIt(obsIters, func() error {
+			obsOp()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestObs = better(&bestObs, obsOK, s)
+		obsOK = true
+	}
+	rep.Gateway = append(rep.Gateway, Run{
+		Name:        "ObsHotPath",
+		Iterations:  obsIters,
+		NsPerOp:     bestObs.ns,
+		AllocsPerOp: bestObs.allocs,
+		BytesPerOp:  bestObs.bytes,
 	})
 	return rep, nil
 }

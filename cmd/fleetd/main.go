@@ -10,6 +10,11 @@
 //	fleetd -addr 127.0.0.1:9000 -token secret  # bearer auth
 //	fleetd -quota 50 -quota-window 1           # 50 requests/tenant/second (429 beyond)
 //	fleetd -ttl 900                            # evict sessions idle > 15 min
+//	fleetd -pprof                              # mount /debug/pprof/* (behind auth)
+//
+// GET /metrics serves Prometheus text exposition: per-route request
+// counters and latency histograms, per-tenant quota denials, and live
+// session gauges.
 //
 // Quickstart (see README.md for the full transcript):
 //
@@ -23,7 +28,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -39,15 +44,16 @@ func main() {
 	ttl := flag.Int("ttl", 0, "evict sessions idle longer than this many seconds (0 disables)")
 	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions")
 	maxServers := flag.Int("max-servers", 256, "maximum racks*servers per created fleet")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/* profiling endpoints (behind auth)")
 	flag.Parse()
 
-	if err := run(*addr, *token, *quota, *quotaWindow, *ttl, *maxSessions, *maxServers); err != nil {
+	if err := run(*addr, *token, *quota, *quotaWindow, *ttl, *maxSessions, *maxServers, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, token string, quota, quotaWindow, ttl, maxSessions, maxServers int) error {
+func run(addr, token string, quota, quotaWindow, ttl, maxSessions, maxServers int, pprofOn bool) error {
 	// Upfront flag validation with the valid ranges (shared helpers, the
 	// same messages as fleetsim/onlinesim), before any server state exists.
 	if err := cliflag.FirstError(
@@ -60,7 +66,7 @@ func run(addr, token string, quota, quotaWindow, ttl, maxSessions, maxServers in
 		return err
 	}
 
-	logger := log.New(os.Stderr, "fleetd ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := zombieland.NewGateway(zombieland.GatewayConfig{
 		Token:       token,
 		QuotaLimit:  quota,
@@ -68,9 +74,11 @@ func run(addr, token string, quota, quotaWindow, ttl, maxSessions, maxServers in
 		SessionTTL:  time.Duration(ttl) * time.Second,
 		MaxSessions: maxSessions,
 		MaxServers:  maxServers,
-		Logger:      logger,
+		LogHandler:  logger.Handler(),
+		EnablePprof: pprofOn,
 	})
 	defer srv.Close()
-	logger.Printf("serving on %s (auth %v, quota %d/%ds, ttl %ds)", addr, token != "", quota, quotaWindow, ttl)
+	logger.Info("serving", "addr", addr, "auth", token != "",
+		"quota", quota, "quota_window_s", quotaWindow, "ttl_s", ttl, "pprof", pprofOn)
 	return srv.ListenAndServe(addr)
 }

@@ -117,8 +117,8 @@ func run(w io.Writer, cfg loadCfg) error {
 			metrics.FormatFloat(e.P50Ms), metrics.FormatFloat(e.P99Ms), metrics.FormatFloat(e.MaxMs))
 	}
 	fmt.Fprintln(w, et.String())
-	fmt.Fprintf(w, "Total: %d requests in %s ms (%s req/s), %d transport errors, %d 5xx.\n",
-		rep.Total, metrics.FormatFloat(rep.ElapsedMs), metrics.FormatFloat(rep.ThroughputRPS), rep.Errors, rep.Server5xx)
+	fmt.Fprintf(w, "Total: %d requests in %s ms (%s req/s), %d transport errors, %d 5xx, %d rate-limited.\n",
+		rep.Total, metrics.FormatFloat(rep.ElapsedMs), metrics.FormatFloat(rep.ThroughputRPS), rep.Errors, rep.Server5xx, rep.RateLimited)
 	fmt.Fprintf(w, "Latency: p50 %s ms, p99 %s ms, max %s ms.\n",
 		metrics.FormatFloat(rep.P50Ms), metrics.FormatFloat(rep.P99Ms), metrics.FormatFloat(rep.MaxMs))
 

@@ -14,6 +14,8 @@
 //	fleetsim -mix spark-sql,data-caching       # workload mix to rotate
 //	fleetsim -chaos                            # scripted faults: crash, controller
 //	                                           #   kill, failed wake — with fault log
+//	fleetsim -obs                              # append the obs dump: metrics
+//	                                           #   snapshot + NDJSON event trace
 package main
 
 import (
@@ -41,9 +43,10 @@ func main() {
 	hours := flag.Float64("hours", 1, "simulated hours to account energy over")
 	iterations := flag.Int("iterations", 2, "paging-replay iterations per workload")
 	chaosOn := flag.Bool("chaos", false, "inject a scripted fault sequence (server crash before placement, controller kill after, a failed wake) and print the fault log")
+	obsOn := flag.Bool("obs", false, "attach the observability layer and append its dump: metrics snapshot + deterministic NDJSON event trace")
 	flag.Parse()
 
-	if err := run(os.Stdout, *racks, *servers, *zombies, *memGiB, *vms, *vmGiB, *mix, *workers, *hours, *iterations, *chaosOn); err != nil {
+	if err := run(os.Stdout, *racks, *servers, *zombies, *memGiB, *vms, *vmGiB, *mix, *workers, *hours, *iterations, *chaosOn, *obsOn); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
@@ -78,7 +81,7 @@ func parseMix(csv string) ([]zombieland.Workload, error) {
 	return kinds, nil
 }
 
-func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int, chaosOn bool) error {
+func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int, chaosOn, obsOn bool) error {
 	// Upfront flag validation with the valid ranges (shared helpers, the
 	// same messages as onlinesim/fleetload), so a bad invocation fails
 	// before any fleet state is built.
@@ -111,6 +114,13 @@ func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64,
 	})
 	if err != nil {
 		return err
+	}
+	// The step clock (not wall time) stamps trace events, so the -obs dump of
+	// a given invocation is byte-identical run to run, for any -workers value.
+	var o *zombieland.Obs
+	if obsOn {
+		o = zombieland.NewObs(zombieland.ObsOptions{Clock: zombieland.ObsStepClock()})
+		f.SetObs(o)
 	}
 	fmt.Fprintf(out, "Fleet up: %d racks x %d servers (%d GiB each), worker pool %d.\n\n", racks, servers, memGiB, workers)
 
@@ -220,6 +230,10 @@ func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64,
 	}
 	fmt.Fprintln(out, perRack.String())
 	fmt.Fprintf(out, "Fleet total: %.0f J across %d racks.\n", f.TotalEnergyJoules(), f.Racks())
+	if obsOn {
+		fmt.Fprintln(out)
+		return o.Dump(out)
+	}
 	return nil
 }
 

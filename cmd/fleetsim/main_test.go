@@ -38,8 +38,44 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // too.
 func TestGoldenFleetScenario(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", 2, 1, 1, true); err != nil {
+	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", 2, 1, 1, true, false); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "fleetsim_chaos", buf.Bytes())
+}
+
+// TestGoldenFleetScenarioObs pins the -obs dump of the same scenario: the
+// metrics snapshot and the step-clock NDJSON trace are deterministic for a
+// fixed invocation, so the whole report is golden-testable.
+func TestGoldenFleetScenarioObs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", 2, 1, 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleetsim_chaos_obs", buf.Bytes())
+}
+
+// TestObsDumpByteStable runs the observed scenario twice across worker-pool
+// sizes and demands identical dump bytes — the CLI-level determinism
+// acceptance check. The comparison starts at the obs header because the
+// report's own banner prints the pool size.
+func TestObsDumpByteStable(t *testing.T) {
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", workers, 1, 1, true, true); err != nil {
+			t.Fatal(err)
+		}
+		i := bytes.Index(buf.Bytes(), []byte("--- obs metrics ---"))
+		if i < 0 {
+			t.Fatal("no obs dump in -obs output")
+		}
+		return buf.Bytes()[i:]
+	}
+	a, b := render(2), render(2)
+	if !bytes.Equal(a, b) {
+		t.Error("same-config -obs runs diverged")
+	}
+	if seq := render(1); !bytes.Equal(a, seq) {
+		t.Error("-obs dump diverged across -workers values")
+	}
 }

@@ -14,9 +14,12 @@
 //	membench -transport tcp                 # serve the verbs over loopback TCP
 //	membench -transport ledger              # cost arithmetic only, no bytes
 //	membench -chaos                         # degrade the fabric mid-run
+//	membench -obs                           # append the obs dump: metrics
+//	                                        #   snapshot + NDJSON event trace
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +30,8 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/memctl"
 	"repro/internal/memplane"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -42,6 +47,7 @@ type benchConfig struct {
 	seed      int64
 	transport string
 	chaosOn   bool
+	obsOn     bool
 }
 
 func main() {
@@ -57,6 +63,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the address/op stream")
 	flag.StringVar(&cfg.transport, "transport", "inproc", "remote path: inproc (live RDMA verbs), tcp (loopback TCP server), ledger (cost arithmetic only)")
 	flag.BoolVar(&cfg.chaosOn, "chaos", false, "degrade the fabric 2.5x for the middle third of the run")
+	flag.BoolVar(&cfg.obsOn, "obs", false, "attach the observability layer and append its dump: metrics snapshot + deterministic NDJSON event trace")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -131,6 +138,14 @@ func run(w io.Writer, cfg benchConfig) error {
 		}}}
 	}
 
+	// The plane stamps every event with its cumulative charged-ns clock, so
+	// the -obs dump is byte-identical run to run — and across transports,
+	// since the charges are: the obs transport-invariance test leans on that.
+	var o *obs.Obs
+	if cfg.obsOn {
+		o = obs.New(obs.Options{TraceCapacity: 4096})
+	}
+
 	pcfg := memplane.Config{
 		VM:              "bench",
 		LocalBytes:      int64(cfg.localMiB) << 20,
@@ -140,6 +155,7 @@ func run(w io.Writer, cfg benchConfig) error {
 		Chaos:           plan,
 		Now:             func() int64 { return now },
 		RecordLatencies: true,
+		Obs:             o,
 	}
 	var cleanup func()
 	switch cfg.transport {
@@ -215,6 +231,16 @@ func run(w io.Writer, cfg benchConfig) error {
 	as := p.AllocStats()
 	lat := p.Latencies()
 
+	// The obs dump is rendered here too, so it reflects the benchmark
+	// traffic alone — the verification sweep below also runs through the
+	// plane and would otherwise land in the counters and the trace.
+	var obsDump bytes.Buffer
+	if o != nil {
+		if err := o.Dump(&obsDump); err != nil {
+			return err
+		}
+	}
+
 	// Verification: the whole span reads back exactly the shadow copy.
 	verified := "ok"
 	check := make([]byte, 64<<10)
@@ -236,6 +262,12 @@ func run(w io.Writer, cfg benchConfig) error {
 	}
 
 	report(w, cfg, st, as, lat, verified)
+	if o != nil {
+		fmt.Fprintln(w)
+		if _, err := w.Write(obsDump.Bytes()); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -266,19 +298,10 @@ func report(w io.Writer, cfg benchConfig, st memplane.Stats, as memplane.AllocSt
 }
 
 // percentile returns the q-th percentile of the charge series (q=100 is the
-// max); 0 when nothing was recorded.
+// max); 0 when nothing was recorded. The rank selection is the shared
+// nearest-rank helper, so membench and fleetload quote the same convention.
 func percentile(lat []int64, q int) int64 {
-	if len(lat) == 0 {
-		return 0
-	}
 	s := append([]int64(nil), lat...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := len(s)*q/100 - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return s[idx]
+	return metrics.NearestRank(s, q)
 }

@@ -74,6 +74,52 @@ func TestGoldenMembenchChaos(t *testing.T) {
 	checkGolden(t, "membench_chaos", buf.Bytes())
 }
 
+// TestGoldenMembenchObs pins the -obs dump on a short run (few enough ops
+// that the whole event trace fits the ring): every event is stamped with the
+// plane's charged-ns clock, so the dump is byte-stable across machines. The
+// counters cover the benchmark traffic alone — the verification sweep runs
+// after the dump is rendered.
+func TestGoldenMembenchObs(t *testing.T) {
+	cfg := benchCfg()
+	cfg.ops = 320
+	cfg.obsOn = true
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(buf.Bytes(), []byte("--- obs metrics ---"))
+	if i < 0 {
+		t.Fatal("no obs dump in -obs output")
+	}
+	checkGolden(t, "membench_obs", buf.Bytes()[i:])
+}
+
+// TestMembenchObsTransportInvariant demands the obs dump be byte-identical
+// between the in-process and loopback-TCP transports: the events carry only
+// simulated charges and frame hosts, both of which the differential layer
+// already pins to be transport-independent.
+func TestMembenchObsTransportInvariant(t *testing.T) {
+	dump := func(transport string) []byte {
+		cfg := benchCfg()
+		cfg.ops = 320
+		cfg.obsOn = true
+		cfg.transport = transport
+		var buf bytes.Buffer
+		if err := run(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		i := bytes.Index(buf.Bytes(), []byte("--- obs metrics ---"))
+		if i < 0 {
+			t.Fatal("no obs dump in -obs output")
+		}
+		return buf.Bytes()[i:]
+	}
+	inproc := dump("inproc")
+	if tcp := dump("tcp"); !bytes.Equal(inproc, tcp) {
+		t.Errorf("obs dump drifted between transports:\n--- inproc ---\n%s\n--- tcp ---\n%s", inproc, tcp)
+	}
+}
+
 // TestMembenchTCPMatchesInproc runs the loopback-TCP transport and demands
 // the body of the report (everything below the header naming the transport)
 // be byte-identical to the in-process run: same counters, same charges.

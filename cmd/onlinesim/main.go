@@ -18,6 +18,8 @@
 //	onlinesim -execute -racks 25 -servers 8    # mirror decisions onto a live fleet
 //	onlinesim -chaos light                     # resilience under a fault schedule
 //	onlinesim -chaos all -chaos-seed 7         # off/light/heavy severity sweep
+//	onlinesim -obs                             # append the obs dump: metrics
+//	                                           #   snapshot + NDJSON event trace
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -54,15 +57,16 @@ func main() {
 	memGiB := flag.Int("mem-gib", 1, "memory per live-fleet server in GiB (with -execute; every Sz entry delegates this much real buffer memory, so keep it small)")
 	chaosMode := flag.String("chaos", "", "fault-injection scenario: off, light, heavy or all (empty disables the chaos axis)")
 	chaosSeed := flag.Int64("chaos-seed", 42, "fault-schedule seed (with -chaos; the report is bit-reproducible per seed)")
+	obsOn := flag.Bool("obs", false, "attach the observability layer and append its dump: metrics snapshot + deterministic NDJSON event trace")
 	flag.Parse()
 
-	if err := run(os.Stdout, *machines, *tasks, *hours, *seed, *modified, *tick, *policy, *planner, *machine, *execute, *racks, *servers, *memGiB, *chaosMode, *chaosSeed); err != nil {
+	if err := run(os.Stdout, *machines, *tasks, *hours, *seed, *modified, *tick, *policy, *planner, *machine, *execute, *racks, *servers, *memGiB, *chaosMode, *chaosSeed, *obsOn); err != nil {
 		fmt.Fprintln(os.Stderr, "onlinesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified bool, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int, chaosMode string, chaosSeed int64) error {
+func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified bool, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int, chaosMode string, chaosSeed int64, obsOn bool) error {
 	// Upfront flag validation with the valid ranges (shared helpers, the
 	// same messages as fleetsim/fleetload), so a bad invocation fails
 	// before any simulation state is built.
@@ -149,8 +153,19 @@ func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified
 		ServerSpec: consolidation.DefaultServerSpec(),
 		TickSec:    tick,
 	}
+	// The loop stamps every event with its own simulated clock, so the -obs
+	// dump is byte-identical run to run for a fixed invocation. With several
+	// policies the runs share the bundle in policy order.
+	var o *obs.Obs
+	if obsOn {
+		o = obs.New(obs.Options{TraceCapacity: 8192})
+		cfg.Obs = o
+	}
 	if len(chaosScenarios) > 0 {
-		return runChaos(out, cfg, policies, chaosScenarios, chaosSeed)
+		if err := runChaos(out, cfg, policies, chaosScenarios, chaosSeed); err != nil {
+			return err
+		}
+		return dumpObs(out, o)
 	}
 	if execute {
 		// Each policy run needs its own live fleet: the executor replays real
@@ -195,7 +210,7 @@ func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified
 
 	if len(reports) == 1 {
 		fmt.Fprintln(out, reports[0].Render())
-		return nil
+		return dumpObs(out, o)
 	}
 	fmt.Fprintln(out, autopilot.RenderComparison(reports))
 	best := reports[0]
@@ -206,7 +221,16 @@ func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified
 	}
 	fmt.Fprintf(out, "Best online policy: %s at %.2f%% saving, %.2f points of regret behind the offline oracle (%.2f%%).\n",
 		best.Policy, best.Online.SavingPercent, best.RegretPercent, best.Oracle.SavingPercent)
-	return nil
+	return dumpObs(out, o)
+}
+
+// dumpObs appends the -obs report; a nil bundle (obs off) writes nothing.
+func dumpObs(out io.Writer, o *obs.Obs) error {
+	if o == nil {
+		return nil
+	}
+	fmt.Fprintln(out)
+	return o.Dump(out)
 }
 
 // runChaos is the -chaos axis: every selected policy replays under every
@@ -220,6 +244,11 @@ func runChaos(out io.Writer, cfg autopilot.Config, policies []autopilot.Policy, 
 			return err
 		}
 		plans = append(plans, plan)
+	}
+	// With -obs, the fault schedules go into the trace up front so the export
+	// shows the plan next to the runtime fault events the loop emits.
+	for _, plan := range plans {
+		plan.EmitSchedule(cfg.Obs.Tracer())
 	}
 	fmt.Fprintf(out, "Chaos axis: %s (fault seed %d).\n\n", strings.Join(scenarios, ", "), chaosSeed)
 	for _, pol := range policies {

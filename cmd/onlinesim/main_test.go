@@ -37,10 +37,26 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func TestGoldenRegretComparison(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, 40, 300, 4, 42, false, 600, "all", "zombiestack", "hp",
-		false, 0, 0, 0, "", 42); err != nil {
+		false, 0, 0, 0, "", 42, false); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "onlinesim", buf.Bytes())
+}
+
+// TestGoldenObsDump pins the -obs dump for a single-policy chaos run: the
+// schedule emission, the loop's sim-time-stamped events and the metrics
+// snapshot are all deterministic, so the whole report is golden-testable.
+func TestGoldenObsDump(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 40, 300, 4, 42, false, 600, "hysteresis", "zombiestack", "hp",
+		false, 0, 0, 0, "heavy", 42, true); err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(buf.Bytes(), []byte("--- obs metrics ---"))
+	if i < 0 {
+		t.Fatal("no obs dump in -obs output")
+	}
+	checkGolden(t, "onlinesim_obs", buf.Bytes()[i:])
 }
 
 // TestGoldenChaosAxis pins the chaos severity sweep (off/light/heavy) for
@@ -48,7 +64,7 @@ func TestGoldenRegretComparison(t *testing.T) {
 func TestGoldenChaosAxis(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, 40, 300, 4, 42, false, 600, "hysteresis", "zombiestack", "hp",
-		false, 0, 0, 0, "all", 42); err != nil {
+		false, 0, 0, 0, "all", 42, false); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "onlinesim_chaos", buf.Bytes())

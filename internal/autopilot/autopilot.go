@@ -10,6 +10,7 @@ import (
 	"repro/internal/dcsim"
 	"repro/internal/energy"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -57,6 +58,12 @@ type Config struct {
 	// RunChaos the hook observes the faulted run only (the fault-free twin
 	// runs silently), so a subscriber sees one coherent event sequence.
 	OnTick func(TickEvent)
+	// Obs, when set, attaches the run to an observability bundle: counters
+	// for the stream and ledger totals, and trace events for every tick,
+	// re-plan, billed transition and chaos moment, stamped with the loop's
+	// simulated clock so exports are byte-stable. Telemetry only — a nil
+	// bundle leaves the loop bit-identical and allocation-free.
+	Obs *obs.Obs
 }
 
 // TickEvent is the telemetry snapshot OnTick receives after each re-planning
@@ -246,6 +253,10 @@ type loop struct {
 	// so every chaos branch is skipped and the loop stays bit-identical to
 	// the pre-chaos path.
 	chaos *chaosRun
+
+	// obs is the resolved observability handle, nil on unobserved runs so
+	// every emission site is one pointer test and no allocation (see obs.go).
+	obs *apObs
 }
 
 // Run executes the online control loop over the trace's arrival feed.
@@ -276,6 +287,7 @@ func Run(cfg Config) (Result, error) {
 		total:   cfg.Trace.Machines,
 		planner: cfg.Policy.Planner(),
 		posture: consolidation.InitialPlan(cfg.Trace.Machines),
+		obs:     newAPObs(cfg.Obs),
 	}
 	l.res = Result{
 		Policy:          cfg.Policy.Name(),
@@ -435,12 +447,14 @@ func (l *loop) arrive(t trace.Task) error {
 			l.res.SLOViolations++
 		}
 		l.res.Rejected++
+		l.obs.observeArrival(false)
 		return nil
 	}
 	l.insert(v)
 	l.cum = insertSorted(l.cum, v)
 	l.admitted.Add(ident.ID(t.ID))
 	l.res.Admitted++
+	l.obs.observeArrival(true)
 	l.refreshUtil()
 
 	// Placement check: the planner's sizing rule for the interval's
@@ -485,12 +499,15 @@ func (l *loop) ensureActive(nowSec int64, required int) error {
 			l.res.WastedTransitions += failed
 			l.res.StateTransitions += failed
 			l.addPenalty(float64(failed) * l.cfg.Machine.TransitionJoules(acpi.S3, acpi.S0))
+			l.obs.observeWakeFailures(nowSec, failed)
 		}
 	}
 	next := wake(l.posture, need)
 	next = l.normalize(l.posture.Policy, next)
 	d := consolidation.Delta(l.posture, next, len(l.vms))
-	l.res.EmergencyWakes += d.SleepExits + d.ZombieExits + d.MemoryServerStops
+	woken := d.SleepExits + d.ZombieExits + d.MemoryServerStops
+	l.res.EmergencyWakes += woken
+	l.obs.observeEmergencyWake(nowSec, woken)
 	return l.applyPosture(nowSec, next, false, 0) // ACPI cost only: no churn mid-epoch
 }
 
@@ -502,6 +519,7 @@ func (l *loop) depart(t trace.Task) {
 	l.admitted.Remove(ident.ID(t.ID))
 	l.remove(t.VMID())
 	l.res.Departures++
+	l.obs.observeDepart()
 	l.refreshUtil()
 }
 
@@ -524,6 +542,9 @@ func (l *loop) tick(now, horizon int64) error {
 	if rest := horizon - now; rest < dt {
 		dt = rest
 	}
+	// Trace order mirrors the pass itself: the tick fires, the policy's
+	// re-plan is installed, then applyPosture emits the billed transitions.
+	l.obs.observeTick(now, l.res.Ticks+1, len(l.vms), plan)
 	if err := l.applyPosture(now, plan, true, float64(dt)); err != nil {
 		return err
 	}
@@ -574,6 +595,7 @@ func (l *loop) applyPosture(nowSec int64, next consolidation.FleetPlan, withChur
 	l.res.StateTransitions += bill.Transitions
 	l.res.Migrations += bill.Migrations
 	l.res.MigrationSeconds += bill.MigrationSeconds
+	l.obs.observeBill(nowSec, bill)
 	if l.cfg.Executor != nil {
 		if err := l.cfg.Executor.Apply(nowSec, l.posture, next); err != nil {
 			return fmt.Errorf("autopilot: executor apply at %ds: %w", nowSec, err)

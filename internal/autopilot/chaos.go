@@ -132,15 +132,16 @@ func (l *loop) chaosMoment(now int64, m chaosMoment) error {
 	case momentCrash:
 		return l.chaosCrash(now, f, m.idx)
 	case momentRepair:
-		l.chaosRepair(m.idx)
+		l.chaosRepair(now, m.idx)
 	case momentStuckRepair:
-		l.chaosStuckRepair(m.idx)
+		l.chaosStuckRepair(now, m.idx)
 	case momentCtrlLoss:
 		// The secondary controller promotes itself and rebuilds the remote
 		// memory state from its mirrored log; one machine's worth of S0 idle
 		// power burns for the rebuild window.
 		l.res.ControllerFailovers++
 		l.addPenalty(float64(f.DurationSec) * l.cfg.Machine.PowerWatts(acpi.S0, 0))
+		l.obs.observeChaosCtrlLoss(now, f.DurationSec)
 	}
 	return nil
 }
@@ -221,6 +222,7 @@ func (l *loop) chaosCrash(now int64, f chaos.Fault, idx int) error {
 	}
 	l.chaos.crashedBy[idx] = struck
 	l.res.ServerCrashes += struck
+	l.obs.observeChaosCrash(now, struck)
 	l.refreshUtil()
 	if l.posture.ActiveHosts < targetActive {
 		return l.ensureActive(now, targetActive)
@@ -274,7 +276,7 @@ func (l *loop) reHome(now int64, shareGiB float64, zombie bool) {
 
 // chaosRepair returns a crash fault's victims to the sleep pool: the wedged
 // servers reboot into S3.
-func (l *loop) chaosRepair(idx int) {
+func (l *loop) chaosRepair(now int64, idx int) {
 	n := l.chaos.crashedBy[idx]
 	if n <= 0 {
 		return
@@ -284,11 +286,12 @@ func (l *loop) chaosRepair(idx int) {
 	l.posture.SleepHosts += n
 	l.addPenalty(float64(n) * l.cfg.Machine.TransitionJoules(acpi.S0, acpi.S3))
 	l.res.StateTransitions += n
+	l.obs.observeChaosRepair(now, "crash", n)
 }
 
 // chaosStuckRepair releases the stuck zombies of one WakeFailure fault when
 // its window closes: each wakes fully (Sz->S0) and re-suspends to S3.
-func (l *loop) chaosStuckRepair(idx int) {
+func (l *loop) chaosStuckRepair(now int64, idx int) {
 	n := l.chaos.failedBy[idx]
 	if n <= 0 {
 		return
@@ -299,6 +302,7 @@ func (l *loop) chaosStuckRepair(idx int) {
 	m := l.cfg.Machine
 	l.addPenalty(float64(n) * (m.TransitionJoules(acpi.Sz, acpi.S0) + m.TransitionJoules(acpi.S0, acpi.S3)))
 	l.res.StateTransitions += 2 * n
+	l.obs.observeChaosRepair(now, "stuck", n)
 }
 
 // RunChaos replays one online configuration under a fault plan and returns
@@ -310,7 +314,8 @@ func RunChaos(cfg Config, plan *chaos.Plan) (chaos.Report, error) {
 	ffCfg := cfg
 	ffCfg.Chaos = nil
 	ffCfg.Policy = freshPolicy(cfg.Policy)
-	ffCfg.OnTick = nil // the hook observes the faulted run only
+	ffCfg.OnTick = nil // the hook and the obs bundle observe the faulted run only
+	ffCfg.Obs = nil
 	ff, err := Regret(ffCfg)
 	if err != nil {
 		return chaos.Report{}, err
@@ -388,7 +393,8 @@ func CompareChaos(cfg Config, plans []*chaos.Plan) ([]chaos.Report, error) {
 	ffCfg := cfg
 	ffCfg.Chaos = nil
 	ffCfg.Policy = freshPolicy(cfg.Policy)
-	ffCfg.OnTick = nil // the hook observes the faulted runs only
+	ffCfg.OnTick = nil // the hook and the obs bundle observe the faulted runs only
+	ffCfg.Obs = nil
 	ff, err := Regret(ffCfg)
 	if err != nil {
 		return nil, err

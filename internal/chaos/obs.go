@@ -1,0 +1,29 @@
+package chaos
+
+import "repro/internal/obs"
+
+// EmitSchedule writes the plan's fault schedule into a trace ring: one
+// "plan.<kind>" event per fault, stamped at its injection instant. Emitted
+// before a run starts, it puts the schedule and the runtime fault events the
+// injection layers emit side by side in one export. The plan is already
+// time-sorted, so the emission is deterministic; a nil plan or trace is a
+// no-op.
+func (p *Plan) EmitSchedule(tr *obs.Trace) {
+	if p == nil || tr == nil {
+		return
+	}
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case ServerCrash:
+			tr.EmitAt(f.AtSec, "chaos", "plan.server-crash",
+				obs.F("count", int64(f.Count)), obs.F("repair_s", f.DurationSec),
+				obs.FS("role", f.Role.String()))
+		case FabricDegrade:
+			tr.EmitAt(f.AtSec, "chaos", "plan.fabric-degrade",
+				obs.F("window_s", f.DurationSec), obs.F("factor_x1000", int64(f.Factor*1000)))
+		default:
+			tr.EmitAt(f.AtSec, "chaos", "plan."+f.Kind.String(),
+				obs.F("count", int64(f.Count)), obs.F("window_s", f.DurationSec))
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEmitSchedule checks the schedule export: one event per fault, stamped
+// at the injection instant, byte-identical across emissions of the same plan.
+func TestEmitSchedule(t *testing.T) {
+	plan, err := Scenario("heavy", 8*3600, 80, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() []byte {
+		tr := obs.NewTrace(256, nil)
+		plan.EmitSchedule(tr)
+		if tr.Len() != len(plan.Faults) {
+			t.Fatalf("emitted %d events for %d faults", tr.Len(), len(plan.Faults))
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if len(a) == 0 {
+		t.Fatal("empty schedule export")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("schedule export not byte-stable:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+
+	// Nil plan and nil trace are no-ops.
+	var nilPlan *Plan
+	nilPlan.EmitSchedule(obs.NewTrace(8, nil))
+	plan.EmitSchedule(nil)
+}

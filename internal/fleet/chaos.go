@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 )
 
 // The fleet's injectable fault surface: the control-plane hooks the chaos
@@ -62,6 +63,10 @@ func (f *Fleet) CrashServer(rack int, server string) error {
 	// Surface the crash on the data plane too: remote operations against the
 	// server's frames now time out until ReviveServer or a re-home.
 	f.racks[rack].CrashDataHost(server)
+	if ob := f.obs.Load(); ob != nil {
+		ob.crashes.Inc()
+		ob.trace.Emit("fleet", "chaos.crash", obs.F("rack", int64(rack)), obs.FS("server", server))
+	}
 	return nil
 }
 
@@ -79,6 +84,10 @@ func (f *Fleet) ReviveServer(rack int, server string) error {
 	f.crashed.Remove(server)
 	f.mu.Unlock()
 	f.racks[rack].ReviveDataHost(server)
+	if ob := f.obs.Load(); ob != nil {
+		ob.revives.Inc()
+		ob.trace.Emit("fleet", "chaos.revive", obs.F("rack", int64(rack)), obs.FS("server", server))
+	}
 	return nil
 }
 
@@ -97,7 +106,14 @@ func (f *Fleet) CrashedServers() []string {
 // mirrored log and every gateway borrowing from the rack is re-attached —
 // the FailoverRack path, named for what the chaos layer does to trigger it.
 func (f *Fleet) KillController(rack int, nowNs int64) error {
-	return f.FailoverRack(rack, nowNs)
+	if err := f.FailoverRack(rack, nowNs); err != nil {
+		return err
+	}
+	if ob := f.obs.Load(); ob != nil {
+		ob.failovers.Inc()
+		ob.trace.Emit("fleet", "chaos.failover", obs.F("rack", int64(rack)))
+	}
+	return nil
 }
 
 // serverFault gates one control-plane operation on a server: crashed servers
@@ -112,6 +128,10 @@ func (f *Fleet) serverFault(rack int, server string, wake bool) error {
 		return fmt.Errorf("%w: %s", ErrServerCrashed, server)
 	}
 	if wake && fi != nil && fi.WakeFails(rack, server) {
+		if ob := f.obs.Load(); ob != nil {
+			ob.wakeFailures.Inc()
+			ob.trace.Emit("fleet", "chaos.wake_failed", obs.F("rack", int64(rack)), obs.FS("server", server))
+		}
 		return fmt.Errorf("%w: %s", ErrWakeFailed, server)
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ident"
@@ -56,6 +57,11 @@ type Fleet struct {
 	// crash set is a bitset over the fleet's server-name registry.
 	crashed  *ident.NameSet
 	injector FaultInjector
+
+	// obs is the resolved observability handle (see obs.go); nil means
+	// disabled. An atomic pointer so SetObs needs no lock ordering against
+	// in-flight batches.
+	obs atomic.Pointer[fleetObs]
 }
 
 // gwKey identifies a gateway agent: the borrower rack's identity on the

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"repro/internal/obs"
+)
+
+// fleetObs is the resolved observability handle: the trace ring plus every
+// counter the fleet touches, looked up once at SetObs time so the batch
+// paths never hit the registry. A nil handle (the default) disables
+// everything; every emission site is guarded by the nil check, so the
+// disabled batch paths allocate nothing extra (the variadic trace fields
+// would otherwise heap-allocate at the call site even against a nil ring).
+type fleetObs struct {
+	trace *obs.Trace
+
+	placeBatches *obs.Counter
+	placeVMs     *obs.Counter
+	placeFailed  *obs.Counter
+
+	workloadBatches *obs.Counter
+	workloadOps     *obs.Counter
+	workloadErrors  *obs.Counter
+
+	crashes      *obs.Counter
+	revives      *obs.Counter
+	failovers    *obs.Counter
+	wakeFailures *obs.Counter
+}
+
+// SetObs attaches (or, with nil, detaches) an observability bundle. Batch
+// events — placement batch and per-rack shard outcomes, workload batches,
+// chaos faults and repairs — are emitted from the coordinating goroutine
+// after the parallel shards complete, in rack-index order, so the trace is
+// deterministic for any Workers value, exactly like the results themselves.
+func (f *Fleet) SetObs(o *obs.Obs) {
+	if o == nil {
+		f.obs.Store(nil)
+		return
+	}
+	reg := o.Metrics
+	f.obs.Store(&fleetObs{
+		trace:           o.Trace,
+		placeBatches:    reg.Counter("fleet_place_batches_total", "placement batches executed"),
+		placeVMs:        reg.Counter("fleet_place_vms_total", "VMs successfully placed"),
+		placeFailed:     reg.Counter("fleet_place_failed_total", "VM placements that failed"),
+		workloadBatches: reg.Counter("fleet_workload_batches_total", "workload batches executed"),
+		workloadOps:     reg.Counter("fleet_workload_requests_total", "workload replay requests"),
+		workloadErrors:  reg.Counter("fleet_workload_errors_total", "workload replays that failed"),
+		crashes:         reg.Counter("fleet_chaos_crashes_total", "servers crashed by the fault surface"),
+		revives:         reg.Counter("fleet_chaos_revives_total", "crashed servers revived"),
+		failovers:       reg.Counter("fleet_chaos_failovers_total", "controller losses failed over"),
+		wakeFailures:    reg.Counter("fleet_chaos_wake_failures_total", "wake attempts failed by the injector"),
+	})
+}
+
+// observePlacement emits the batch and per-rack shard events after a
+// placement batch completes. Runs on the coordinator with no locks held.
+func (f *Fleet) observePlacement(specs int, plans []rackPlan, results []Placement) {
+	ob := f.obs.Load()
+	if ob == nil {
+		return
+	}
+	placed, failed := 0, 0
+	for i := range results {
+		if results[i].Err == "" {
+			placed++
+		} else {
+			failed++
+		}
+	}
+	ob.placeBatches.Inc()
+	ob.placeVMs.Add(uint64(placed))
+	ob.placeFailed.Add(uint64(failed))
+	ob.trace.Emit("fleet", "place.batch",
+		obs.F("vms", int64(specs)), obs.F("placed", int64(placed)), obs.F("failed", int64(failed)))
+	for ri := range plans {
+		if len(plans[ri].specIdx) == 0 {
+			continue
+		}
+		ok := 0
+		for _, si := range plans[ri].specIdx {
+			if results[si].Err == "" {
+				ok++
+			}
+		}
+		ob.trace.Emit("fleet", "place.shard",
+			obs.F("rack", int64(ri)), obs.F("assigned", int64(len(plans[ri].specIdx))), obs.F("placed", int64(ok)))
+	}
+}
+
+// observeWorkloads emits the batch and per-rack shard events after a
+// workload batch completes.
+func (f *Fleet) observeWorkloads(byRack [][]int, results []WorkloadResult) {
+	ob := f.obs.Load()
+	if ob == nil {
+		return
+	}
+	errs := 0
+	for i := range results {
+		if results[i].Err != "" {
+			errs++
+		}
+	}
+	ob.workloadBatches.Inc()
+	ob.workloadOps.Add(uint64(len(results)))
+	ob.workloadErrors.Add(uint64(errs))
+	ob.trace.Emit("fleet", "workloads.batch",
+		obs.F("requests", int64(len(results))), obs.F("errors", int64(errs)))
+	for ri := range byRack {
+		if len(byRack[ri]) == 0 {
+			continue
+		}
+		ob.trace.Emit("fleet", "workloads.shard",
+			obs.F("rack", int64(ri)), obs.F("requests", int64(len(byRack[ri]))))
+	}
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// runObservedScenario drives the canonical scenario plus the chaos surface
+// with an attached obs bundle and returns the bundle.
+func runObservedScenario(t *testing.T, workers int) *obs.Obs {
+	t.Helper()
+	f, specs := buildScenario(t, workers)
+	o := obs.New(obs.Options{TraceCapacity: 256, Clock: obs.StepClock()})
+	f.SetObs(o)
+
+	crashTarget := f.Rack(0).Servers()[3]
+	if err := f.CrashServer(0, crashTarget); err != nil {
+		t.Fatal(err)
+	}
+	placements, err := f.PlaceVMs(specs, core.CreateVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []WorkloadRequest
+	for i, p := range placements {
+		if p.Err != "" {
+			continue
+		}
+		reqs = append(reqs, WorkloadRequest{
+			VM: p.VM, Kind: workload.AllKinds()[i%len(workload.AllKinds())],
+			Iterations: 1, Seed: int64(i + 1),
+		})
+	}
+	reqs = append(reqs, WorkloadRequest{VM: "no-such-vm", Kind: workload.AllKinds()[0]})
+	f.RunWorkloads(reqs)
+	if err := f.KillController(1, f.Rack(1).Now()+10e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReviveServer(0, crashTarget); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestFleetObsCounters checks the counters against the known scenario
+// outcome: every batch, crash, failover and revive is accounted.
+func TestFleetObsCounters(t *testing.T) {
+	o := runObservedScenario(t, 2)
+	snap := o.Metrics.Snapshot()
+	want := map[string]uint64{
+		"fleet_place_batches_total":    1,
+		"fleet_workload_batches_total": 1,
+		"fleet_workload_errors_total":  1, // the unknown-VM request
+		"fleet_chaos_crashes_total":    1,
+		"fleet_chaos_revives_total":    1,
+		"fleet_chaos_failovers_total":  1,
+	}
+	for name, v := range want {
+		if snap.Counters[name] != v {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], v)
+		}
+	}
+	placed := snap.Counters["fleet_place_vms_total"]
+	failed := snap.Counters["fleet_place_failed_total"]
+	if placed+failed != 10 {
+		t.Errorf("placed %d + failed %d != 10 specs", placed, failed)
+	}
+	if got := snap.Counters["fleet_workload_requests_total"]; got != placed+1 {
+		t.Errorf("workload requests = %d, want %d", got, placed+1)
+	}
+}
+
+// TestFleetObsTraceDeterministic is the acceptance check at the fleet
+// layer: the NDJSON trace of two identical runs — including parallel
+// placement and workload shards — is byte-identical, and stays identical
+// across worker-pool sizes because events are emitted from the coordinator
+// in rack order.
+func TestFleetObsTraceDeterministic(t *testing.T) {
+	render := func(workers int) []byte {
+		o := runObservedScenario(t, workers)
+		var buf bytes.Buffer
+		if err := o.Trace.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(2), render(2)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-config runs diverged:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if seq := render(1); !bytes.Equal(a, seq) {
+		t.Errorf("parallel trace diverged from sequential:\n--- w=2 ---\n%s--- w=1 ---\n%s", a, seq)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestFleetObsDetach checks SetObs(nil) turns instrumentation back off.
+func TestFleetObsDetach(t *testing.T) {
+	f, specs := buildScenario(t, 1)
+	o := obs.New(obs.Options{})
+	f.SetObs(o)
+	f.SetObs(nil)
+	if _, err := f.PlaceVMs(specs[:2], core.CreateVMOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics.Snapshot().Counters["fleet_place_batches_total"]; got != 0 {
+		t.Fatalf("detached fleet still counted %d batches", got)
+	}
+	if o.Trace.Len() != 0 {
+		t.Fatalf("detached fleet still traced %d events", o.Trace.Len())
+	}
+}

@@ -149,6 +149,7 @@ func (f *Fleet) PlaceVMs(specs []vm.VM, opts core.CreateVMOptions) ([]Placement,
 			}
 		}
 	}
+	f.observePlacement(len(specs), plans, results)
 	return results, nil
 }
 

@@ -85,5 +85,6 @@ func (f *Fleet) RunWorkloads(reqs []WorkloadRequest) []WorkloadResult {
 			results[i].Stats = stats
 		}
 	})
+	f.observeWorkloads(byRack, results)
 	return results
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/consolidation"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -349,11 +350,13 @@ func doneLine(run *autopilotRun) map[string]any {
 }
 
 // reportResponse is the GET report body: the live fleet's state plus the
-// last autopilot run's savings/regret (and resilience, when chaotic).
+// last autopilot run's savings/regret (and resilience, when chaotic), and a
+// point-in-time metrics snapshot of the whole gateway.
 type reportResponse struct {
 	Fleet     fleetReportJSON      `json:"fleet"`
 	Autopilot *autopilotReportJSON `json:"autopilot,omitempty"`
 	Chaos     *chaosReportJSON     `json:"chaos,omitempty"`
+	Metrics   obs.Snapshot         `json:"metrics"`
 }
 
 type fleetReportJSON struct {
@@ -436,5 +439,6 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		run.mu.Unlock()
 		resp.Autopilot = ap
 	}
+	resp.Metrics = s.reg.Snapshot()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -3,6 +3,7 @@ package gateway
 import (
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -231,7 +232,7 @@ func TestGatewayRecovery(t *testing.T) {
 	defer srv.Close()
 	boom := http.NewServeMux()
 	boom.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
-	ts := httptest.NewServer(chain(boom, withRecovery(nil)))
+	ts := httptest.NewServer(chain(boom, withRecovery(slog.New(slog.DiscardHandler))))
 	defer ts.Close()
 
 	status, body := doJSON(t, http.MethodGet, ts.URL+"/boom", "", "")

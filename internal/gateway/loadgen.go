@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // LoadConfig parameterises RunLoad: Clients concurrent workers each issue
@@ -44,11 +46,14 @@ type LoadReport struct {
 	Clients  int    `json:"clients"`
 	Requests int    `json:"requests_per_client"`
 	// Total counts issued requests; Errors transport-level failures;
-	// Server5xx responses with status >= 500. Status histograms by code.
-	Total     int            `json:"total_requests"`
-	Errors    int            `json:"transport_errors"`
-	Server5xx int            `json:"server_5xx"`
-	Status    map[string]int `json:"status"`
+	// Server5xx responses with status >= 500; RateLimited 429 responses (the
+	// per-tenant quota denials the gateway also counts in /metrics). Status
+	// histograms by code.
+	Total       int            `json:"total_requests"`
+	Errors      int            `json:"transport_errors"`
+	Server5xx   int            `json:"server_5xx"`
+	RateLimited int            `json:"rate_limited"`
+	Status      map[string]int `json:"status"`
 	// ElapsedMs is the wall-clock span of the whole run; ThroughputRPS is
 	// Total divided by that span.
 	ElapsedMs     float64 `json:"elapsed_ms"`
@@ -292,6 +297,9 @@ func buildReport(cfg LoadConfig, samples []sample, elapsed time.Duration) LoadRe
 			rep.Server5xx++
 			fiveby[s.endpoint]++
 		}
+		if s.status == http.StatusTooManyRequests {
+			rep.RateLimited++
+		}
 		all = append(all, s.latency)
 		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latency)
 	}
@@ -309,16 +317,17 @@ func buildReport(cfg LoadConfig, samples []sample, elapsed time.Duration) LoadRe
 }
 
 // quantilesMs returns the nearest-rank p50/p99 and the max, in milliseconds.
+// The rank selection is the shared metrics.NearestRank helper — the same
+// convention membench's latency line quotes.
 func quantilesMs(lats []time.Duration) (p50, p99, maxMs float64) {
 	if len(lats) == 0 {
 		return 0, 0, 0
 	}
-	sorted := make([]time.Duration, len(lats))
-	copy(sorted, lats)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(q float64) float64 {
-		idx := int(q * float64(len(sorted)-1))
-		return float64(sorted[idx]) / float64(time.Millisecond)
+	sorted := make([]int64, len(lats))
+	for i, d := range lats {
+		sorted[i] = int64(d)
 	}
-	return at(0.50), at(0.99), float64(sorted[len(sorted)-1]) / float64(time.Millisecond)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ms := func(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
+	return ms(metrics.NearestRank(sorted, 50)), ms(metrics.NearestRank(sorted, 99)), ms(sorted[len(sorted)-1])
 }

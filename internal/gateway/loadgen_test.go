@@ -104,6 +104,27 @@ func TestRunLoadCounts5xx(t *testing.T) {
 	}
 }
 
+// TestRunLoadCounts429 throttles the gateway to a one-request-per-window
+// quota and checks the rate-limited accounting: everything past the first
+// request bounces with 429, and the report counts every bounce.
+func TestRunLoadCounts429(t *testing.T) {
+	_, ts := newTestGateway(t, Config{QuotaLimit: 1, QuotaWindow: time.Hour})
+	const requests = 8
+	rep, err := RunLoad(LoadConfig{Target: ts.URL, Clients: 1, Requests: requests, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RateLimited != requests-1 {
+		t.Fatalf("rate_limited = %d, want %d (quota of 1 per window)", rep.RateLimited, requests-1)
+	}
+	if rep.Status["429"] != rep.RateLimited {
+		t.Fatalf("status[429] = %d, rate_limited = %d — the two counts must agree", rep.Status["429"], rep.RateLimited)
+	}
+	if rep.Server5xx != 0 {
+		t.Fatalf("quota denials must not count as 5xx, got %d", rep.Server5xx)
+	}
+}
+
 // TestRunLoadValidation pins the config errors.
 func TestRunLoadValidation(t *testing.T) {
 	if _, err := RunLoad(LoadConfig{}); err == nil {

@@ -227,6 +227,46 @@ func (m *Manager) IDs() []string {
 	return ids
 }
 
+// Totals is the aggregate view of the registry served by the /metrics
+// session gauges.
+type Totals struct {
+	Sessions        int
+	PlacedVMs       int
+	AutopilotActive int
+	RemoteBytes     int64
+}
+
+// Totals aggregates across live sessions at scrape time. Fleet state is
+// read outside the session lock (the fleet has its own locking), so a
+// scrape never blocks a long placement.
+func (m *Manager) Totals() Totals {
+	m.mu.RLock()
+	live := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		live = append(live, s)
+	}
+	m.mu.RUnlock()
+	t := Totals{Sessions: len(live)}
+	for _, s := range live {
+		s.mu.Lock()
+		t.PlacedVMs += s.placed
+		run := s.run
+		f := s.fleet
+		s.mu.Unlock()
+		if run != nil {
+			run.mu.Lock()
+			if !run.done {
+				t.AutopilotActive++
+			}
+			run.mu.Unlock()
+		}
+		if f != nil {
+			t.RemoteBytes += f.FreeRemoteMemory()
+		}
+	}
+	return t
+}
+
 // evictLoop scans the registry every period and retires idle sessions.
 func (m *Manager) evictLoop(every time.Duration) {
 	defer m.evictorW.Done()

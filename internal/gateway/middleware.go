@@ -3,7 +3,7 @@ package gateway
 import (
 	"crypto/subtle"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strings"
@@ -11,7 +11,7 @@ import (
 )
 
 // middleware is one layer of the stack; the router composes them outermost
-// first: logging(recovery(auth(quota(mux)))).
+// first: logging(recovery(metrics(auth(quota(mux))))).
 type middleware func(http.Handler) http.Handler
 
 // statusWriter captures the response status for the request log while
@@ -42,36 +42,71 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// withLogging writes one line per request: method, path, status, duration.
-// A nil logger keeps the wrapper (the statusWriter feeds recovery too) but
-// discards the line.
-func withLogging(logger *log.Logger, now func() time.Time) middleware {
+// withLogging writes one structured record per request: method, path,
+// status, duration. The logger wraps whatever slog.Handler the operator
+// injected; the discard handler keeps the wrapper (the statusWriter feeds
+// recovery too) but drops the record.
+func withLogging(logger *slog.Logger, now func() time.Time) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			sw := &statusWriter{ResponseWriter: w}
 			start := now()
 			next.ServeHTTP(sw, r)
-			if logger != nil {
-				logger.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, now().Sub(start))
-			}
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", now().Sub(start)))
 		})
 	}
 }
 
 // withRecovery turns a handler panic into a 500 instead of killing the
-// server; the stack goes to the logger.
-func withRecovery(logger *log.Logger) middleware {
+// server; the stack goes to the structured log.
+func withRecovery(logger *slog.Logger) middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			defer func() {
 				if rec := recover(); rec != nil {
-					if logger != nil {
-						logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-					}
+					logger.LogAttrs(r.Context(), slog.LevelError, "panic",
+						slog.String("method", r.Method),
+						slog.String("path", r.URL.Path),
+						slog.String("panic", fmt.Sprint(rec)),
+						slog.String("stack", string(debug.Stack())))
 					writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 				}
 			}()
 			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// withMetrics records every finished request — including auth and quota
+// rejections from the inner layers — into the per-route counters and
+// latency histograms. The route label is the mux pattern that served the
+// request (r.Pattern is populated once the mux matches); rejections that
+// never reach the mux are labelled "unrouted". The deferred record also
+// catches panics on their way up to recovery, counting them as 500s.
+func withMetrics(m *gwMetrics, now func() time.Time) middleware {
+	return func(next http.Handler) http.Handler {
+		if m == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := now()
+			defer func() {
+				status := sw.status
+				if status == 0 {
+					status = http.StatusInternalServerError // panic before any write
+				}
+				route := r.Pattern
+				if route == "" {
+					route = "unrouted"
+				}
+				m.record(route, status, now().Sub(start))
+			}()
+			next.ServeHTTP(sw, r)
 		})
 	}
 }
@@ -99,16 +134,18 @@ func withAuth(token string) middleware {
 	}
 }
 
-// withQuota enforces the per-tenant rate limit on every route but /healthz.
-// The tenant key is the presented bearer token (clients of a shared token
-// share a budget), or the remote host when auth is off.
-func withQuota(q *quotaCache) middleware {
+// withQuota enforces the per-tenant rate limit on every route but /healthz
+// and /metrics (a scrape must keep working while a tenant is being
+// throttled — that is when the operator needs it). The tenant key is the
+// presented bearer token (clients of a shared token share a budget), or the
+// remote host when auth is off. Denials are counted per tenant in m.
+func withQuota(q *quotaCache, m *gwMetrics) middleware {
 	return func(next http.Handler) http.Handler {
 		if q == nil || q.limit == 0 {
 			return next
 		}
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == "/healthz" {
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 				next.ServeHTTP(w, r)
 				return
 			}
@@ -117,6 +154,7 @@ func withQuota(q *quotaCache) middleware {
 				tenant = r.RemoteAddr
 			}
 			if !q.allow(tenant) {
+				m.denied(tenant)
 				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(q.retryAfter().Seconds())))
 				writeError(w, http.StatusTooManyRequests, "tenant quota exceeded")
 				return

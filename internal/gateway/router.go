@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config parameterises a gateway Server.
@@ -27,8 +30,17 @@ type Config struct {
 	// MaxServers bounds racks*servers of a created fleet (default 256), so
 	// one tenant cannot allocate an unbounded simulated datacenter.
 	MaxServers int
-	// Logger receives the request log and panic stacks; nil discards both.
-	Logger *log.Logger
+	// LogHandler receives the structured request log and panic reports as
+	// slog records; nil discards them. Injectable so tests capture records
+	// and operators pick their own format.
+	LogHandler slog.Handler
+	// Metrics is the observability registry /metrics serves; nil means the
+	// server builds its own. Injecting one lets an embedding process expose
+	// gateway metrics alongside its own.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/* (behind
+	// auth). Off by default: profiling endpoints are an operator opt-in.
+	EnablePprof bool
 
 	// now is the clock seam the tests inject; nil means time.Now.
 	now func() time.Time
@@ -44,6 +56,12 @@ func (c *Config) applyDefaults() {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	if c.LogHandler == nil {
+		c.LogHandler = slog.DiscardHandler
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
 }
 
 // Server is the assembled gateway: the session manager, the quota cache and
@@ -53,6 +71,9 @@ type Server struct {
 	manager *Manager
 	quota   *quotaCache
 	handler http.Handler
+	reg     *obs.Registry
+	metrics *gwMetrics
+	logger  *slog.Logger
 }
 
 // New assembles a gateway from the configuration.
@@ -62,10 +83,22 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		manager: NewManager(cfg.SessionTTL, cfg.EvictEvery, cfg.MaxSessions, cfg.now),
 		quota:   newQuotaCache(cfg.QuotaLimit, cfg.QuotaWindow, cfg.now),
+		reg:     cfg.Metrics,
+		logger:  slog.New(cfg.LogHandler),
 	}
+	s.metrics = newGWMetrics(s.reg)
+	registerSessionGauges(s.reg, s.manager)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("POST /v1/fleets", s.handleCreateFleet)
 	mux.HandleFunc("GET /v1/fleets", s.handleListFleets)
 	mux.HandleFunc("DELETE /v1/fleets/{id}", s.handleDeleteFleet)
@@ -77,13 +110,18 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/fleets/{id}/report", s.handleReport)
 
 	s.handler = chain(mux,
-		withLogging(cfg.Logger, cfg.now),
-		withRecovery(cfg.Logger),
+		withLogging(s.logger, cfg.now),
+		withRecovery(s.logger),
+		withMetrics(s.metrics, cfg.now),
 		withAuth(cfg.Token),
-		withQuota(s.quota),
+		withQuota(s.quota, s.metrics),
 	)
 	return s
 }
+
+// Metrics exposes the observability registry (the embedding process and the
+// tests read it back).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the routed handler behind the full middleware stack.
 func (s *Server) Handler() http.Handler { return s.handler }

@@ -1,0 +1,89 @@
+package memplane
+
+import (
+	"repro/internal/memctl"
+	"repro/internal/obs"
+)
+
+// planeObs is the plane's resolved observability handle: counters and the
+// op-latency histogram are looked up once at construction, and every helper
+// is nil-safe on the receiver so an unobserved plane pays one pointer test
+// per site and allocates nothing.
+//
+// Events are stamped with the plane's cumulative simulated charge (ChargedNs
+// after the operation) — the plane's own clock. It is deterministic for a
+// given op sequence, which keeps NDJSON exports byte-stable across runs and
+// across transports the differential layer already proves equivalent.
+type planeObs struct {
+	trace *obs.Trace
+
+	reads     *obs.Counter
+	writes    *obs.Counter
+	remoteOps *obs.Counter
+	timeouts  *obs.Counter
+	rehomed   *obs.Counter
+	opNs      *obs.Histogram
+}
+
+// newPlaneObs resolves the bundle, or returns nil when the plane is
+// unobserved.
+func newPlaneObs(o *obs.Obs) *planeObs {
+	if o == nil {
+		return nil
+	}
+	reg := o.Metrics
+	return &planeObs{
+		trace:     o.Trace,
+		reads:     reg.Counter("memplane_reads_total", "Plane-level read operations."),
+		writes:    reg.Counter("memplane_writes_total", "Plane-level write operations."),
+		remoteOps: reg.Counter("memplane_remote_ops_total", "Page accesses that crossed the fabric."),
+		timeouts:  reg.Counter("memplane_timeouts_total", "Remote operations that timed out on a crashed host."),
+		rehomed:   reg.Counter("memplane_rehomed_pages_total", "Pages migrated off crashed hosts."),
+		opNs:      reg.Histogram("memplane_op_ns", "Simulated charge of one plane-level operation in ns."),
+	}
+}
+
+// observeOp records one completed plane-level operation: the counter, the
+// latency histogram and the read/write trace event.
+func (ob *planeObs) observeOp(at int64, write bool, bytes int, ns int64) {
+	if ob == nil {
+		return
+	}
+	ob.opNs.Observe(ns)
+	if write {
+		ob.writes.Inc()
+		ob.trace.EmitAt(at, "memplane", "write", obs.F("bytes", int64(bytes)), obs.F("ns", ns))
+	} else {
+		ob.reads.Inc()
+		ob.trace.EmitAt(at, "memplane", "read", obs.F("bytes", int64(bytes)), obs.F("ns", ns))
+	}
+}
+
+// observeHop records one page access that crossed the fabric.
+func (ob *planeObs) observeHop(at int64, host memctl.ServerID, op string, ns int64) {
+	if ob == nil {
+		return
+	}
+	ob.remoteOps.Inc()
+	ob.trace.EmitAt(at, "memplane", "hop", obs.FS("host", string(host)), obs.FS("op", op), obs.F("ns", ns))
+}
+
+// observeTimeout records one deterministic remote timeout.
+func (ob *planeObs) observeTimeout(at int64, host memctl.ServerID, op string) {
+	if ob == nil {
+		return
+	}
+	ob.timeouts.Inc()
+	ob.trace.EmitAt(at, "memplane", "timeout", obs.FS("host", string(host)), obs.FS("op", op))
+}
+
+// observeRehome records one completed migration off a crashed host.
+func (ob *planeObs) observeRehome(at int64, host memctl.ServerID, rep RehomeReport) {
+	if ob == nil {
+		return
+	}
+	ob.rehomed.Add(uint64(rep.Pages))
+	ob.trace.EmitAt(at, "memplane", "rehome",
+		obs.FS("host", string(host)), obs.F("pages", int64(rep.Pages)),
+		obs.F("bytes", rep.Bytes), obs.F("ns", rep.Ns))
+}

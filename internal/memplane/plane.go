@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/memctl"
+	"repro/internal/obs"
 	"repro/internal/rdma"
 )
 
@@ -75,6 +76,13 @@ type Config struct {
 	// RecordLatencies keeps the per-operation charge series for percentile
 	// reporting (membench); off by default to bound memory.
 	RecordLatencies bool
+
+	// Obs, when set, attaches the plane to an observability bundle: per-op
+	// counters, an op-latency histogram, and trace events for every
+	// read/write, fabric hop, timeout and re-home, stamped with the plane's
+	// cumulative simulated charge so exports are byte-stable. Nil keeps the
+	// data path allocation-free.
+	Obs *obs.Obs
 }
 
 // Stats counts the plane's traffic. Every field is deterministic for a given
@@ -131,6 +139,10 @@ type Plane struct {
 
 	stats     Stats
 	latencies []int64
+
+	// obs is the resolved observability handle, nil on unobserved planes so
+	// every emission site is one pointer test and no allocation (see obs.go).
+	obs *planeObs
 }
 
 // New builds a plane.
@@ -186,6 +198,7 @@ func New(cfg Config) (*Plane, error) {
 		alloc:   newAllocator(cfg.VM, cfg.PageSize, cfg.LocalBytes, cfg.SoftLimitBytes, cfg.Agent, cfg.GrantBytes, cfg.Buffers),
 		mirror:  make(map[int64][]byte),
 		crashed: make(map[memctl.ServerID]bool),
+		obs:     newPlaneObs(cfg.Obs),
 	}, nil
 }
 
@@ -325,12 +338,14 @@ func (p *Plane) run(addr int64, n int, op func(page, off int64, span []byte) (in
 		if err != nil {
 			p.account(done, write)
 			p.recordLatency(total)
+			p.obs.observeOp(p.stats.ChargedNs, write, done, total)
 			return done, total, err
 		}
 		done += int(span)
 	}
 	p.account(done, write)
 	p.recordLatency(total)
+	p.obs.observeOp(p.stats.ChargedNs, write, done, total)
 	return done, total, nil
 }
 
@@ -386,6 +401,7 @@ func (p *Plane) pageWrite(page, off int64, src []byte) (int64, error) {
 	p.stats.RemoteNs += ns
 	p.stats.RemoteBytesWritten += uint64(len(payload))
 	p.patchMirror(page, writeOff, payload)
+	p.obs.observeHop(p.stats.ChargedNs+ns, frame.Host, "write", ns)
 	return ns, nil
 }
 
@@ -419,6 +435,7 @@ func (p *Plane) pageRead(page, off int64, dst []byte) (int64, error) {
 	p.stats.RemoteOps++
 	p.stats.RemoteNs += ns
 	p.stats.RemoteBytesRead += uint64(len(dst))
+	p.obs.observeHop(p.stats.ChargedNs+ns, frame.Host, "read", ns)
 	if !p.cfg.Transport.MovesBytes() {
 		// The ledger transport moved nothing; serve the bytes from the mirror
 		// so reads still return the last write.
@@ -431,6 +448,7 @@ func (p *Plane) pageRead(page, off int64, dst []byte) (int64, error) {
 func (p *Plane) timeout(frame Frame, op string) (int64, error) {
 	p.stats.Timeouts++
 	p.stats.TimeoutNs += p.cfg.TimeoutNs
+	p.obs.observeTimeout(p.stats.ChargedNs+p.cfg.TimeoutNs, frame.Host, op)
 	return p.cfg.TimeoutNs, fmt.Errorf("%w: %s of %s (host crashed)", ErrRemoteTimeout, op, frame)
 }
 
@@ -511,6 +529,7 @@ func (p *Plane) Rehome(host memctl.ServerID) (RehomeReport, error) {
 		p.stats.RehomeNs += ns
 		p.charge(ns)
 	}
+	p.obs.observeRehome(p.stats.ChargedNs, host, rep)
 	return rep, nil
 }
 

@@ -75,6 +75,28 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// NearestRank returns the q-th percentile (q in percent; q=100 is the max)
+// of an already sorted int64 series using the nearest-rank method: the
+// smallest element with at least q% of the sample at or below it. Unlike
+// Percentile it never interpolates, so the result is always an observed
+// value — the convention the latency reports (membench, fleetload) share.
+func NearestRank(sorted []int64, q int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := (len(sorted)*q+99)/100 - 1 // ceil(q/100 * n) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
 // Mean returns the arithmetic mean of the sample (0 for an empty sample).
 func Mean(sample []float64) float64 {
 	if len(sample) == 0 {

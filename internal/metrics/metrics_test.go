@@ -49,6 +49,32 @@ func TestPercentileEdges(t *testing.T) {
 	}
 }
 
+func TestNearestRank(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40}
+	cases := []struct {
+		q    int
+		want int64
+	}{
+		{0, 10}, {-5, 10}, // clamped to the minimum
+		{25, 10},             // ceil(0.25*4)-1 = 0
+		{50, 20},             // ceil(0.50*4)-1 = 1
+		{51, 30},             // ceil(0.51*4)-1 = 2: the next observed value, no interpolation
+		{99, 40},             // ceil(0.99*4)-1 = 3
+		{100, 40}, {150, 40}, // clamped to the maximum
+	}
+	for _, tc := range cases {
+		if got := NearestRank(sorted, tc.q); got != tc.want {
+			t.Errorf("NearestRank(q=%d) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := NearestRank(nil, 50); got != 0 {
+		t.Errorf("empty NearestRank = %d, want 0", got)
+	}
+	if got := NearestRank([]int64{7}, 99); got != 7 {
+		t.Errorf("singleton NearestRank = %d, want 7", got)
+	}
+}
+
 func TestPercentileWithinRangeProperty(t *testing.T) {
 	f := func(raw []float64, p float64) bool {
 		sample := raw[:0]

@@ -1,0 +1,25 @@
+package obs
+
+// Bench exposes the instrumented hot path to the repo's benchmark harness
+// (cmd/benchfleet): a registry holding the shapes the runtime layers use —
+// a plain counter, a per-label counter and a latency histogram — is
+// pre-warmed, and the returned op performs one increment of each plus one
+// histogram observation, i.e. the metrics work of accounting one request.
+// The op must stay allocation-free: BENCH_fleet.json records its
+// allocs_per_op and the CI diff gate fails on any growth. That is the
+// enabled-path half of the overhead budget; the disabled path (nil
+// receivers, nil handles) is pinned to zero allocations by the layer tests.
+func Bench() func() {
+	r := NewRegistry()
+	total := r.Counter("bench_ops_total", "benchmark op counter")
+	byRoute := r.CounterVec("bench_route_ops_total", "benchmark labelled counter", "route")
+	lat := r.Histogram("bench_op_ns", "benchmark op latency")
+	route := byRoute.With("bench-route") // warmed: the only allocation the vec path makes
+	var tick int64
+	return func() {
+		tick++
+		total.Inc()
+		route.Inc()
+		lat.Observe(tick)
+	}
+}

@@ -1,0 +1,14 @@
+package obs
+
+import "testing"
+
+// TestBenchOpAllocs pins the enabled-path overhead budget: the instrumented
+// hot path (counter + labelled counter + histogram per op) must not allocate.
+// cmd/benchfleet records the same op in BENCH_fleet.json, so a regression
+// fails both here and at the benchdiff gate.
+func TestBenchOpAllocs(t *testing.T) {
+	op := Bench()
+	if n := testing.AllocsPerRun(1000, op); n != 0 {
+		t.Fatalf("instrumented hot path allocates %v per op, want 0", n)
+	}
+}

@@ -1,0 +1,498 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-safe no-ops so call sites never branch on whether metrics are enabled.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (an int64: a count of sessions, a
+// number of bytes). Like Counter it is nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the gauge's current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histSlots is the number of log-2 buckets: bits.Len64 maps a non-negative
+// value v to [0, 64], so 65 slots cover the full int64 range with no bound
+// checks on the hot path.
+const histSlots = 65
+
+// Histogram is a fixed log-2-bucket histogram for latency-style int64
+// values (nanoseconds). Bucket i counts values v with bits.Len64(v) == i,
+// i.e. (1<<(i-1)) <= v < (1<<i); bucket 0 counts zeros. Observing costs two
+// atomic adds and never allocates.
+type Histogram struct {
+	counts [histSlots]atomic.Uint64
+	sum    atomic.Int64
+}
+
+// bucketIndex maps a value to its log-2 bucket. Negative values clamp to
+// bucket 0 so a broken clock cannot index out of range.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observed values.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// buckets returns a snapshot of the per-bucket counts.
+func (h *Histogram) buckets() [histSlots]uint64 {
+	var out [histSlots]uint64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// metricKind tags a registered family for the Prometheus TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is the exposition metadata shared by every series of one metric
+// name (help text and type).
+type family struct {
+	help string
+	kind metricKind
+}
+
+// Registry holds named metrics. Registration takes a lock; the returned
+// metric objects are lock-free afterwards. A nil *Registry hands out nil
+// metrics from every constructor, so a disabled stack needs no branches.
+//
+// Series names may carry Prometheus-style labels inline —
+// `requests_total{route="GET /healthz"}` — in which case the family is the
+// portion before the brace. Registration is idempotent: asking for an
+// existing name returns the existing metric.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// familyName strips an inline label set from a series name.
+func familyName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// register records family metadata for a series (first registration of a
+// family wins). Callers hold r.mu.
+func (r *Registry) register(name, help string, kind metricKind) {
+	fam := familyName(name)
+	if _, ok := r.families[fam]; !ok {
+		r.families[fam] = &family{help: help, kind: kind}
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, help, kindCounter)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, help, kindGauge)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time by fn
+// (used for values owned by another subsystem, like the gateway's live
+// session count). Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindGauge)
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named log-bucket histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.register(name, help, kindHistogram)
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// maxVecSeries bounds the number of distinct label values one vec will
+// create. Unauthenticated tenants are keyed by remote address, which an
+// adversary (or just a NAT) can make unbounded; past the cap all new values
+// collapse into the "overflow" series instead of growing the registry
+// without limit.
+const maxVecSeries = 64
+
+// overflowLabel is the series label used once a vec hits maxVecSeries.
+const overflowLabel = "overflow"
+
+// escapeLabel writes a label value with Prometheus escaping (backslash,
+// quote and newline).
+func escapeLabel(v string) string {
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' || v[i] == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	out := make([]byte, 0, len(v)+8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// seriesName renders name{k1="v1",k2="v2"} for up to two label pairs.
+func seriesName(name, k1, v1, k2, v2 string) string {
+	s := name + "{" + k1 + "=\"" + escapeLabel(v1) + "\""
+	if k2 != "" {
+		s += "," + k2 + "=\"" + escapeLabel(v2) + "\""
+	}
+	return s + "}"
+}
+
+// CounterVec is a family of counters keyed by one label value. The fast
+// path (an existing label value) is one RLock'd map hit with no
+// allocations.
+type CounterVec struct {
+	r          *Registry
+	name, help string
+	key        string
+	mu         sync.RWMutex
+	m          map[string]*Counter
+}
+
+// CounterVec returns a one-label counter family.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r: r, name: name, help: help, key: labelKey, m: make(map[string]*Counter)}
+}
+
+// With returns the counter for one label value, creating (and registering)
+// it on first use. Past maxVecSeries distinct values it returns the shared
+// overflow counter.
+func (v *CounterVec) With(val string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.m[val]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.m[val]; c != nil {
+		return c
+	}
+	if len(v.m) >= maxVecSeries {
+		val = overflowLabel
+		if c := v.m[val]; c != nil {
+			return c
+		}
+	}
+	c = v.r.Counter(seriesName(v.name, v.key, val, "", ""), v.help)
+	v.m[val] = c
+	return c
+}
+
+// vecKey2 is the comparable composite key of a two-label vec; using an
+// array key keeps the enabled fast path allocation-free.
+type vecKey2 [2]string
+
+// CounterVec2 is a family of counters keyed by two label values.
+type CounterVec2 struct {
+	r          *Registry
+	name, help string
+	k1, k2     string
+	mu         sync.RWMutex
+	m          map[vecKey2]*Counter
+}
+
+// CounterVec2 returns a two-label counter family.
+func (r *Registry) CounterVec2(name, help, key1, key2 string) *CounterVec2 {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec2{r: r, name: name, help: help, k1: key1, k2: key2, m: make(map[vecKey2]*Counter)}
+}
+
+// With returns the counter for one (v1, v2) label pair.
+func (v *CounterVec2) With(v1, v2 string) *Counter {
+	if v == nil {
+		return nil
+	}
+	k := vecKey2{v1, v2}
+	v.mu.RLock()
+	c := v.m[k]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.m[k]; c != nil {
+		return c
+	}
+	if len(v.m) >= maxVecSeries {
+		k = vecKey2{overflowLabel, overflowLabel}
+		if c := v.m[k]; c != nil {
+			return c
+		}
+	}
+	c = v.r.Counter(seriesName(v.name, v.k1, k[0], v.k2, k[1]), v.help)
+	v.m[k] = c
+	return c
+}
+
+// HistogramVec is a family of histograms keyed by one label value.
+type HistogramVec struct {
+	r          *Registry
+	name, help string
+	key        string
+	mu         sync.RWMutex
+	m          map[string]*Histogram
+}
+
+// HistogramVec returns a one-label histogram family.
+func (r *Registry) HistogramVec(name, help, labelKey string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r: r, name: name, help: help, key: labelKey, m: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(val string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.m[val]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.m[val]; h != nil {
+		return h
+	}
+	if len(v.m) >= maxVecSeries {
+		val = overflowLabel
+		if h := v.m[val]; h != nil {
+			return h
+		}
+	}
+	h = v.r.Histogram(seriesName(v.name, v.key, val, "", ""), v.help)
+	v.m[val] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered value, embedded into
+// session reports and dumped by the CLIs' -obs flag. Histograms contribute
+// a <name>_count counter and a <name>_sum gauge entry. JSON encoding of the
+// maps is key-sorted, so a marshalled snapshot of deterministic values is
+// byte-stable.
+type Snapshot struct {
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Snapshot captures the current value of every metric. A nil registry
+// yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Counters: make(map[string]uint64)}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		snap.Counters[name+"_count"] = h.Count()
+		if snap.Gauges == nil {
+			snap.Gauges = make(map[string]float64)
+		}
+		snap.Gauges[name+"_sum"] = float64(h.Sum())
+	}
+	if len(r.gauges) > 0 || len(r.gaugeFns) > 0 {
+		if snap.Gauges == nil {
+			snap.Gauges = make(map[string]float64)
+		}
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = float64(g.Value())
+	}
+	for name, fn := range r.gaugeFns {
+		snap.Gauges[name] = fn()
+	}
+	return snap
+}
+
+// sortedKeys returns map keys in sorted order (the exposition and dump
+// order, so output is deterministic).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

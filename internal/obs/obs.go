@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Obs bundles the two halves of the observability layer. A nil *Obs means
+// observability is off: every subsystem accepts a nil handle and runs its
+// hot paths with zero overhead.
+type Obs struct {
+	Metrics *Registry
+	Trace   *Trace
+}
+
+// Options configures New.
+type Options struct {
+	// TraceCapacity is the trace ring size; 0 means the default (2048),
+	// negative disables tracing entirely (metrics only).
+	TraceCapacity int
+	// Clock stamps events emitted through Trace.Emit. Layers with their own
+	// simulation time bypass it via EmitAt. Nil stamps 0.
+	Clock Clock
+}
+
+// defaultTraceCapacity bounds the ring when the caller does not choose: big
+// enough to hold a full CLI scenario, small enough that an -obs dump stays
+// readable.
+const defaultTraceCapacity = 2048
+
+// New builds an enabled Obs with a fresh registry and trace ring.
+func New(opts Options) *Obs {
+	capacity := opts.TraceCapacity
+	if capacity == 0 {
+		capacity = defaultTraceCapacity
+	}
+	return &Obs{
+		Metrics: NewRegistry(),
+		Trace:   NewTrace(capacity, opts.Clock),
+	}
+}
+
+// Registry returns the metrics registry (nil when o is nil), so callers can
+// chain o.Registry().Counter(...) without a guard.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Tracer returns the trace ring (nil when o is nil).
+func (o *Obs) Tracer() *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Dump writes the -obs report consumed by the CLIs: a sorted metrics
+// snapshot followed by the NDJSON trace, each under a stable header. A nil
+// Obs writes nothing.
+func (o *Obs) Dump(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "--- obs metrics ---"); err != nil {
+		return err
+	}
+	if err := o.Metrics.WriteText(w); err != nil {
+		return err
+	}
+	if o.Trace.Len() == 0 && o.Trace.Dropped() == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "--- obs trace (%d events, %d dropped) ---\n",
+		o.Trace.Len(), o.Trace.Dropped()); err != nil {
+		return err
+	}
+	return o.Trace.WriteNDJSON(w)
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Clock supplies the timestamp for trace events emitted through
+// [Trace.Emit]. It is always injectable — simulation seconds, an operation
+// index, or a fake stepping clock — never bare wall time, which is what
+// keeps trace exports byte-stable across runs.
+type Clock func() int64
+
+// StepClock returns a clock that yields 1, 2, 3, ... — the fake clock used
+// by CLIs that have no simulation time of their own. It is safe for
+// concurrent use.
+func StepClock() Clock {
+	var n atomic.Int64
+	return func() int64 { return n.Add(1) }
+}
+
+// Field is one structured key/value attached to a trace event: either an
+// int64 (F) or a string (FS).
+type Field struct {
+	Key   string
+	Val   int64
+	Str   string
+	isStr bool
+}
+
+// F builds an integer field.
+func F(key string, val int64) Field { return Field{Key: key, Val: val} }
+
+// FS builds a string field.
+func FS(key, val string) Field { return Field{Key: key, Str: val, isStr: true} }
+
+// Event is one structured span event: a monotonic sequence number, the
+// injected timestamp, the emitting layer ("fleet", "autopilot", "memplane",
+// "chaos", ...), the event name within that layer ("place.batch", "tick",
+// "write", ...) and the structured fields.
+type Event struct {
+	Seq    int64
+	At     int64
+	Layer  string
+	Event  string
+	Fields []Field
+}
+
+// Trace is a fixed-capacity ring of events. Under sustained emission the
+// oldest events are overwritten (and tallied in Dropped) rather than
+// growing memory without bound. A nil *Trace no-ops every method, but note
+// that a call site passing fields still allocates the variadic slice —
+// hot loops must guard emission with an explicit nil check (see the package
+// comment).
+type Trace struct {
+	mu      sync.Mutex
+	clock   Clock
+	seq     int64
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// NewTrace returns a ring holding up to capacity events, stamping Emit
+// calls with clock (a nil clock stamps 0; EmitAt callers supply their own
+// time). A non-positive capacity returns a nil (disabled) trace.
+func NewTrace(capacity int, clock Clock) *Trace {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Trace{clock: clock, buf: make([]Event, 0, capacity)}
+}
+
+// Emit records an event stamped with the trace's clock.
+func (t *Trace) Emit(layer, event string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	var at int64
+	if t.clock != nil {
+		at = t.clock()
+	}
+	t.EmitAt(at, layer, event, fields...)
+}
+
+// EmitAt records an event with an explicit timestamp, for layers that carry
+// their own simulation time (autopilot's simulated seconds, membench's
+// operation index).
+func (t *Trace) EmitAt(at int64, layer, event string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e := Event{Seq: t.seq, At: at, Layer: layer, Event: event, Fields: fields}
+	if !t.full && len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		if len(t.buf) == cap(t.buf) {
+			t.full = true
+			t.next = 0
+		}
+	} else {
+		t.buf[t.next] = e
+		t.next++
+		t.dropped++
+		if t.next == len(t.buf) {
+			t.next = 0
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.full {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten because the ring was
+// full.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteNDJSON writes every buffered event as one JSON object per line. The
+// fields are marshalled by hand in a fixed order (seq, at, layer, event,
+// then the emitted fields in emission order), so the export is byte-stable:
+// two runs with the same seed and clock produce identical bytes.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, e := range t.Events() {
+		line = line[:0]
+		line = append(line, `{"seq":`...)
+		line = strconv.AppendInt(line, e.Seq, 10)
+		line = append(line, `,"at":`...)
+		line = strconv.AppendInt(line, e.At, 10)
+		line = append(line, `,"layer":`...)
+		line = strconv.AppendQuote(line, e.Layer)
+		line = append(line, `,"event":`...)
+		line = strconv.AppendQuote(line, e.Event)
+		for _, f := range e.Fields {
+			line = append(line, ',')
+			line = strconv.AppendQuote(line, f.Key)
+			line = append(line, ':')
+			if f.isStr {
+				line = strconv.AppendQuote(line, f.Str)
+			} else {
+				line = strconv.AppendInt(line, f.Val, 10)
+			}
+		}
+		line = append(line, '}', '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

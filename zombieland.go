@@ -45,6 +45,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/memplane"
 	"repro/internal/migration"
+	"repro/internal/obs"
 	"repro/internal/pagepolicy"
 	"repro/internal/placement"
 	"repro/internal/swapdev"
@@ -418,3 +419,25 @@ func ServeGateway(addr string, cfg GatewayConfig) error {
 // RunGatewayLoad hammers a gateway with the seeded mixed endpoint profile
 // and returns the throughput/latency report.
 func RunGatewayLoad(cfg GatewayLoadConfig) (GatewayLoadReport, error) { return gateway.RunLoad(cfg) }
+
+// Obs bundles the observability layer: an atomic metrics registry and a
+// deterministic ring-buffered trace. Attach one to a Fleet (SetObs), an
+// AutopilotConfig or a MemplaneConfig via their Obs fields; a nil bundle
+// keeps every hot path allocation-free. The gateway builds its own registry
+// and serves it at GET /metrics.
+type Obs = obs.Obs
+
+// ObsOptions configures NewObs: trace ring capacity and the clock stamping
+// emitted events (use ObsStepClock for byte-stable exports).
+type ObsOptions = obs.Options
+
+// ObsSnapshot is a point-in-time copy of a registry's values, embedded in
+// gateway session reports.
+type ObsSnapshot = obs.Snapshot
+
+// NewObs builds an enabled observability bundle.
+func NewObs(opts ObsOptions) *Obs { return obs.New(opts) }
+
+// ObsStepClock returns a deterministic clock yielding 1, 2, 3, ... — the
+// fake time source that makes trace exports byte-stable across runs.
+func ObsStepClock() obs.Clock { return obs.StepClock() }
