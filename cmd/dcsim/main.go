@@ -14,6 +14,11 @@
 //	                              #   trace scales × consolidation periods ×
 //	                              #   transition-cost axis
 //	dcsim -sweep -scales 0.5,1,2 -periods 300,900 -workers 8
+//	dcsim -family flashcrowd      # sweep a workload-family scenario pack
+//	dcsim -trace cluster.csv.gz   # sweep an imported trace (streamed from disk)
+//	dcsim -matrix                 # policy × scenario matrix: every workload
+//	                              #   family × every online policy under chaos
+//	dcsim -matrix -matrix-chaos heavy -workers 8
 //	dcsim -cpuprofile cpu.pprof   # profile the run (pprof CPU profile)
 //	dcsim -memprofile mem.pprof   # write an allocation profile on exit
 //
@@ -40,6 +45,7 @@ import (
 	"repro/internal/consolidation"
 	"repro/internal/dcsim"
 	"repro/internal/energy"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -50,6 +56,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "trace generation seed")
 	parallel := flag.Bool("parallel", false, "shard per-epoch accounting across a worker pool (same results, more cores)")
 	sweep := flag.Bool("sweep", false, "run a scenario sweep grid instead of the single Figure 10 comparison")
+	family := flag.String("family", "", "sweep over one workload-family scenario pack instead of the google-like mixes: "+strings.Join(trace.FamilyNames(), ", "))
+	traceFile := flag.String("trace", "", "sweep over a .csv/.csv.gz trace file instead of generating traces (streamed record-at-a-time)")
+	matrix := flag.Bool("matrix", false, "run the policy x scenario matrix: every workload family (or the -family/-trace pack) x every online policy under chaos")
+	matrixChaos := flag.String("matrix-chaos", "light", "fault preset of every -matrix cell: off, light or heavy")
 	workers := flag.Int("workers", 0, "worker goroutines; setting it implies -parallel (default with -parallel/-sweep: GOMAXPROCS)")
 	scales := flag.String("scales", "1", "comma-separated trace scale factors for -sweep (scale the fleet and task count)")
 	periods := flag.String("periods", "300", "comma-separated consolidation periods in seconds for -sweep")
@@ -73,7 +83,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(os.Stdout, *machines, *tasks, *horizon, *seed, *parallel, *sweep, *workers, *scales, *periods, *transitions, *rackmodel); err != nil {
+	if err := run(os.Stdout, *machines, *tasks, *horizon, *seed, *parallel, *sweep, *workers, *scales, *periods, *transitions, *rackmodel, *family, *traceFile, *matrix, *matrixChaos); err != nil {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
 	}
@@ -95,7 +105,7 @@ func main() {
 
 // run executes the tool against the given flag values, writing every report
 // to out — the entry point the golden-output test drives in-process.
-func run(out io.Writer, machines, tasks int, horizon, seed int64, parallel, sweep bool, workers int, scales, periods, transitions string, rackmodel bool) error {
+func run(out io.Writer, machines, tasks int, horizon, seed int64, parallel, sweep bool, workers int, scales, periods, transitions string, rackmodel bool, family, traceFile string, matrix bool, matrixChaos string) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be non-negative (got %d)", workers)
 	}
@@ -108,8 +118,21 @@ func run(out io.Writer, machines, tasks int, horizon, seed int64, parallel, swee
 		w = runtime.GOMAXPROCS(0)
 	}
 
-	if sweep {
-		return runSweep(out, machines, tasks, horizon, seed, w, scales, periods, transitionAxis, rackmodel)
+	if matrix {
+		if sweep {
+			return fmt.Errorf("-matrix and -sweep are mutually exclusive")
+		}
+		return runMatrix(out, machines, tasks, horizon, seed, w, family, traceFile, matrixChaos)
+	}
+	pack, err := loadScenarioTrace(machines, tasks, horizon, seed, family, traceFile)
+	if err != nil {
+		return err
+	}
+	if sweep || pack != nil {
+		// -family/-trace replace the generated google-like mixes, so they
+		// always take the sweep path: the Figure 10 facade generates its own
+		// two trace variants and has no injection point.
+		return runSweep(out, machines, tasks, horizon, seed, w, scales, periods, transitionAxis, rackmodel, pack)
 	}
 
 	cfg := zombieland.Fig10Config{
@@ -134,6 +157,62 @@ func run(out io.Writer, machines, tasks int, horizon, seed int64, parallel, swee
 	return nil
 }
 
+// loadScenarioTrace builds the pre-built workload selected by -family or
+// -trace, or returns nil when neither flag is set.
+func loadScenarioTrace(machines, tasks int, horizon, seed int64, family, traceFile string) (*trace.Trace, error) {
+	switch {
+	case family != "" && traceFile != "":
+		return nil, fmt.Errorf("-family and -trace are mutually exclusive")
+	case family != "":
+		return trace.GenerateFamily(family, trace.FamilyParams{
+			Machines: machines, HorizonSec: horizon, Tasks: tasks, Seed: seed,
+		})
+	case traceFile != "":
+		return trace.ImportFile(traceFile, trace.ImportOptions{})
+	}
+	return nil, nil
+}
+
+// runMatrix crosses the scenario packs (all workload families, or the single
+// -family/-trace pack) with the online policy roster under the chaos preset
+// and prints the policy×scenario matrix artifact.
+func runMatrix(out io.Writer, machines, tasks int, horizon, seed int64, workers int, family, traceFile, chaosName string) error {
+	pack, err := loadScenarioTrace(machines, tasks, horizon, seed, family, traceFile)
+	if err != nil {
+		return err
+	}
+	var packs []scenario.Pack
+	if pack != nil {
+		name := family
+		if name == "" {
+			name = pack.Name
+		}
+		packs = []scenario.Pack{{Name: name, Trace: pack}}
+	} else {
+		packs, err = scenario.FamilyPacks(trace.FamilyParams{
+			Machines: machines, HorizonSec: horizon, Tasks: tasks, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	policies := []string{"reactive", "hysteresis", "ewma"}
+	m, err := scenario.Run(scenario.MatrixConfig{
+		Packs:         packs,
+		Policies:      policies,
+		ChaosScenario: chaosName,
+		ChaosSeed:     seed,
+		Workers:       workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, m.Render())
+	fmt.Fprintf(out, "%d cells (%d scenarios x %d policies), %q chaos, %d workers. regret-%% = oracle - fault-free online; resil-regret-%% = fault-free - faulted saving.\n",
+		len(m.Cells), len(packs), len(policies), chaosName, workers)
+	return nil
+}
+
 // parseTransitionAxis maps the -transitions flag onto the runs to perform.
 func parseTransitionAxis(mode string) ([]bool, error) {
 	switch mode {
@@ -151,7 +230,7 @@ func parseTransitionAxis(mode string) ([]bool, error) {
 // runSweep builds the scenario grid {policy} × {machine} × {trace variant ×
 // scale} × {period} × {transition axis} and prints the per-run table plus the
 // per-policy summary.
-func runSweep(out io.Writer, machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string, transitionAxis []bool, rackmodel bool) error {
+func runSweep(out io.Writer, machines, tasks int, horizon, seed int64, workers int, scalesCSV, periodsCSV string, transitionAxis []bool, rackmodel bool, pack *trace.Trace) error {
 	scales, err := parseFloats(scalesCSV)
 	if err != nil {
 		return fmt.Errorf("-scales: %w", err)
@@ -160,8 +239,14 @@ func runSweep(out io.Writer, machines, tasks int, horizon, seed int64, workers i
 	if err != nil {
 		return fmt.Errorf("-periods: %w", err)
 	}
+	if pack != nil && scalesCSV != "1" {
+		return fmt.Errorf("-scales only applies to generated traces, not -family/-trace packs")
+	}
 
 	var traceCfgs []trace.GeneratorConfig
+	if pack != nil {
+		scales = nil
+	}
 	for _, scale := range scales {
 		if scale <= 0 {
 			return fmt.Errorf("-scales: scale %v must be positive", scale)
@@ -185,12 +270,16 @@ func runSweep(out io.Writer, machines, tasks int, horizon, seed int64, workers i
 		}
 	}
 
+	var packs []*trace.Trace
+	if pack != nil {
+		packs = []*trace.Trace{pack}
+	}
 	policies := consolidation.Contenders()
 	machineProfiles := energy.Profiles()
 	// The sweep pool alone saturates the CPU when the grid is at least as
 	// wide as the pool; only shard epochs inside each run when the grid is
 	// too small to occupy every worker.
-	cells := len(policies) * len(machineProfiles) * len(traceCfgs) * len(periodList) * len(transitionAxis)
+	cells := len(policies) * len(machineProfiles) * (len(traceCfgs) + len(packs)) * len(periodList) * len(transitionAxis)
 	engineWorkers := 0
 	if cells < workers {
 		engineWorkers = (workers + cells - 1) / cells
@@ -199,6 +288,7 @@ func runSweep(out io.Writer, machines, tasks int, horizon, seed int64, workers i
 		Policies:        policies,
 		Machines:        machineProfiles,
 		TraceConfigs:    traceCfgs,
+		Traces:          packs,
 		PeriodsSec:      periodList,
 		TransitionCosts: transitionAxis,
 		ServerSpec:      consolidation.DefaultServerSpec(),

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
@@ -38,7 +40,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // which the engine guarantees is bit-identical to sequential.
 func TestGoldenFigure10(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 40, 300, 4*3600, 42, false, false, 2, "1", "300", "both", false); err != nil {
+	if err := run(&buf, 40, 300, 4*3600, 42, false, false, 2, "1", "300", "both", false, "", "", false, "light"); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "dcsim", buf.Bytes())
@@ -47,8 +49,92 @@ func TestGoldenFigure10(t *testing.T) {
 // TestGoldenSweep pins the scenario-sweep tables on a small grid.
 func TestGoldenSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 30, 200, 2*3600, 42, false, true, 2, "1", "300,600", "off", false); err != nil {
+	if err := run(&buf, 30, 200, 2*3600, 42, false, true, 2, "1", "300,600", "off", false, "", "", false, "light"); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "dcsim_sweep", buf.Bytes())
+}
+
+// TestGoldenFamilySweep pins the sweep over a workload-family scenario pack:
+// -family replaces the generated google-like mixes with one family trace.
+func TestGoldenFamilySweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 30, 200, 2*3600, 42, false, false, 2, "1", "300", "off", false, "mlbatch", "", false, "light"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "dcsim_family", buf.Bytes())
+}
+
+// TestGoldenMatrix pins the dcsim -matrix artifact on a small grid, run with
+// two worker counts to hold the bit-identical-across-workers guarantee at the
+// CLI layer too.
+func TestGoldenMatrix(t *testing.T) {
+	var first []byte
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		if err := run(&buf, 30, 150, 2*3600, 42, false, false, workers, "1", "300", "off", false, "", "", true, "light"); err != nil {
+			t.Fatal(err)
+		}
+		// The trailer names the worker count; the matrix itself must not.
+		got := buf.Bytes()
+		if i := bytes.LastIndexByte(bytes.TrimRight(got, "\n"), '\n'); i >= 0 {
+			got = got[:i+1]
+		}
+		if first == nil {
+			first = got
+			continue
+		}
+		if !bytes.Equal(got, first) {
+			t.Fatalf("matrix with %d workers differs:\n%s\n--- vs ---\n%s", workers, got, first)
+		}
+	}
+	checkGolden(t, "dcsim_matrix", first)
+}
+
+// TestTraceFlagSweep routes an on-disk .csv.gz trace through the sweep.
+func TestTraceFlagSweep(t *testing.T) {
+	tr, err := trace.GenerateFamily("serverless", trace.FamilyParams{
+		Machines: 20, HorizonSec: 2 * 3600, Tasks: 120, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pack.csv.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeCSV(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 20, 120, 2*3600, 42, false, false, 2, "1", "300", "off", false, "", path, false, "light"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("imported")) {
+		t.Fatalf("sweep output does not mention the imported trace:\n%s", buf.Bytes())
+	}
+}
+
+// TestScenarioFlagErrors pins the validation of the new trace-source flags.
+func TestScenarioFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 30, 150, 2*3600, 42, false, false, 2, "1", "300", "off", false, "diurnal", "x.csv", false, "light"); err == nil {
+		t.Error("-family with -trace accepted")
+	}
+	if err := run(&buf, 30, 150, 2*3600, 42, false, false, 2, "1", "300", "off", false, "nope", "", false, "light"); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run(&buf, 30, 150, 2*3600, 42, false, false, 2, "0.5,1", "300", "off", false, "diurnal", "", false, "light"); err == nil {
+		t.Error("-scales with -family accepted")
+	}
+	if err := run(&buf, 30, 150, 2*3600, 42, false, true, 2, "1", "300", "off", false, "", "", true, "light"); err == nil {
+		t.Error("-matrix with -sweep accepted")
+	}
+	if err := run(&buf, 30, 150, 2*3600, 42, false, false, 2, "1", "300", "off", false, "", "", true, "nope"); err == nil {
+		t.Error("unknown -matrix-chaos preset accepted")
+	}
 }

@@ -12,6 +12,8 @@
 //	fleetsim -workers 8                        # fixed-size execution pool
 //	                                           #   (default 0: one worker per core)
 //	fleetsim -mix spark-sql,data-caching       # workload mix to rotate
+//	fleetsim -family heavytail -vms 12         # VM batch from a workload family
+//	fleetsim -trace cluster.csv.gz -vms 12     # VM batch from an on-disk trace
 //	fleetsim -chaos                            # scripted faults: crash, controller
 //	                                           #   kill, failed wake — with fault log
 //	fleetsim -obs                              # append the obs dump: metrics
@@ -29,6 +31,7 @@ import (
 	zombieland "repro"
 	"repro/internal/cliflag"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -39,6 +42,8 @@ func main() {
 	vms := flag.Int("vms", 6, "VMs to place across the fleet")
 	vmGiB := flag.Float64("vm-gib", 28, "VM reserved memory in GiB")
 	mix := flag.String("mix", "spark-sql,elasticsearch", "comma-separated workload mix rotated across the VMs")
+	family := flag.String("family", "", "derive the VM batch from the first -vms tasks of a workload family (seed 42) instead of the uniform -vm-gib batch: "+strings.Join(trace.FamilyNames(), ", "))
+	traceFile := flag.String("trace", "", "derive the VM batch from the first -vms tasks of a .csv/.csv.gz trace file")
 	workers := flag.Int("workers", 0, "worker-pool size for placement and workload execution (0 = every core, runtime.GOMAXPROCS)")
 	hours := flag.Float64("hours", 1, "simulated hours to account energy over")
 	iterations := flag.Int("iterations", 2, "paging-replay iterations per workload")
@@ -46,7 +51,7 @@ func main() {
 	obsOn := flag.Bool("obs", false, "attach the observability layer and append its dump: metrics snapshot + deterministic NDJSON event trace")
 	flag.Parse()
 
-	if err := run(os.Stdout, *racks, *servers, *zombies, *memGiB, *vms, *vmGiB, *mix, *workers, *hours, *iterations, *chaosOn, *obsOn); err != nil {
+	if err := run(os.Stdout, *racks, *servers, *zombies, *memGiB, *vms, *vmGiB, *mix, *family, *traceFile, *workers, *hours, *iterations, *chaosOn, *obsOn); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
@@ -81,7 +86,48 @@ func parseMix(csv string) ([]zombieland.Workload, error) {
 	return kinds, nil
 }
 
-func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64, mix string, workers int, hours float64, iterations int, chaosOn, obsOn bool) error {
+// vmSpecs builds the VM batch: the uniform -vm-gib batch by default, or VMs
+// derived from the first -vms tasks of a workload family / imported trace —
+// reserved memory from the task's booking, working set from its usage.
+func vmSpecs(vms int, vmGiB float64, family, traceFile string, machines int, hours float64) ([]zombieland.VM, error) {
+	var tr *zombieland.Trace
+	var err error
+	switch {
+	case family != "" && traceFile != "":
+		return nil, fmt.Errorf("-family and -trace are mutually exclusive")
+	case family != "":
+		tr, err = trace.GenerateFamily(family, trace.FamilyParams{
+			Machines: machines, HorizonSec: int64(hours * 3600), Tasks: vms, Seed: 42,
+		})
+	case traceFile != "":
+		tr, err = trace.ImportFile(traceFile, trace.ImportOptions{})
+	default:
+		var specs []zombieland.VM
+		for i := 0; i < vms; i++ {
+			specs = append(specs, zombieland.NewVM(fmt.Sprintf("vm-%02d", i),
+				int64(vmGiB*float64(1<<30)), int64(vmGiB*0.75*float64(1<<30))))
+		}
+		return specs, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(tr.Tasks) < vms {
+		return nil, fmt.Errorf("trace %q has only %d tasks, need -vms %d", tr.Name, len(tr.Tasks), vms)
+	}
+	var specs []zombieland.VM
+	for _, task := range tr.Tasks[:vms] {
+		wss := task.UsedMemGiB
+		if wss <= 0 || wss > task.BookedMemGiB {
+			wss = task.BookedMemGiB * 0.75
+		}
+		specs = append(specs, zombieland.NewVM(task.VMID(),
+			int64(task.BookedMemGiB*float64(1<<30)), int64(wss*float64(1<<30))))
+	}
+	return specs, nil
+}
+
+func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64, mix, family, traceFile string, workers int, hours float64, iterations int, chaosOn, obsOn bool) error {
 	// Upfront flag validation with the valid ranges (shared helpers, the
 	// same messages as onlinesim/fleetload), so a bad invocation fails
 	// before any fleet state is built.
@@ -101,6 +147,10 @@ func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64,
 		return fmt.Errorf("-zombies %d must leave at least one active server per rack (-servers %d)", zombies, servers)
 	}
 	kinds, err := parseMix(mix)
+	if err != nil {
+		return err
+	}
+	specs, err := vmSpecs(vms, vmGiB, family, traceFile, racks*servers, hours)
 	if err != nil {
 		return err
 	}
@@ -154,11 +204,6 @@ func run(out io.Writer, racks, servers, zombies, memGiB, vms int, vmGiB float64,
 		chaosEvents.AddRow("server-crash", crashedServer, "placement must route around it")
 	}
 
-	var specs []zombieland.VM
-	for i := 0; i < vms; i++ {
-		specs = append(specs, zombieland.NewVM(fmt.Sprintf("vm-%02d", i),
-			int64(vmGiB*float64(1<<30)), int64(vmGiB*0.75*float64(1<<30))))
-	}
 	placements, err := f.PlaceVMs(specs, zombieland.CreateVMOptions{})
 	if err != nil {
 		return err

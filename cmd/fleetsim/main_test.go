@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
@@ -38,7 +40,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // too.
 func TestGoldenFleetScenario(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", 2, 1, 1, true, false); err != nil {
+	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", "", "", 2, 1, 1, true, false); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "fleetsim_chaos", buf.Bytes())
@@ -49,7 +51,7 @@ func TestGoldenFleetScenario(t *testing.T) {
 // fixed invocation, so the whole report is golden-testable.
 func TestGoldenFleetScenarioObs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", 2, 1, 1, true, true); err != nil {
+	if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", "", "", 2, 1, 1, true, true); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "fleetsim_chaos_obs", buf.Bytes())
@@ -62,7 +64,7 @@ func TestGoldenFleetScenarioObs(t *testing.T) {
 func TestObsDumpByteStable(t *testing.T) {
 	render := func(workers int) []byte {
 		var buf bytes.Buffer
-		if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", workers, 1, 1, true, true); err != nil {
+		if err := run(&buf, 2, 3, 1, 16, 3, 20, "spark-sql,elasticsearch", "", "", workers, 1, 1, true, true); err != nil {
 			t.Fatal(err)
 		}
 		i := bytes.Index(buf.Bytes(), []byte("--- obs metrics ---"))
@@ -77,5 +79,58 @@ func TestObsDumpByteStable(t *testing.T) {
 	}
 	if seq := render(1); !bytes.Equal(a, seq) {
 		t.Error("-obs dump diverged across -workers values")
+	}
+}
+
+// TestGoldenFamilyBatch pins the fleet report when the VM batch comes from a
+// workload family: per-task bookings replace the uniform -vm-gib batch.
+func TestGoldenFamilyBatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 3, 1, 16, 4, 20, "spark-sql,elasticsearch", "heavytail", "", 2, 1, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fleetsim_family", buf.Bytes())
+}
+
+// TestTraceFlagBatch derives the batch from an on-disk .csv.gz trace and
+// checks the trace's task IDs reach the placement table.
+func TestTraceFlagBatch(t *testing.T) {
+	tr, err := trace.GenerateFamily("serverless", trace.FamilyParams{
+		Machines: 6, HorizonSec: 3600, Tasks: 8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.csv.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeCSV(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 3, 1, 16, 4, 20, "spark-sql,elasticsearch", "", path, 2, 1, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(tr.Tasks[0].VMID())) {
+		t.Fatalf("placement table does not show the trace's task IDs:\n%s", buf.Bytes())
+	}
+}
+
+// TestVMSpecsErrors pins the trace-source validation of the batch builder.
+func TestVMSpecsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 3, 1, 16, 4, 20, "spark-sql,elasticsearch", "diurnal", "x.csv", 2, 1, 1, false, false); err == nil {
+		t.Error("-family with -trace accepted")
+	}
+	if err := run(&buf, 2, 3, 1, 16, 4, 20, "spark-sql,elasticsearch", "nope", "", 2, 1, 1, false, false); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run(&buf, 2, 3, 1, 16, 4, 20, "spark-sql,elasticsearch", "", filepath.Join(t.TempDir(), "missing.csv"), 2, 1, 1, false, false); err == nil {
+		t.Error("missing trace file accepted")
 	}
 }

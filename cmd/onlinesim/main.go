@@ -15,6 +15,8 @@
 //	onlinesim -policy hysteresis               # one policy, full regret report
 //	onlinesim -planner oasis -machine dell     # different planner / power profile
 //	onlinesim -tick 600 -hours 12 -seed 7      # control loop and trace knobs
+//	onlinesim -family flashcrowd               # a workload-family scenario
+//	onlinesim -trace cluster.csv.gz            # replay an imported trace file
 //	onlinesim -execute -racks 25 -servers 8    # mirror decisions onto a live fleet
 //	onlinesim -chaos light                     # resilience under a fault schedule
 //	onlinesim -chaos all -chaos-seed 7         # off/light/heavy severity sweep
@@ -47,6 +49,8 @@ func main() {
 	hours := flag.Float64("hours", 24, "trace horizon in hours")
 	seed := flag.Int64("seed", 42, "trace generator seed (the report is bit-reproducible per seed)")
 	modified := flag.Bool("modified", false, "use the paper's memory-heavy modified traces")
+	family := flag.String("family", "", "generate the trace from a workload family instead: "+strings.Join(trace.FamilyNames(), ", "))
+	traceFile := flag.String("trace", "", "replay a .csv/.csv.gz trace file instead of generating one (fleet size and horizon are derived; streamed record-at-a-time)")
 	tick := flag.Int64("tick", 300, "re-planning tick of the online loop in seconds")
 	policy := flag.String("policy", "all", "online policy: reactive, hysteresis, ewma or all")
 	planner := flag.String("planner", "zombiestack", "base consolidation planner: neat, oasis or zombiestack")
@@ -60,13 +64,13 @@ func main() {
 	obsOn := flag.Bool("obs", false, "attach the observability layer and append its dump: metrics snapshot + deterministic NDJSON event trace")
 	flag.Parse()
 
-	if err := run(os.Stdout, *machines, *tasks, *hours, *seed, *modified, *tick, *policy, *planner, *machine, *execute, *racks, *servers, *memGiB, *chaosMode, *chaosSeed, *obsOn); err != nil {
+	if err := run(os.Stdout, *machines, *tasks, *hours, *seed, *modified, *family, *traceFile, *tick, *policy, *planner, *machine, *execute, *racks, *servers, *memGiB, *chaosMode, *chaosSeed, *obsOn); err != nil {
 		fmt.Fprintln(os.Stderr, "onlinesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified bool, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int, chaosMode string, chaosSeed int64, obsOn bool) error {
+func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified bool, family, traceFile string, tick int64, policy, planner, machine string, execute bool, racks, servers, memGiB int, chaosMode string, chaosSeed int64, obsOn bool) error {
 	// Upfront flag validation with the valid ranges (shared helpers, the
 	// same messages as fleetsim/fleetload), so a bad invocation fails
 	// before any simulation state is built.
@@ -86,10 +90,12 @@ func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified
 		); err != nil {
 			return err
 		}
-		if racks*servers != machines {
-			return fmt.Errorf("-racks %d x -servers %d = %d servers, but the trace fleet has %d machines",
-				racks, servers, racks*servers, machines)
-		}
+	}
+	if family != "" && traceFile != "" {
+		return fmt.Errorf("-family and -trace are mutually exclusive")
+	}
+	if modified && (family != "" || traceFile != "") {
+		return fmt.Errorf("-modified applies to the built-in generator only; drop it with -family/-trace")
 	}
 	var chaosScenarios []string
 	switch chaosMode {
@@ -132,20 +138,36 @@ func run(out io.Writer, machines, tasks int, hours float64, seed int64, modified
 		return fmt.Errorf("unknown -policy %q (valid: reactive, hysteresis, ewma, all)", policy)
 	}
 
-	gc := trace.DefaultConfig()
-	if modified {
-		gc = trace.ModifiedConfig()
+	var tr *trace.Trace
+	switch {
+	case family != "":
+		tr, err = trace.GenerateFamily(family, trace.FamilyParams{
+			Machines: machines, HorizonSec: int64(hours * 3600), Tasks: tasks, Seed: seed,
+		})
+	case traceFile != "":
+		// Streams the file record-at-a-time (gzip sniffed); fleet size and
+		// horizon are derived from the tasks themselves.
+		tr, err = trace.ImportFile(traceFile, trace.ImportOptions{})
+	default:
+		gc := trace.DefaultConfig()
+		if modified {
+			gc = trace.ModifiedConfig()
+		}
+		gc.Machines = machines
+		gc.Tasks = tasks
+		gc.HorizonSec = int64(hours * 3600)
+		gc.Seed = seed
+		tr, err = trace.Generate(gc)
 	}
-	gc.Machines = machines
-	gc.Tasks = tasks
-	gc.HorizonSec = int64(hours * 3600)
-	gc.Seed = seed
-	tr, err := trace.Generate(gc)
 	if err != nil {
 		return err
 	}
+	if execute && racks*servers != tr.Machines {
+		return fmt.Errorf("-racks %d x -servers %d = %d servers, but the trace fleet has %d machines",
+			racks, servers, racks*servers, tr.Machines)
+	}
 	fmt.Fprintf(out, "Trace %s: %d machines, %d tasks over %.1f h (seed %d). Online tick %d s, planner %s, %s profile.\n\n",
-		tr.Name, tr.Machines, len(tr.Tasks), hours, seed, tick, base.Name(), profile.Name)
+		tr.Name, tr.Machines, len(tr.Tasks), float64(tr.HorizonSec)/3600, seed, tick, base.Name(), profile.Name)
 
 	cfg := autopilot.Config{
 		Trace:      tr,

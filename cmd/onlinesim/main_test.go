@@ -5,7 +5,10 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files with the current output")
@@ -36,7 +39,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // small fixed-seed trace.
 func TestGoldenRegretComparison(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 40, 300, 4, 42, false, 600, "all", "zombiestack", "hp",
+	if err := run(&buf, 40, 300, 4, 42, false, "", "", 600, "all", "zombiestack", "hp",
 		false, 0, 0, 0, "", 42, false); err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +51,7 @@ func TestGoldenRegretComparison(t *testing.T) {
 // snapshot are all deterministic, so the whole report is golden-testable.
 func TestGoldenObsDump(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 40, 300, 4, 42, false, 600, "hysteresis", "zombiestack", "hp",
+	if err := run(&buf, 40, 300, 4, 42, false, "", "", 600, "hysteresis", "zombiestack", "hp",
 		false, 0, 0, 0, "heavy", 42, true); err != nil {
 		t.Fatal(err)
 	}
@@ -63,9 +66,79 @@ func TestGoldenObsDump(t *testing.T) {
 // one policy — the resilience table format and its numbers.
 func TestGoldenChaosAxis(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 40, 300, 4, 42, false, 600, "hysteresis", "zombiestack", "hp",
+	if err := run(&buf, 40, 300, 4, 42, false, "", "", 600, "hysteresis", "zombiestack", "hp",
 		false, 0, 0, 0, "all", 42, false); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "onlinesim_chaos", buf.Bytes())
+}
+
+// TestGoldenFamily pins the regret comparison on a workload-family scenario,
+// the -family axis of the scenario engine.
+func TestGoldenFamily(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 40, 300, 4, 42, false, "flashcrowd", "", 600, "all", "zombiestack", "hp",
+		false, 0, 0, 0, "", 42, false); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "onlinesim_family", buf.Bytes())
+}
+
+// TestTraceFlagStreams100kTasks is the huge-trace acceptance path: a
+// 100k-task .csv.gz written by the family engine replays through the full
+// online control plane via -trace. The importer's bounded-memory contract
+// itself is pinned by the allocation regression test in internal/trace;
+// here the point is the end-to-end wiring at scale.
+func TestTraceFlagStreams100kTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-task replay in -short mode")
+	}
+	tr, err := trace.GenerateFamily("serverless", trace.FamilyParams{
+		Machines: 200, HorizonSec: 24 * 3600, Tasks: 100_000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "huge.csv.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EncodeCSV(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 1, 1, 42, false, "", path, 3600, "reactive", "neat", "hp",
+		false, 0, 0, 0, "", 42, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "100000 tasks") {
+		t.Fatalf("run did not report the full task count:\n%s", out)
+	}
+}
+
+// TestFamilyTraceFlagErrors pins the mutual-exclusion and pass-through
+// validation of the new trace-source flags.
+func TestFamilyTraceFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 40, 300, 4, 42, false, "diurnal", "x.csv", 600, "all", "zombiestack", "hp",
+		false, 0, 0, 0, "", 42, false); err == nil {
+		t.Error("-family with -trace accepted")
+	}
+	if err := run(&buf, 40, 300, 4, 42, true, "diurnal", "", 600, "all", "zombiestack", "hp",
+		false, 0, 0, 0, "", 42, false); err == nil {
+		t.Error("-modified with -family accepted")
+	}
+	if err := run(&buf, 40, 300, 4, 42, false, "nope", "", 600, "all", "zombiestack", "hp",
+		false, 0, 0, 0, "", 42, false); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run(&buf, 40, 300, 4, 42, false, "", filepath.Join(t.TempDir(), "missing.csv"), 600,
+		"all", "zombiestack", "hp", false, 0, 0, 0, "", 42, false); err == nil {
+		t.Error("missing trace file accepted")
+	}
 }

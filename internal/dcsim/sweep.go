@@ -29,6 +29,11 @@ type SweepConfig struct {
 	// original and memory-heavy Google-like traces at several scales). Each
 	// config is generated exactly once and shared read-only by the runs.
 	TraceConfigs []trace.GeneratorConfig
+	// Traces are pre-built workload columns appended after the generated ones
+	// — scenario packs from the family engine (trace.GenerateFamily) or
+	// imported cluster traces (trace.Import). Shared read-only by the runs;
+	// at least one of TraceConfigs and Traces must be non-empty.
+	Traces []*trace.Trace
 	// PeriodsSec are the consolidation periods to sweep.
 	PeriodsSec []int64
 	// TransitionCosts is the transition-cost axis: each entry runs the grid
@@ -70,8 +75,8 @@ func (c *SweepConfig) validate() error {
 		return fmt.Errorf("dcsim: sweep needs at least one policy")
 	case len(c.Machines) == 0:
 		return fmt.Errorf("dcsim: sweep needs at least one machine profile")
-	case len(c.TraceConfigs) == 0:
-		return fmt.Errorf("dcsim: sweep needs at least one trace config")
+	case len(c.TraceConfigs) == 0 && len(c.Traces) == 0:
+		return fmt.Errorf("dcsim: sweep needs at least one trace config or pre-built trace")
 	case len(c.PeriodsSec) == 0:
 		return fmt.Errorf("dcsim: sweep needs at least one consolidation period")
 	}
@@ -98,13 +103,22 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	traces := make([]*trace.Trace, len(cfg.TraceConfigs))
+	traces := make([]*trace.Trace, len(cfg.TraceConfigs), len(cfg.TraceConfigs)+len(cfg.Traces))
 	for i, tc := range cfg.TraceConfigs {
 		tr, err := trace.Generate(tc)
 		if err != nil {
 			return nil, fmt.Errorf("dcsim: sweep trace %q: %w", tc.Name, err)
 		}
 		traces[i] = tr
+	}
+	for _, tr := range cfg.Traces {
+		if tr == nil {
+			return nil, fmt.Errorf("dcsim: sweep given a nil pre-built trace")
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("dcsim: sweep trace %q: %w", tr.Name, err)
+		}
+		traces = append(traces, tr)
 	}
 
 	// A zero-value spec gets the default; a partially-set spec is passed

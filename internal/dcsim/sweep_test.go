@@ -163,3 +163,50 @@ func TestSweepValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepPreBuiltTraces runs the grid over scenario packs from the family
+// engine: pre-built traces join the grid after the generated columns, in the
+// order given, and a nil or invalid pack is rejected upfront.
+func TestSweepPreBuiltTraces(t *testing.T) {
+	packParams := trace.FamilyParams{Machines: 40, HorizonSec: 4 * 3600, Tasks: 300, Seed: 42}
+	var packs []*trace.Trace
+	for _, name := range []string{"diurnal", "serverless"} {
+		tr, err := trace.GenerateFamily(name, packParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packs = append(packs, tr)
+	}
+	cfg := smallSweepConfig()
+	cfg.TraceConfigs = cfg.TraceConfigs[:1]
+	cfg.Traces = packs
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTrace := len(cfg.Policies) * len(cfg.Machines) * len(cfg.PeriodsSec)
+	if want := 3 * perTrace; len(res.Runs) != want {
+		t.Fatalf("sweep produced %d runs, want %d", len(res.Runs), want)
+	}
+	// Generated columns first, then the packs in the order given.
+	for i, name := range []string{cfg.TraceConfigs[0].Name, "diurnal", "serverless"} {
+		for j := 0; j < perTrace; j++ {
+			if run := res.Runs[i*perTrace+j]; run.Trace != name {
+				t.Fatalf("run %d on trace %q, want %q", i*perTrace+j, run.Trace, name)
+			}
+		}
+	}
+	// Pack-only grids are valid; nil and invalid packs are not.
+	cfg.TraceConfigs = nil
+	if _, err := Sweep(cfg); err != nil {
+		t.Fatalf("pack-only sweep: %v", err)
+	}
+	cfg.Traces = []*trace.Trace{nil}
+	if _, err := Sweep(cfg); err == nil {
+		t.Fatal("nil pack accepted")
+	}
+	cfg.Traces = []*trace.Trace{{Name: "broken", Machines: 0, HorizonSec: 100}}
+	if _, err := Sweep(cfg); err == nil {
+		t.Fatal("invalid pack accepted")
+	}
+}

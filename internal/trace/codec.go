@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bufio"
 	"compress/gzip"
 	"io"
 )
@@ -33,18 +32,8 @@ func (tr *Trace) EncodeCSV(w io.Writer, compress bool) error {
 // DecodeCSV decodes tasks from CSV produced by EncodeCSV/WriteCSV,
 // transparently inflating gzip input by sniffing the magic bytes; plain CSV
 // passes straight through. Machines and HorizonSec must be set by the caller,
-// as with ReadCSV.
+// as with ReadCSV — which this delegates to, sharing the streaming Reader
+// (validation and duplicate-ID rejection included).
 func DecodeCSV(r io.Reader) ([]Task, error) {
-	br := bufio.NewReader(r)
-	magic, err := br.Peek(2)
-	if err == nil && magic[0] == gzipMagic[0] && magic[1] == gzipMagic[1] {
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, err
-		}
-		defer zr.Close()
-		return ReadCSV(zr)
-	}
-	// A short (or empty) stream cannot be gzip; let the CSV reader handle it.
-	return ReadCSV(br)
+	return ReadCSV(r)
 }

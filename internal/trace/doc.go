@@ -19,5 +19,13 @@
 //   - a streaming arrival feed (Stream) that yields arrivals and departures
 //     one event at a time in causal order, the input of the online control
 //     plane (internal/autopilot), which must never see the future or the
-//     materialized population.
+//     materialized population;
+//   - a scenario engine of seeded workload families (Family, GenerateFamily):
+//     diurnal sinusoid, flash-crowd bursts, serverless short tasks,
+//     gang-scheduled ML batches and heavy-tail Pareto sizes, composable via
+//     Compose/Overlay into mixed workloads with disjoint ID namespaces;
+//   - a record-at-a-time importer (Import, ImportFile, Reader) for .csv and
+//     .csv.gz traces bigger than RAM, with pluggable column schemas (Schema;
+//     ClusterSchema adapts the public cluster-trace layout) and row-numbered
+//     rejection of malformed tasks and duplicate IDs.
 package trace

@@ -80,6 +80,64 @@ func FuzzDecodeCSV(f *testing.F) {
 	})
 }
 
+// FuzzImport feeds arbitrary bytes to the streaming importer under both
+// bundled schemas: it must never panic, anything it accepts must pass
+// Trace.Validate (Import's contract), and an accepted trace must survive a
+// re-encode -> re-import round trip byte-identically — the derived fleet
+// size and horizon included, since the matrix artifacts hash on them.
+func FuzzImport(f *testing.F) {
+	small, err := GenerateFamily("flashcrowd", FamilyParams{Machines: 4, HorizonSec: 3600, Tasks: 6, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var plain, gz bytes.Buffer
+	if err := small.EncodeCSV(&plain, false); err != nil {
+		f.Fatal(err)
+	}
+	if err := small.EncodeCSV(&gz, true); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(gz.Bytes())
+	f.Add([]byte("vm_id,tenant_id,created_sec,deleted_sec,core_count,memory_gb,avg_cpu_pct,avg_mem_pct\n7,1,0,3600,4,16,25,50\n"))
+	f.Add([]byte("1,1,0,60,1,2,0.5,1\n2,1,30,90,2,4,1,2\n"))
+	f.Add([]byte("1,1,0,60,1,2,0.5,1\n1,2,0,60,1,2,0.5,1\n")) // duplicate ID
+	f.Add([]byte("1,1,60,0,1,2,0.5,1\n"))                     // ends before it starts
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00})                     // truncated gzip
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, schema := range []Schema{nil, ClusterSchema()} {
+			tr, err := Import(bytes.NewReader(data), ImportOptions{Schema: schema})
+			if err != nil {
+				continue // rejected input is fine; panics are not
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("import accepted an invalid trace: %v", err)
+			}
+			var first bytes.Buffer
+			if err := tr.EncodeCSV(&first, false); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			again, err := Import(bytes.NewReader(first.Bytes()), ImportOptions{})
+			if err != nil {
+				t.Fatalf("importer rejected its own encoder's output: %v\n%s", err, first.Bytes())
+			}
+			if again.Machines != tr.Machines || again.HorizonSec != tr.HorizonSec {
+				t.Fatalf("derived metadata not stable: %d/%d then %d/%d",
+					tr.Machines, tr.HorizonSec, again.Machines, again.HorizonSec)
+			}
+			var second bytes.Buffer
+			if err := again.EncodeCSV(&second, false); err != nil {
+				t.Fatalf("second encode: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("import round trip not stable:\n first %q\nsecond %q", first.Bytes(), second.Bytes())
+			}
+		}
+	})
+}
+
 // fuzzTasks derives a small, always-valid task set from raw fuzz bytes:
 // three bytes drive each task's start and duration, IDs are sequential.
 func fuzzTasks(data []byte) []Task {

@@ -159,10 +159,12 @@ type GeneratorConfig struct {
 	// MemoryToCPURatio is the booked memory (GiB) per booked CPU core. In the
 	// Google traces memory demand saturates before CPU relative to the
 	// servers' capacity (the paper's premise); the default reproduces that.
-	// The paper's modified set doubles the memory demand.
+	// The paper's modified set doubles the memory demand. Zero selects the
+	// default (3.0); negative values are rejected.
 	MemoryToCPURatio float64
 	// MeanUtilization is the ratio of used to booked resources (DC tasks
-	// typically use well under half of what they book).
+	// typically use well under half of what they book). Zero selects the
+	// default (0.35); values outside (0, 1] are rejected.
 	MeanUtilization float64
 	// IdleFraction is the fraction of tasks that are practically idle (CPU
 	// utilization below 1%) but still hold their memory — the population
@@ -196,19 +198,29 @@ func ModifiedConfig() GeneratorConfig {
 	return cfg
 }
 
-// Generate builds a synthetic trace.
+// Generate builds a synthetic trace. Zero-valued MemoryToCPURatio and
+// MeanUtilization take the DefaultConfig values; explicitly out-of-range
+// tuning is rejected upfront with the valid range (the cliflag idiom) rather
+// than silently rewritten, so a typo'd experiment config fails loudly instead
+// of producing a subtly different workload.
 func Generate(cfg GeneratorConfig) (*Trace, error) {
 	if cfg.Machines <= 0 || cfg.Tasks <= 0 || cfg.HorizonSec <= 0 {
 		return nil, fmt.Errorf("trace: generator needs positive machines, tasks and horizon")
 	}
-	if cfg.MemoryToCPURatio <= 0 {
-		cfg.MemoryToCPURatio = 1
+	if cfg.MemoryToCPURatio == 0 {
+		cfg.MemoryToCPURatio = 3.0
 	}
-	if cfg.MeanUtilization <= 0 || cfg.MeanUtilization > 1 {
+	if cfg.MeanUtilization == 0 {
 		cfg.MeanUtilization = 0.35
 	}
+	if cfg.MemoryToCPURatio < 0 {
+		return nil, fmt.Errorf("trace: generator MemoryToCPURatio %g out of range (need > 0)", cfg.MemoryToCPURatio)
+	}
+	if cfg.MeanUtilization < 0 || cfg.MeanUtilization > 1 {
+		return nil, fmt.Errorf("trace: generator MeanUtilization %g out of range (need 0 < u <= 1)", cfg.MeanUtilization)
+	}
 	if cfg.IdleFraction < 0 || cfg.IdleFraction >= 1 {
-		cfg.IdleFraction = 0
+		return nil, fmt.Errorf("trace: generator IdleFraction %g out of range (need 0 <= f < 1)", cfg.IdleFraction)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tr := &Trace{Name: cfg.Name, Machines: cfg.Machines, HorizonSec: cfg.HorizonSec}
@@ -306,53 +318,25 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV decodes tasks from CSV produced by WriteCSV (or converted from the
-// real Google traces). Machines and HorizonSec must be set by the caller.
+// real Google traces), record-at-a-time through Reader: raw records are never
+// materialized in bulk, every task must pass Task.Validate, and duplicate
+// task IDs — whose task-%d VMIDs would silently merge distinct VMs in both
+// the offline replayer and the online admitted set — are rejected with the
+// offending row numbers. Machines and HorizonSec must be set by the caller.
 func ReadCSV(r io.Reader) ([]Task, error) {
-	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
+	rd, err := NewReader(r, nil)
 	if err != nil {
 		return nil, err
 	}
-	if len(records) == 0 {
-		return nil, nil
-	}
-	start := 0
-	if records[0][0] == csvHeader[0] {
-		start = 1
-	}
 	var tasks []Task
-	for i := start; i < len(records); i++ {
-		rec := records[i]
-		if len(rec) != len(csvHeader) {
-			return nil, fmt.Errorf("trace: row %d has %d columns, want %d", i, len(rec), len(csvHeader))
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return tasks, nil
 		}
-		var t Task
-		var err error
-		if t.ID, err = strconv.Atoi(rec[0]); err != nil {
-			return nil, fmt.Errorf("trace: row %d id: %w", i, err)
-		}
-		if t.JobID, err = strconv.Atoi(rec[1]); err != nil {
-			return nil, fmt.Errorf("trace: row %d job: %w", i, err)
-		}
-		if t.StartSec, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d start: %w", i, err)
-		}
-		if t.EndSec, err = strconv.ParseInt(rec[3], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d end: %w", i, err)
-		}
-		if t.BookedCPU, err = strconv.ParseFloat(rec[4], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d booked cpu: %w", i, err)
-		}
-		if t.BookedMemGiB, err = strconv.ParseFloat(rec[5], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d booked mem: %w", i, err)
-		}
-		if t.UsedCPU, err = strconv.ParseFloat(rec[6], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d used cpu: %w", i, err)
-		}
-		if t.UsedMemGiB, err = strconv.ParseFloat(rec[7], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d used mem: %w", i, err)
+		if err != nil {
+			return nil, err
 		}
 		tasks = append(tasks, t)
 	}
-	return tasks, nil
 }

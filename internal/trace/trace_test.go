@@ -111,12 +111,36 @@ func TestGenerateValidation(t *testing.T) {
 	if _, err := Generate(bad); err == nil {
 		t.Error("zero horizon should fail")
 	}
-	// Degenerate ratio and utilization fall back to sane defaults.
-	odd := DefaultConfig()
-	odd.MemoryToCPURatio = -1
-	odd.MeanUtilization = 5
-	if _, err := Generate(odd); err != nil {
-		t.Error(err)
+	// Out-of-range tuning is rejected upfront with the valid range — no more
+	// silent rewrites to defaults.
+	for _, tc := range []struct {
+		name string
+		mut  func(*GeneratorConfig)
+		want string
+	}{
+		{"negative ratio", func(c *GeneratorConfig) { c.MemoryToCPURatio = -1 }, "MemoryToCPURatio -1 out of range"},
+		{"utilization above 1", func(c *GeneratorConfig) { c.MeanUtilization = 5 }, "MeanUtilization 5 out of range"},
+		{"negative utilization", func(c *GeneratorConfig) { c.MeanUtilization = -0.5 }, "MeanUtilization -0.5 out of range"},
+		{"negative idle fraction", func(c *GeneratorConfig) { c.IdleFraction = -0.1 }, "IdleFraction -0.1 out of range"},
+		{"idle fraction of 1", func(c *GeneratorConfig) { c.IdleFraction = 1 }, "IdleFraction 1 out of range"},
+	} {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		_, err := Generate(cfg)
+		if err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the range (want %q)", tc.name, err, tc.want)
+		}
+	}
+	// The zero value still means "use the default", so round-tripped configs
+	// that never set the tuning fields keep working.
+	zero := DefaultConfig()
+	zero.MemoryToCPURatio = 0
+	zero.MeanUtilization = 0
+	zero.IdleFraction = 0
+	if _, err := Generate(zero); err != nil {
+		t.Errorf("zero-valued tuning should take defaults, got %v", err)
 	}
 }
 

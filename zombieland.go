@@ -32,6 +32,7 @@
 package zombieland
 
 import (
+	"io"
 	"net/http"
 
 	"repro/internal/acpi"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pagepolicy"
 	"repro/internal/placement"
+	"repro/internal/scenario"
 	"repro/internal/swapdev"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -240,6 +242,95 @@ func GenerateTrace(modified bool, machines, tasks int, horizonSec int64, seed in
 		cfg.Seed = seed
 	}
 	return trace.Generate(cfg)
+}
+
+// WorkloadFamily is a seeded, deterministic workload generator: a named
+// scenario shape (diurnal, flashcrowd, serverless, mlbatch, heavytail) that
+// builds a full Trace from one envelope of parameters.
+type WorkloadFamily = trace.Family
+
+// FamilyParams is the envelope shared by every workload family: fleet size,
+// horizon, task budget and seed.
+type FamilyParams = trace.FamilyParams
+
+// GenerateFamily builds a trace from the named workload family ("mix"
+// composes all of them into one trace).
+func GenerateFamily(name string, p FamilyParams) (*Trace, error) {
+	return trace.GenerateFamily(name, p)
+}
+
+// WorkloadFamilies returns the bundled families in canonical order.
+func WorkloadFamilies() []WorkloadFamily { return trace.Families() }
+
+// WorkloadFamilyNames lists the valid GenerateFamily names, including "mix".
+func WorkloadFamilyNames() []string { return trace.FamilyNames() }
+
+// ComposeFamilies merges several families into one: the task budget is split
+// across the parts and the resulting traces are overlaid with disjoint task
+// and job ID namespaces.
+func ComposeFamilies(name string, parts ...WorkloadFamily) WorkloadFamily {
+	return trace.Compose(name, parts...)
+}
+
+// OverlayTraces merges already-generated traces into one workload,
+// renumbering task and job IDs into disjoint ranges.
+func OverlayTraces(name string, parts ...*Trace) (*Trace, error) {
+	return trace.Overlay(name, parts...)
+}
+
+// TraceImportOptions tunes ImportTrace / ImportTraceFile (schema, name,
+// fleet-size and horizon overrides).
+type TraceImportOptions = trace.ImportOptions
+
+// TraceSchema maps one external CSV record layout onto tasks; see
+// ClusterTraceSchema for the bundled public-cluster-trace adapter.
+type TraceSchema = trace.Schema
+
+// ImportTrace streams a .csv or .csv.gz task trace from r record at a time
+// (gzip is sniffed from the magic bytes, rows validate as they decode) and
+// returns the assembled trace with the fleet size and horizon derived from
+// the workload unless overridden.
+func ImportTrace(r io.Reader, opts TraceImportOptions) (*Trace, error) {
+	return trace.Import(r, opts)
+}
+
+// ImportTraceFile imports a trace from a file path; see ImportTrace.
+func ImportTraceFile(path string, opts TraceImportOptions) (*Trace, error) {
+	return trace.ImportFile(path, opts)
+}
+
+// ClusterTraceSchema decodes the public cluster-trace CSV layout
+// (vm_id,tenant_id,created_sec,deleted_sec,core_count,memory_gb,
+// avg_cpu_pct,avg_mem_pct) instead of the native one.
+func ClusterTraceSchema() TraceSchema { return trace.ClusterSchema() }
+
+// ScenarioPack is one column of the policy×scenario matrix: a named,
+// ready-to-replay workload.
+type ScenarioPack = scenario.Pack
+
+// ScenarioMatrixConfig parameterises RunScenarioMatrix.
+type ScenarioMatrixConfig = scenario.MatrixConfig
+
+// ScenarioMatrix is the policy×scenario grid of chaos reports; Render
+// formats it as the golden artifact.
+type ScenarioMatrix = scenario.Matrix
+
+// ScenarioFamilyPacks builds one matrix column per bundled workload family.
+func ScenarioFamilyPacks(p FamilyParams) ([]ScenarioPack, error) {
+	return scenario.FamilyPacks(p)
+}
+
+// DefaultScenarioMatrixConfig crosses all families with the online policy
+// roster under light chaos — the golden-artifact grid.
+func DefaultScenarioMatrixConfig() (ScenarioMatrixConfig, error) {
+	return scenario.DefaultMatrixConfig()
+}
+
+// RunScenarioMatrix replays every scenario pack under every online policy
+// with chaos injected and returns the matrix of resilience reports; the
+// result is bit-identical across runs and worker counts.
+func RunScenarioMatrix(cfg ScenarioMatrixConfig) (*ScenarioMatrix, error) {
+	return scenario.Run(cfg)
 }
 
 // ConsolidationPolicies returns the Figure 10 contenders: Neat, Oasis and
